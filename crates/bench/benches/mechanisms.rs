@@ -1,0 +1,106 @@
+//! Criterion benches for Table V: end-to-end mechanism execution time on
+//! the clustering (Symbols) and classification (Trace) configurations.
+//!
+//! Absolute numbers differ from the paper's Python testbed; the ordering
+//! PrivShape ≤ Baseline ≪ PatternLDP-pipeline is the reproduced claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privshape::{Baseline, BaselineConfig, PrivShape, PrivShapeConfig};
+use privshape_bench::classification::{run_patternldp_rf, trace_dataset, ClassificationSetup};
+use privshape_bench::clustering::{run_patternldp, ClusteringSetup};
+use privshape_datasets::{generate_symbols_like, SymbolsLikeConfig};
+use privshape_distance::DistanceKind;
+use privshape_ldp::Epsilon;
+use privshape_timeseries::{Dataset, SaxParams};
+use std::hint::black_box;
+
+const USERS: usize = 4000;
+const EPS: f64 = 4.0;
+
+fn symbols_data() -> Dataset {
+    generate_symbols_like(&SymbolsLikeConfig {
+        n_per_class: USERS / 6,
+        seed: 2023,
+        ..Default::default()
+    })
+}
+
+fn clustering_mechanisms(c: &mut Criterion) {
+    let data = symbols_data();
+    let mut group = c.benchmark_group("table5/clustering");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("baseline", USERS), |b| {
+        let mut cfg = BaselineConfig::new(
+            Epsilon::new(EPS).unwrap(),
+            6,
+            SaxParams::new(25, 6).unwrap(),
+        );
+        cfg.distance = DistanceKind::Dtw;
+        cfg.prune_threshold = 100.0 * USERS as f64 / 40_000.0;
+        let mech = Baseline::new(cfg).unwrap();
+        b.iter(|| black_box(mech.run(data.series()).unwrap()));
+    });
+
+    group.bench_function(BenchmarkId::new("privshape", USERS), |b| {
+        let mut cfg = PrivShapeConfig::new(
+            Epsilon::new(EPS).unwrap(),
+            6,
+            SaxParams::new(25, 6).unwrap(),
+        );
+        cfg.distance = DistanceKind::Dtw;
+        let mech = PrivShape::new(cfg).unwrap();
+        b.iter(|| black_box(mech.run(data.series()).unwrap()));
+    });
+
+    group.bench_function(BenchmarkId::new("patternldp_kmeans", USERS), |b| {
+        b.iter(|| {
+            let setup = ClusteringSetup::symbols(USERS, EPS, 2023);
+            black_box(run_patternldp(&setup).ari)
+        });
+    });
+    group.finish();
+}
+
+fn classification_mechanisms(c: &mut Criterion) {
+    let data = trace_dataset(USERS, 2023);
+    let labels: Vec<usize> = data.labels().unwrap().to_vec();
+    let mut group = c.benchmark_group("table5/classification");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("baseline", USERS), |b| {
+        let mut cfg = BaselineConfig::new(
+            Epsilon::new(EPS).unwrap(),
+            3,
+            SaxParams::new(10, 4).unwrap(),
+        );
+        cfg.distance = DistanceKind::Sed;
+        cfg.length_range = (1, 10);
+        cfg.prune_threshold = 100.0 * USERS as f64 / 40_000.0;
+        let mech = Baseline::new(cfg).unwrap();
+        b.iter(|| black_box(mech.run_labeled(data.series(), &labels).unwrap()));
+    });
+
+    group.bench_function(BenchmarkId::new("privshape", USERS), |b| {
+        let mut cfg = PrivShapeConfig::new(
+            Epsilon::new(EPS).unwrap(),
+            3,
+            SaxParams::new(10, 4).unwrap(),
+        );
+        cfg.distance = DistanceKind::Sed;
+        cfg.length_range = (1, 10);
+        let mech = PrivShape::new(cfg).unwrap();
+        b.iter(|| black_box(mech.run_labeled(data.series(), &labels).unwrap()));
+    });
+
+    group.bench_function(BenchmarkId::new("patternldp_rf", USERS), |b| {
+        b.iter(|| {
+            let setup = ClassificationSetup::trace(EPS, 2023);
+            black_box(run_patternldp_rf(&data, &setup).accuracy)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, clustering_mechanisms, classification_mechanisms);
+criterion_main!(benches);

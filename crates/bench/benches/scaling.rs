@@ -1,0 +1,91 @@
+//! Scaling benches backing the complexity analysis of §IV-F: PrivShape's
+//! cost as the population, the series length, and the alphabet grow, and
+//! the PrivShape-vs-baseline trie-work ablation (the paper's worst-case
+//! bound `t(t−1)^{ℓ−1} / c²k²`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use privshape::{Baseline, BaselineConfig, PrivShape, PrivShapeConfig};
+use privshape_datasets::{generate_trace_like, Augment, TraceLikeConfig};
+use privshape_distance::DistanceKind;
+use privshape_ldp::Epsilon;
+use privshape_timeseries::{Dataset, SaxParams};
+use std::hint::black_box;
+
+fn dataset(users: usize, length: usize) -> Dataset {
+    generate_trace_like(&TraceLikeConfig {
+        n_per_class: users / 3,
+        length,
+        seed: 7,
+        augment: Augment::default(),
+    })
+}
+
+fn privshape_config(eps: f64, w: usize, t: usize) -> PrivShapeConfig {
+    let mut cfg = PrivShapeConfig::new(
+        Epsilon::new(eps).unwrap(),
+        3,
+        SaxParams::new(w, t).unwrap(),
+    );
+    cfg.distance = DistanceKind::Sed;
+    cfg.length_range = (1, 10);
+    cfg
+}
+
+fn scale_users(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/users");
+    group.sample_size(10);
+    for users in [1000usize, 2000, 4000, 8000] {
+        let data = dataset(users, 275);
+        group.throughput(Throughput::Elements(users as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(users), &data, |b, data| {
+            let mech = PrivShape::new(privshape_config(4.0, 10, 4)).unwrap();
+            b.iter(|| black_box(mech.run(data.series()).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn scale_series_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/series_length");
+    group.sample_size(10);
+    for length in [100usize, 275, 550, 1100] {
+        let data = dataset(2000, length);
+        group.throughput(Throughput::Elements(length as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(length), &data, |b, data| {
+            let mech = PrivShape::new(privshape_config(4.0, 10, 4)).unwrap();
+            b.iter(|| black_box(mech.run(data.series()).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn scale_alphabet(c: &mut Criterion) {
+    // The baseline's expansion domain grows like t(t−1)^{ℓ−1}; PrivShape's
+    // stays capped at c²k². Benching both across t makes the §IV-E utility
+    // gap visible as a cost gap.
+    let mut group = c.benchmark_group("scaling/alphabet");
+    group.sample_size(10);
+    let data = dataset(2000, 275);
+    for t in [3usize, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("privshape", t), &data, |b, data| {
+            let mech = PrivShape::new(privshape_config(4.0, 10, t)).unwrap();
+            b.iter(|| black_box(mech.run(data.series()).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", t), &data, |b, data| {
+            let mut cfg = BaselineConfig::new(
+                Epsilon::new(4.0).unwrap(),
+                3,
+                SaxParams::new(10, t).unwrap(),
+            );
+            cfg.distance = DistanceKind::Sed;
+            cfg.length_range = (1, 10);
+            cfg.prune_threshold = 100.0 * 2000.0 / 40_000.0;
+            let mech = Baseline::new(cfg).unwrap();
+            b.iter(|| black_box(mech.run(data.series()).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scale_users, scale_series_length, scale_alphabet);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Micro-benchmarks of every substrate the mechanisms are built from:
+//! SAX / Compressive SAX, the distance measures, the LDP primitives, and
+//! trie expansion. These back the per-operation costs in the complexity
+//! analysis of §IV-F.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privshape_distance::{dtw, euclidean_padded, sed};
+use privshape_ldp::{Epsilon, ExpMech, Grr, Oue, PiecewiseMechanism};
+use privshape_timeseries::{compressive_sax, sax, SaxParams, SymbolSeq};
+use privshape_trie::ShapeTrie;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+
+fn series(len: usize) -> Vec<f64> {
+    (0..len).map(|i| ((i as f64) * 0.11).sin() * 1.3 + ((i as f64) * 0.031).cos()).collect()
+}
+
+fn bench_sax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/sax");
+    for len in [128usize, 398, 1000] {
+        let data = series(len);
+        let params = SaxParams::new(16, 6).unwrap();
+        group.bench_with_input(BenchmarkId::new("sax", len), &data, |b, data| {
+            b.iter(|| black_box(sax(data, &params)));
+        });
+        group.bench_with_input(BenchmarkId::new("compressive_sax", len), &data, |b, data| {
+            b.iter(|| black_box(compressive_sax(data, &params)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/distance");
+    for len in [8usize, 15, 64] {
+        let a: Vec<f64> = series(len);
+        let b_vals: Vec<f64> = series(len).iter().map(|v| v * 0.9 + 0.1).collect();
+        group.bench_with_input(BenchmarkId::new("dtw", len), &len, |bch, _| {
+            bch.iter(|| black_box(dtw(&a, &b_vals)));
+        });
+        group.bench_with_input(BenchmarkId::new("euclidean", len), &len, |bch, _| {
+            bch.iter(|| black_box(euclidean_padded(&a, &b_vals)));
+        });
+        let sa = SymbolSeq::parse(&"abcdef".repeat(len / 6 + 1)[..len]).unwrap();
+        let sb = SymbolSeq::parse(&"fedcba".repeat(len / 6 + 1)[..len]).unwrap();
+        group.bench_with_input(BenchmarkId::new("sed", len), &len, |bch, _| {
+            bch.iter(|| black_box(sed(sa.symbols(), sb.symbols())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ldp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/ldp");
+    let eps = Epsilon::new(4.0).unwrap();
+    let mut rng = ChaCha12Rng::seed_from_u64(0);
+
+    let grr = Grr::new(12, eps).unwrap();
+    group.bench_function("grr_perturb_d12", |b| {
+        b.iter(|| black_box(grr.perturb(&mut rng, 5)));
+    });
+
+    let oue = Oue::new(27, eps).unwrap(); // c·k × L = 9 × 3 grid
+    group.bench_function("oue_perturb_d27", |b| {
+        b.iter(|| black_box(oue.perturb(&mut rng, 13)));
+    });
+
+    let em = ExpMech::new(eps);
+    let scores: Vec<f64> = (0..18).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    group.bench_function("em_select_18_candidates", |b| {
+        b.iter(|| black_box(em.select(&mut rng, &scores).unwrap()));
+    });
+
+    let pm = PiecewiseMechanism::new(eps);
+    group.bench_function("piecewise_perturb", |b| {
+        b.iter(|| black_box(pm.perturb(&mut rng, 0.37)));
+    });
+    group.finish();
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/trie");
+    for t in [4usize, 6] {
+        group.bench_with_input(BenchmarkId::new("expand_5_levels", t), &t, |b, &t| {
+            b.iter(|| {
+                let mut trie = ShapeTrie::new(t).unwrap();
+                for level in 1..=5 {
+                    trie.expand_next_level(None);
+                    // Keep the frontier bounded like PrivShape does.
+                    trie.prune_top_m(level, 18).unwrap();
+                }
+                black_box(trie.node_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sax, bench_distances, bench_ldp, bench_trie);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Minimal CLI argument handling shared by the experiment binaries.
+//!
+//! Flags: `--users N`, `--trials N`, `--seed N`, `--eps X` (single value),
+//! `--out DIR`, `--full` (paper scale), `--quick` (smoke-test scale).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Parsed experiment context.
+#[derive(Debug, Clone)]
+pub struct ExpCtx {
+    /// Number of users (series) per trial.
+    pub users: usize,
+    /// Number of trials to average over.
+    pub trials: usize,
+    /// Master seed (trial `i` uses `seed + i`).
+    pub seed: u64,
+    /// Optional single-ε override for shape-plot binaries.
+    pub eps: Option<f64>,
+    /// Output directory for CSV artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl ExpCtx {
+    /// Parses `std::env::args`, starting from the given laptop-scale
+    /// defaults. `--quick` shrinks to smoke-test scale; `--full` grows to
+    /// the paper's 40 000 users / 20 trials.
+    pub fn from_env(default_users: usize, default_trials: usize) -> Self {
+        Self::from_iter(std::env::args().skip(1), default_users, default_trials)
+    }
+
+    /// Testable parser core.
+    pub fn from_iter(
+        args: impl IntoIterator<Item = String>,
+        default_users: usize,
+        default_trials: usize,
+    ) -> Self {
+        let mut map: HashMap<String, String> = HashMap::new();
+        let mut flags: Vec<String> = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let is_flag = matches!(key, "full" | "quick");
+                if is_flag {
+                    flags.push(key.to_string());
+                } else if let Some(value) = iter.next() {
+                    map.insert(key.to_string(), value);
+                }
+            }
+        }
+
+        let mut users = default_users;
+        let mut trials = default_trials;
+        if flags.iter().any(|f| f == "quick") {
+            users = (users / 8).max(500);
+            trials = 1;
+        }
+        if flags.iter().any(|f| f == "full") {
+            users = 40_000;
+            trials = 20;
+        }
+        if let Some(v) = map.get("users").and_then(|v| v.parse().ok()) {
+            users = v;
+        }
+        if let Some(v) = map.get("trials").and_then(|v| v.parse().ok()) {
+            trials = v;
+        }
+        let seed = map.get("seed").and_then(|v| v.parse().ok()).unwrap_or(2023);
+        let eps = map.get("eps").and_then(|v| v.parse().ok());
+        let out_dir = map
+            .get("out")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results"));
+        Self { users, trials, seed, eps, out_dir }
+    }
+
+    /// The seed for trial `i`.
+    pub fn trial_seed(&self, trial: usize) -> u64 {
+        self.seed.wrapping_add(trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ExpCtx {
+        ExpCtx::from_iter(args.iter().map(|s| s.to_string()), 8000, 3)
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let ctx = parse(&[]);
+        assert_eq!(ctx.users, 8000);
+        assert_eq!(ctx.trials, 3);
+        assert_eq!(ctx.seed, 2023);
+        assert!(ctx.eps.is_none());
+        assert_eq!(ctx.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let ctx = parse(&["--users", "123", "--trials", "9", "--seed", "7", "--eps", "2.5", "--out", "/tmp/x"]);
+        assert_eq!(ctx.users, 123);
+        assert_eq!(ctx.trials, 9);
+        assert_eq!(ctx.seed, 7);
+        assert_eq!(ctx.eps, Some(2.5));
+        assert_eq!(ctx.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn quick_and_full_scale() {
+        let q = parse(&["--quick"]);
+        assert_eq!(q.users, 1000);
+        assert_eq!(q.trials, 1);
+        let f = parse(&["--full"]);
+        assert_eq!(f.users, 40_000);
+        assert_eq!(f.trials, 20);
+        // Explicit --users wins over scale flags.
+        let o = parse(&["--full", "--users", "5"]);
+        assert_eq!(o.users, 5);
+    }
+
+    #[test]
+    fn trial_seeds_differ_and_are_stable() {
+        let ctx = parse(&[]);
+        assert_ne!(ctx.trial_seed(0), ctx.trial_seed(1));
+        assert_eq!(ctx.trial_seed(2), ctx.trial_seed(2));
+    }
+}

@@ -1,0 +1,96 @@
+//! Frequency-oracle ablation (design-choice evidence for DESIGN.md):
+//! GRR vs OLH vs OUE mean-squared estimation error across the domain
+//! sizes PrivShape actually uses — the length domain (ℓ_high − ℓ_low + 1),
+//! the sub-shape domain t(t−1), and the labeled refinement grid c·k·L.
+//!
+//! Expected shape: GRR wins on small domains (d ≲ 3e^ε), OLH/OUE win on
+//! large ones — which is why the paper uses GRR for length/sub-shape
+//! estimation and OUE for the refinement grid.
+//!
+//! Usage: `cargo run --release -p privshape-bench --bin ablation_oracles
+//!         [--users N] [--eps X]`
+
+use privshape_bench::output::fmt;
+use privshape_bench::{ExpCtx, Table};
+use privshape_ldp::{Epsilon, Grr, GrrAggregator, Olh, OlhAggregator, Oue, OueAggregator};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+fn main() {
+    let ctx = ExpCtx::from_env(20_000, 1);
+    let eps_v = ctx.eps.unwrap_or(2.0);
+    let eps = Epsilon::new(eps_v).expect("positive eps");
+
+    // (label, domain size): the three domains PrivShape exercises with the
+    // paper's parameters.
+    let domains = [
+        ("length [1,10] -> d=10", 10usize),
+        ("sub-shape t=4 -> d=12", 12),
+        ("sub-shape t=6 -> d=30", 30),
+        ("refinement c*k*L=27", 27),
+        ("large domain d=200", 200),
+    ];
+
+    let mut table = Table::new(
+        &format!("Frequency-oracle ablation: MSE of count estimates (eps={eps_v}, users={})", ctx.users),
+        &["domain", "GRR", "OLH", "OUE"],
+    );
+
+    for (label, d) in domains {
+        // Zipf-ish truth over the domain.
+        let truth: Vec<f64> = {
+            let raw: Vec<f64> = (0..d).map(|i| 1.0 / (1.0 + i as f64)).collect();
+            let total: f64 = raw.iter().sum();
+            raw.into_iter().map(|w| w / total).collect()
+        };
+        let sample = |rng: &mut ChaCha12Rng| -> usize {
+            let mut u = rng.random::<f64>();
+            for (v, &p) in truth.iter().enumerate() {
+                if u < p {
+                    return v;
+                }
+                u -= p;
+            }
+            d - 1
+        };
+
+        let n = ctx.users;
+        let mut rng = ChaCha12Rng::seed_from_u64(ctx.seed);
+
+        let grr = Grr::new(d, eps).expect("domain >= 2");
+        let mut grr_agg = GrrAggregator::new(&grr);
+        let olh = Olh::new(eps);
+        let mut olh_agg = OlhAggregator::new(olh.clone(), d).expect("domain >= 2");
+        let oue = Oue::new(d, eps).expect("domain >= 2");
+        let mut oue_agg = OueAggregator::new(&oue);
+        for _ in 0..n {
+            let v = sample(&mut rng);
+            grr_agg.add(grr.perturb(&mut rng, v));
+            olh_agg.add(&olh.perturb(&mut rng, v));
+            oue_agg.add(&oue.perturb(&mut rng, v));
+        }
+
+        let mse = |estimates: Vec<f64>| -> f64 {
+            estimates
+                .iter()
+                .zip(&truth)
+                .map(|(est, &p)| {
+                    let want = p * n as f64;
+                    (est - want) * (est - want)
+                })
+                .sum::<f64>()
+                / d as f64
+        };
+        table.row(vec![
+            label.to_string(),
+            fmt(mse(grr_agg.estimates()).sqrt()),
+            fmt(mse(olh_agg.estimates()).sqrt()),
+            fmt(mse(oue_agg.estimates()).sqrt()),
+        ]);
+    }
+
+    table.print();
+    let path = table.save_csv(&ctx.out_dir, "ablation_oracles").expect("write CSV");
+    println!("saved {}", path.display());
+    println!("(cells are RMSE in user counts; smaller is better)");
+}

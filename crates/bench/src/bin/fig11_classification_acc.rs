@@ -1,0 +1,50 @@
+//! Fig. 11 — classification accuracy on Trace as the privacy budget varies
+//! (ε ∈ {0.1, 0.5, 1, 1.5, …, 8}).
+//!
+//! Expected shape: PrivShape ≥ Baseline ≫ PatternLDP+RF, with PrivShape
+//! already strong at small budgets (ε ≤ 2).
+//!
+//! Usage: `cargo run --release -p privshape-bench --bin fig11_classification_acc
+//!         [--users N] [--trials N] [--full|--quick]`
+
+use privshape_bench::classification::{
+    run_baseline, run_patternldp_rf, run_privshape, trace_dataset, ClassificationSetup,
+};
+use privshape_bench::output::fmt;
+use privshape_bench::{ExpCtx, Table};
+
+fn main() {
+    let ctx = ExpCtx::from_env(8000, 3);
+    let budgets: Vec<f64> =
+        std::iter::once(0.1).chain((1..=16).map(|i| i as f64 * 0.5)).collect();
+    let mut table = Table::new(
+        &format!(
+            "Fig. 11: Trace classification accuracy vs eps (users={}, trials={})",
+            ctx.users, ctx.trials
+        ),
+        &["eps", "PrivShape", "Baseline", "PatternLDP+RF"],
+    );
+
+    for &eps in &budgets {
+        let mut sums = [0.0f64; 3];
+        for trial in 0..ctx.trials {
+            let seed = ctx.trial_seed(trial);
+            let data = trace_dataset(ctx.users, seed);
+            let setup = ClassificationSetup::trace(eps, seed);
+            sums[0] += run_privshape(&data, &setup).accuracy;
+            sums[1] += run_baseline(&data, &setup).accuracy;
+            sums[2] += run_patternldp_rf(&data, &setup).accuracy;
+        }
+        let n = ctx.trials as f64;
+        table.row(vec![
+            format!("{eps}"),
+            fmt(sums[0] / n),
+            fmt(sums[1] / n),
+            fmt(sums[2] / n),
+        ]);
+    }
+
+    table.print();
+    let path = table.save_csv(&ctx.out_dir, "fig11_classification_acc").expect("write CSV");
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,27 @@
+//! Fig. 12 — the Trace shapes at a large budget, ε = 8 (same pipeline as
+//! Fig. 10; the paper's point is that PatternLDP still cannot preserve
+//! shape even with generous budget, while PrivShape can).
+//!
+//! This is a thin alias: it re-executes the Fig. 10 pipeline with ε = 8 so
+//! `fig12_large_budget_shapes` exists as its own regeneration target.
+
+use std::process::Command;
+
+fn main() {
+    // Forward every CLI argument, forcing eps unless the caller set it.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has_eps = args.iter().any(|a| a == "--eps");
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let fig10 = dir.join(format!("fig10_trace_shapes{}", std::env::consts::EXE_SUFFIX));
+
+    let mut cmd = Command::new(fig10);
+    cmd.args(&args);
+    if !has_eps {
+        cmd.args(["--eps", "8"]);
+    }
+    let status = cmd.status().expect(
+        "fig10_trace_shapes binary must be built (cargo build --release -p privshape-bench)",
+    );
+    std::process::exit(status.code().unwrap_or(1));
+}

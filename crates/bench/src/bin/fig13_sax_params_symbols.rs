@@ -1,0 +1,51 @@
+//! Fig. 13 — Symbols clustering ARI as the SAX parameters vary at ε = 4:
+//! (a) symbol size t ∈ {4, 5, 6, 7} with w = 25;
+//! (b) segment length w ∈ {15, 20, 25, 30} with t = 6.
+//!
+//! Expected shape: ARI rises then falls in both sweeps (coarse symbols lose
+//! shape, fine symbols fragment it).
+//!
+//! Usage: `cargo run --release -p privshape-bench --bin fig13_sax_params_symbols
+//!         [--users N] [--trials N]`
+
+use privshape_bench::clustering::{run_privshape, ClusteringSetup};
+use privshape_bench::output::fmt;
+use privshape_bench::{ExpCtx, Table};
+
+fn main() {
+    let ctx = ExpCtx::from_env(8000, 3);
+    let eps = ctx.eps.unwrap_or(4.0);
+
+    let mut table_t = Table::new(
+        &format!("Fig. 13a: ARI varying t (w=25, eps={eps}, users={})", ctx.users),
+        &["t", "PrivShape ARI"],
+    );
+    for t in [4usize, 5, 6, 7] {
+        let mut sum = 0.0;
+        for trial in 0..ctx.trials {
+            let mut setup = ClusteringSetup::symbols(ctx.users, eps, ctx.trial_seed(trial));
+            setup.t = t;
+            sum += run_privshape(&setup).ari;
+        }
+        table_t.row(vec![t.to_string(), fmt(sum / ctx.trials as f64)]);
+    }
+    table_t.print();
+    table_t.save_csv(&ctx.out_dir, "fig13a_symbols_vary_t").expect("write CSV");
+
+    let mut table_w = Table::new(
+        &format!("Fig. 13b: ARI varying w (t=6, eps={eps}, users={})", ctx.users),
+        &["w", "PrivShape ARI"],
+    );
+    for w in [15usize, 20, 25, 30] {
+        let mut sum = 0.0;
+        for trial in 0..ctx.trials {
+            let mut setup = ClusteringSetup::symbols(ctx.users, eps, ctx.trial_seed(trial));
+            setup.w = w;
+            sum += run_privshape(&setup).ari;
+        }
+        table_w.row(vec![w.to_string(), fmt(sum / ctx.trials as f64)]);
+    }
+    table_w.print();
+    let path = table_w.save_csv(&ctx.out_dir, "fig13b_symbols_vary_w").expect("write CSV");
+    println!("saved {} (and fig13a)", path.display());
+}

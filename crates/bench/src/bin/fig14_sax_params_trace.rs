@@ -1,0 +1,52 @@
+//! Fig. 14 — Trace classification accuracy as the SAX parameters vary at
+//! ε = 4: (a) t ∈ {3, 4, 5, 6} with w = 10; (b) w ∈ {5, 10, 15, 20} with
+//! t = 4. Same rise-then-fall expectation as Fig. 13.
+//!
+//! Usage: `cargo run --release -p privshape-bench --bin fig14_sax_params_trace
+//!         [--users N] [--trials N]`
+
+use privshape_bench::classification::{run_privshape, trace_dataset, ClassificationSetup};
+use privshape_bench::output::fmt;
+use privshape_bench::{ExpCtx, Table};
+
+fn main() {
+    let ctx = ExpCtx::from_env(8000, 3);
+    let eps = ctx.eps.unwrap_or(4.0);
+
+    let mut table_t = Table::new(
+        &format!("Fig. 14a: accuracy varying t (w=10, eps={eps}, users={})", ctx.users),
+        &["t", "PrivShape accuracy"],
+    );
+    for t in [3usize, 4, 5, 6] {
+        let mut sum = 0.0;
+        for trial in 0..ctx.trials {
+            let seed = ctx.trial_seed(trial);
+            let data = trace_dataset(ctx.users, seed);
+            let mut setup = ClassificationSetup::trace(eps, seed);
+            setup.t = t;
+            sum += run_privshape(&data, &setup).accuracy;
+        }
+        table_t.row(vec![t.to_string(), fmt(sum / ctx.trials as f64)]);
+    }
+    table_t.print();
+    table_t.save_csv(&ctx.out_dir, "fig14a_trace_vary_t").expect("write CSV");
+
+    let mut table_w = Table::new(
+        &format!("Fig. 14b: accuracy varying w (t=4, eps={eps}, users={})", ctx.users),
+        &["w", "PrivShape accuracy"],
+    );
+    for w in [5usize, 10, 15, 20] {
+        let mut sum = 0.0;
+        for trial in 0..ctx.trials {
+            let seed = ctx.trial_seed(trial);
+            let data = trace_dataset(ctx.users, seed);
+            let mut setup = ClassificationSetup::trace(eps, seed);
+            setup.w = w;
+            sum += run_privshape(&data, &setup).accuracy;
+        }
+        table_w.row(vec![w.to_string(), fmt(sum / ctx.trials as f64)]);
+    }
+    table_w.print();
+    let path = table_w.save_csv(&ctx.out_dir, "fig14b_trace_vary_w").expect("write CSV");
+    println!("saved {} (and fig14a)", path.display());
+}

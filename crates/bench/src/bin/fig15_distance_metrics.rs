@@ -1,0 +1,83 @@
+//! Fig. 15 — impact of the distance measure (DTW vs SED vs Euclidean) on
+//! PrivShape, against PatternLDP, for ε ∈ {1, 2, 3, 4}:
+//! (a) clustering ARI on Symbols; (b) classification accuracy on Trace.
+//!
+//! Expected shape: metrics differ somewhat, but every PrivShape variant
+//! beats PatternLDP over the practical range ε ≤ 4.
+//!
+//! Usage: `cargo run --release -p privshape-bench --bin fig15_distance_metrics
+//!         [--users N] [--trials N]`
+
+use privshape_bench::classification::{
+    run_patternldp_rf, run_privshape as run_privshape_cls, trace_dataset, ClassificationSetup,
+};
+use privshape_bench::clustering::{
+    run_patternldp, run_privshape as run_privshape_clu, ClusteringSetup,
+};
+use privshape_bench::output::fmt;
+use privshape_bench::{ExpCtx, Table};
+use privshape_distance::DistanceKind;
+
+const METRICS: [DistanceKind; 3] =
+    [DistanceKind::Dtw, DistanceKind::Sed, DistanceKind::Euclidean];
+
+fn main() {
+    let ctx = ExpCtx::from_env(8000, 3);
+    let budgets = [1.0, 2.0, 3.0, 4.0];
+
+    let mut table_a = Table::new(
+        &format!("Fig. 15a: Symbols clustering ARI by distance metric (users={})", ctx.users),
+        &["eps", "PrivShape-DTW", "PrivShape-SED", "PrivShape-Euclidean", "PatternLDP"],
+    );
+    for &eps in &budgets {
+        let mut cells = vec![format!("{eps}")];
+        for metric in METRICS {
+            let mut sum = 0.0;
+            for trial in 0..ctx.trials {
+                let mut setup = ClusteringSetup::symbols(ctx.users, eps, ctx.trial_seed(trial));
+                setup.distance = metric;
+                sum += run_privshape_clu(&setup).ari;
+            }
+            cells.push(fmt(sum / ctx.trials as f64));
+        }
+        let mut sum = 0.0;
+        for trial in 0..ctx.trials {
+            let setup = ClusteringSetup::symbols(ctx.users, eps, ctx.trial_seed(trial));
+            sum += run_patternldp(&setup).ari;
+        }
+        cells.push(fmt(sum / ctx.trials as f64));
+        table_a.row(cells);
+    }
+    table_a.print();
+    table_a.save_csv(&ctx.out_dir, "fig15a_symbols_distance_metrics").expect("write CSV");
+
+    let mut table_b = Table::new(
+        &format!("Fig. 15b: Trace classification accuracy by distance metric (users={})", ctx.users),
+        &["eps", "PrivShape-DTW", "PrivShape-SED", "PrivShape-Euclidean", "PatternLDP"],
+    );
+    for &eps in &budgets {
+        let mut cells = vec![format!("{eps}")];
+        for metric in METRICS {
+            let mut sum = 0.0;
+            for trial in 0..ctx.trials {
+                let seed = ctx.trial_seed(trial);
+                let data = trace_dataset(ctx.users, seed);
+                let mut setup = ClassificationSetup::trace(eps, seed);
+                setup.distance = metric;
+                sum += run_privshape_cls(&data, &setup).accuracy;
+            }
+            cells.push(fmt(sum / ctx.trials as f64));
+        }
+        let mut sum = 0.0;
+        for trial in 0..ctx.trials {
+            let seed = ctx.trial_seed(trial);
+            let data = trace_dataset(ctx.users, seed);
+            sum += run_patternldp_rf(&data, &ClassificationSetup::trace(eps, seed)).accuracy;
+        }
+        cells.push(fmt(sum / ctx.trials as f64));
+        table_b.row(cells);
+    }
+    table_b.print();
+    let path = table_b.save_csv(&ctx.out_dir, "fig15b_trace_distance_metrics").expect("write CSV");
+    println!("saved {} (and fig15a)", path.display());
+}

@@ -1,0 +1,59 @@
+//! Fig. 17 — sine/cosine classification when the series are *prefixes* of
+//! one 1000-point period (200…1000 points), so the shape itself changes
+//! with the length, ε = 4.
+//!
+//! Expected shape: PatternLDP fluctuates badly when the prefixes are
+//! partially similar (short prefixes of sine and cosine share structure);
+//! PrivShape stays reasonable throughout.
+//!
+//! Usage: `cargo run --release -p privshape-bench --bin fig17_varying_length_diff_shape
+//!         [--users N] [--trials N]`
+
+use privshape_bench::classification::{
+    ground_truth_accuracy, run_patternldp_rf, run_privshape, ClassificationSetup,
+};
+use privshape_bench::output::fmt;
+use privshape_bench::{ExpCtx, Table};
+use privshape_datasets::{generate_trig, TrigConfig, TrigMode};
+
+fn main() {
+    let ctx = ExpCtx::from_env(6000, 3);
+    let eps = ctx.eps.unwrap_or(4.0);
+    let lengths = [200usize, 400, 600, 800, 1000];
+    let mut table = Table::new(
+        &format!(
+            "Fig. 17: sine/cosine accuracy, shape changes with length (eps={eps}, users={})",
+            ctx.users
+        ),
+        &["length", "PrivShape", "PatternLDP", "GroundTruth(RF)"],
+    );
+
+    for &length in &lengths {
+        let mut sums = [0.0f64; 3];
+        for trial in 0..ctx.trials {
+            let seed = ctx.trial_seed(trial);
+            let data = generate_trig(&TrigConfig {
+                n_per_class: ctx.users / 2,
+                length,
+                mode: TrigMode::Prefix { period_len: 1000 },
+                seed,
+                ..Default::default()
+            });
+            let setup = ClassificationSetup::trig(eps, seed);
+            sums[0] += run_privshape(&data, &setup).accuracy;
+            sums[1] += run_patternldp_rf(&data, &setup).accuracy;
+            sums[2] += ground_truth_accuracy(&data, seed);
+        }
+        let n = ctx.trials as f64;
+        table.row(vec![
+            length.to_string(),
+            fmt(sums[0] / n),
+            fmt(sums[1] / n),
+            fmt(sums[2] / n),
+        ]);
+    }
+
+    table.print();
+    let path = table.save_csv(&ctx.out_dir, "fig17_varying_length_diff_shape").expect("write CSV");
+    println!("saved {}", path.display());
+}

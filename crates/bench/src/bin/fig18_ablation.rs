@@ -1,0 +1,62 @@
+//! Fig. 18 — ablations on the Trace classification task, ε ∈ {1, 2, 3, 4}:
+//! (a) **Without SAX**: PAA+SAX replaced by the paper's uniform 0.33-unit
+//!     grid (eight value segments);
+//! (b) **No Compression**: SAX without merging repeated symbols.
+//!
+//! Expected shape: full PrivShape ≥ Without-SAX ≥ PatternLDP, and
+//! No-Compression clearly below full PrivShape (longer sequences spread the
+//! user population across more trie levels).
+//!
+//! Usage: `cargo run --release -p privshape-bench --bin fig18_ablation
+//!         [--users N] [--trials N]`
+
+use privshape_bench::classification::{
+    run_patternldp_rf, run_privshape, trace_dataset, ClassificationSetup,
+};
+use privshape_bench::output::fmt;
+use privshape_bench::{ExpCtx, Table};
+use privshape::Preprocessing;
+
+fn main() {
+    let ctx = ExpCtx::from_env(8000, 3);
+    let budgets = [1.0, 2.0, 3.0, 4.0];
+    let mut table = Table::new(
+        &format!("Fig. 18: ablations on Trace (users={}, trials={})", ctx.users, ctx.trials),
+        &["eps", "PrivShape", "WithoutSAX", "NoCompression", "PatternLDP"],
+    );
+
+    for &eps in &budgets {
+        let mut sums = [0.0f64; 4];
+        for trial in 0..ctx.trials {
+            let seed = ctx.trial_seed(trial);
+            let data = trace_dataset(ctx.users, seed);
+
+            let full = ClassificationSetup::trace(eps, seed);
+            sums[0] += run_privshape(&data, &full).accuracy;
+
+            let mut without_sax = ClassificationSetup::trace(eps, seed);
+            without_sax.preprocessing = Preprocessing::paper_uniform_grid();
+            without_sax.trace_quality = false;
+            sums[1] += run_privshape(&data, &without_sax).accuracy;
+
+            let mut no_compression = ClassificationSetup::trace(eps, seed);
+            no_compression.preprocessing = Preprocessing::Sax { compress: false };
+            no_compression.trace_quality = false;
+            sums[2] += run_privshape(&data, &no_compression).accuracy;
+
+            sums[3] += run_patternldp_rf(&data, &full).accuracy;
+        }
+        let n = ctx.trials as f64;
+        table.row(vec![
+            format!("{eps}"),
+            fmt(sums[0] / n),
+            fmt(sums[1] / n),
+            fmt(sums[2] / n),
+            fmt(sums[3] / n),
+        ]);
+    }
+
+    table.print();
+    let path = table.save_csv(&ctx.out_dir, "fig18_ablation").expect("write CSV");
+    println!("saved {}", path.display());
+}

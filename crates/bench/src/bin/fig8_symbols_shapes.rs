@@ -1,0 +1,57 @@
+//! Fig. 8 — the extracted shapes on Symbols at ε = 4 (one run, seed 2023,
+//! as in the paper). Shapes are printed in Compressive-SAX letter form;
+//! each mechanism's shapes are matched against ground truth so the rows
+//! line up like the figure's panels.
+//!
+//! Usage: `cargo run --release -p privshape-bench --bin fig8_symbols_shapes
+//!         [--users N] [--eps X]`
+
+use privshape_bench::clustering::{run_baseline, run_patternldp, run_privshape, ClusteringSetup};
+use privshape_bench::quality::symbols_ground_truth;
+use privshape_bench::{ExpCtx, Table};
+use privshape_distance::DistanceKind;
+use privshape_timeseries::{SaxParams, SymbolSeq};
+
+fn main() {
+    let ctx = ExpCtx::from_env(8000, 1);
+    let eps = ctx.eps.unwrap_or(4.0);
+    let setup = ClusteringSetup::symbols(ctx.users, eps, ctx.seed);
+    let params = SaxParams::new(setup.w, setup.t).expect("valid params");
+    let gt = symbols_ground_truth(&params);
+
+    let ps = run_privshape(&setup);
+    let bl = run_baseline(&setup);
+    let pl = run_patternldp(&setup);
+
+    let mut table = Table::new(
+        &format!("Fig. 8: extracted Symbols shapes (eps={eps}, users={}, seed={})", ctx.users, ctx.seed),
+        &["GroundTruth", "PrivShape", "Baseline", "PatternLDP"],
+    );
+    for (i, gt_shape) in gt.iter().enumerate() {
+        table.row(vec![
+            gt_shape.to_string(),
+            nearest(&ps.shapes, gt_shape),
+            nearest(&bl.shapes, gt_shape),
+            nearest(&pl.shapes, gt_shape),
+        ]);
+        let _ = i;
+    }
+    table.print();
+    println!("ARI: PrivShape={:.3} Baseline={:.3} PatternLDP={:.3}", ps.ari, bl.ari, pl.ari);
+    let path = table.save_csv(&ctx.out_dir, "fig8_symbols_shapes").expect("write CSV");
+    println!("saved {}", path.display());
+}
+
+/// The extracted shape closest to a ground-truth shape (DTW), or "-" when
+/// nothing was extracted.
+fn nearest(shapes: &[String], gt: &SymbolSeq) -> String {
+    shapes
+        .iter()
+        .min_by(|a, b| {
+            let da = DistanceKind::Dtw.dist(&SymbolSeq::parse(a).expect("letters"), gt);
+            let db = DistanceKind::Dtw.dist(&SymbolSeq::parse(b).expect("letters"), gt);
+            da.partial_cmp(&db).expect("finite")
+        })
+        .cloned()
+        .unwrap_or_else(|| "-".to_string())
+}

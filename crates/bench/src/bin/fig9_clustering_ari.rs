@@ -1,0 +1,42 @@
+//! Fig. 9 — clustering ARI on Symbols as the privacy budget varies
+//! (ε ∈ {0.1, 0.5, 1, 2, …, 10}).
+//!
+//! Expected shape: PrivShape > Baseline ≫ PatternLDP+KMeans across the
+//! whole range; PatternLDP stays near 0 even at large ε.
+//!
+//! Usage: `cargo run --release -p privshape-bench --bin fig9_clustering_ari
+//!         [--users N] [--trials N] [--full|--quick]`
+
+use privshape_bench::clustering::{run_baseline, run_patternldp, run_privshape, ClusteringSetup};
+use privshape_bench::output::fmt;
+use privshape_bench::{ExpCtx, Table};
+
+fn main() {
+    let ctx = ExpCtx::from_env(8000, 3);
+    let budgets = [0.1, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+    let mut table = Table::new(
+        &format!("Fig. 9: Symbols clustering ARI vs eps (users={}, trials={})", ctx.users, ctx.trials),
+        &["eps", "PrivShape", "Baseline", "PatternLDP+KMeans"],
+    );
+
+    for &eps in &budgets {
+        let mut sums = [0.0f64; 3];
+        for trial in 0..ctx.trials {
+            let setup = ClusteringSetup::symbols(ctx.users, eps, ctx.trial_seed(trial));
+            sums[0] += run_privshape(&setup).ari;
+            sums[1] += run_baseline(&setup).ari;
+            sums[2] += run_patternldp(&setup).ari;
+        }
+        let n = ctx.trials as f64;
+        table.row(vec![
+            format!("{eps}"),
+            fmt(sums[0] / n),
+            fmt(sums[1] / n),
+            fmt(sums[2] / n),
+        ]);
+    }
+
+    table.print();
+    let path = table.save_csv(&ctx.out_dir, "fig9_clustering_ari").expect("write CSV");
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,57 @@
+//! Table III — quantitative measures of extracted shapes on Symbols
+//! (DTW / SED / Euclidean distance to ground truth, plus clustering ARI)
+//! at ε = 4.
+//!
+//! Usage: `cargo run --release -p privshape-bench --bin table3_symbols_quality
+//!         [--users N] [--trials N] [--eps X] [--full|--quick]`
+
+use privshape_bench::clustering::{run_baseline, run_patternldp, run_privshape, ClusteringSetup};
+use privshape_bench::output::fmt;
+use privshape_bench::{ExpCtx, Table};
+
+fn main() {
+    let ctx = ExpCtx::from_env(8000, 3);
+    let eps = ctx.eps.unwrap_or(4.0);
+    let mut table = Table::new(
+        &format!(
+            "Table III: shape quality on Symbols (eps={eps}, users={}, trials={})",
+            ctx.users, ctx.trials
+        ),
+        &["Mechanism", "DTW", "SED", "Euclidean", "ARI"],
+    );
+
+    type Runner = fn(&ClusteringSetup) -> privshape_bench::clustering::ClusteringOutcome;
+    let mechanisms: [(&str, Runner); 3] = [
+        ("PatternLDP", run_patternldp),
+        ("Baseline", run_baseline),
+        ("PrivShape", run_privshape),
+    ];
+    for (name, run) in mechanisms {
+        let mut dtw = 0.0;
+        let mut sed = 0.0;
+        let mut euc = 0.0;
+        let mut ari = 0.0;
+        for trial in 0..ctx.trials {
+            let setup = ClusteringSetup::symbols(ctx.users, eps, ctx.trial_seed(trial));
+            let out = run(&setup);
+            if let Some(q) = out.quality {
+                dtw += q.dtw;
+                sed += q.sed;
+                euc += q.euclidean;
+            }
+            ari += out.ari;
+        }
+        let n = ctx.trials as f64;
+        table.row(vec![
+            name.to_string(),
+            fmt(dtw / n),
+            fmt(sed / n),
+            fmt(euc / n),
+            fmt(ari / n),
+        ]);
+    }
+
+    table.print();
+    let path = table.save_csv(&ctx.out_dir, "table3_symbols_quality").expect("write CSV");
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,61 @@
+//! Table IV — quantitative measures of extracted shapes on Trace
+//! (DTW / SED / Euclidean distance to ground truth, plus classification
+//! accuracy) at ε = 4.
+//!
+//! Usage: `cargo run --release -p privshape-bench --bin table4_trace_quality
+//!         [--users N] [--trials N] [--eps X] [--full|--quick]`
+
+use privshape_bench::classification::{
+    run_baseline, run_patternldp_rf, run_privshape, trace_dataset, ClassificationSetup,
+};
+use privshape_bench::output::fmt;
+use privshape_bench::{ExpCtx, Table};
+
+fn main() {
+    let ctx = ExpCtx::from_env(8000, 3);
+    let eps = ctx.eps.unwrap_or(4.0);
+    let mut table = Table::new(
+        &format!(
+            "Table IV: shape quality on Trace (eps={eps}, users={}, trials={})",
+            ctx.users, ctx.trials
+        ),
+        &["Mechanism", "DTW", "SED", "Euclidean", "Accuracy"],
+    );
+
+    type Runner = fn(&privshape_timeseries::Dataset, &ClassificationSetup)
+        -> privshape_bench::classification::ClassificationOutcome;
+    let mechanisms: [(&str, Runner); 3] = [
+        ("PatternLDP", run_patternldp_rf),
+        ("Baseline", run_baseline),
+        ("PrivShape", run_privshape),
+    ];
+    for (name, run) in mechanisms {
+        let mut dtw = 0.0;
+        let mut sed = 0.0;
+        let mut euc = 0.0;
+        let mut acc = 0.0;
+        for trial in 0..ctx.trials {
+            let seed = ctx.trial_seed(trial);
+            let data = trace_dataset(ctx.users, seed);
+            let out = run(&data, &ClassificationSetup::trace(eps, seed));
+            if let Some(q) = out.quality {
+                dtw += q.dtw;
+                sed += q.sed;
+                euc += q.euclidean;
+            }
+            acc += out.accuracy;
+        }
+        let n = ctx.trials as f64;
+        table.row(vec![
+            name.to_string(),
+            fmt(dtw / n),
+            fmt(sed / n),
+            fmt(euc / n),
+            fmt(acc / n),
+        ]);
+    }
+
+    table.print();
+    let path = table.save_csv(&ctx.out_dir, "table4_trace_quality").expect("write CSV");
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,62 @@
+//! Table V — execution time of each mechanism on the clustering (Symbols)
+//! and classification (Trace) tasks at ε = 4.
+//!
+//! The paper's expectation: PrivShape ≤ Baseline (better pruning) and both
+//! ≪ PatternLDP end-to-end (which pays for KMeans / random-forest fitting
+//! on full numeric series).
+//!
+//! Usage: `cargo run --release -p privshape-bench --bin table5_execution_time
+//!         [--users N] [--trials N] [--full|--quick]`
+
+use privshape_bench::classification::{self, trace_dataset, ClassificationSetup};
+use privshape_bench::clustering::{self, ClusteringSetup};
+use privshape_bench::{ExpCtx, Table};
+
+fn main() {
+    let ctx = ExpCtx::from_env(8000, 3);
+    let eps = ctx.eps.unwrap_or(4.0);
+    let mut table = Table::new(
+        &format!(
+            "Table V: execution time in seconds (eps={eps}, users={}, trials={})",
+            ctx.users, ctx.trials
+        ),
+        &["Task", "Baseline", "PrivShape", "PatternLDP"],
+    );
+
+    // Clustering task (Symbols parameters w=25, t=6).
+    let mut secs = [0.0f64; 3];
+    for trial in 0..ctx.trials {
+        let setup = ClusteringSetup::symbols(ctx.users, eps, ctx.trial_seed(trial));
+        secs[0] += clustering::run_baseline(&setup).secs;
+        secs[1] += clustering::run_privshape(&setup).secs;
+        secs[2] += clustering::run_patternldp(&setup).secs;
+    }
+    let n = ctx.trials as f64;
+    table.row(vec![
+        "Clustering".into(),
+        format!("{:.2}s", secs[0] / n),
+        format!("{:.2}s", secs[1] / n),
+        format!("{:.2}s", secs[2] / n),
+    ]);
+
+    // Classification task (Trace parameters w=10, t=4).
+    let mut secs = [0.0f64; 3];
+    for trial in 0..ctx.trials {
+        let seed = ctx.trial_seed(trial);
+        let data = trace_dataset(ctx.users, seed);
+        let setup = ClassificationSetup::trace(eps, seed);
+        secs[0] += classification::run_baseline(&data, &setup).secs;
+        secs[1] += classification::run_privshape(&data, &setup).secs;
+        secs[2] += classification::run_patternldp_rf(&data, &setup).secs;
+    }
+    table.row(vec![
+        "Classification".into(),
+        format!("{:.2}s", secs[0] / n),
+        format!("{:.2}s", secs[1] / n),
+        format!("{:.2}s", secs[2] / n),
+    ]);
+
+    table.print();
+    let path = table.save_csv(&ctx.out_dir, "table5_execution_time").expect("write CSV");
+    println!("saved {}", path.display());
+}

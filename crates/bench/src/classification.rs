@@ -1,0 +1,275 @@
+//! The classification pipeline (§V-E): labeled extraction → nearest-shape
+//! classification of held-out series, and the PatternLDP + random-forest
+//! comparison. Generic over the dataset so the Trace experiments
+//! (Figs. 10–12, 14, Table IV) and the trigonometric-wave experiments
+//! (Figs. 16–17) share one implementation.
+
+use crate::quality::{series_shape, shape_quality, trace_ground_truth, Quality};
+use privshape::{Baseline, BaselineConfig, Preprocessing, PrivShape, PrivShapeConfig};
+use privshape_datasets::{generate_trace_like, TraceLikeConfig};
+use privshape_distance::DistanceKind;
+use privshape_eval::{accuracy, KShape, NearestShape, RandomForest, RandomForestConfig};
+use privshape_ldp::Epsilon;
+use privshape_patternldp::{PatternLdp, PatternLdpConfig};
+use privshape_timeseries::{Dataset, SaxParams, SymbolSeq};
+use std::time::Instant;
+
+/// Train fraction for the classification split.
+const TRAIN_FRAC: f64 = 0.8;
+/// Random forests above this many training rows are subsampled (laptop
+/// scaling; the paper pays the full cost, see Table V).
+const RF_CAP: usize = 4000;
+
+/// One classification trial's outcome.
+#[derive(Debug, Clone)]
+pub struct ClassificationOutcome {
+    /// Test-set accuracy.
+    pub accuracy: f64,
+    /// Table IV distances to ground truth (Trace setups only; None when
+    /// nothing was extracted or no ground truth applies).
+    pub quality: Option<Quality>,
+    /// Extracted `(class, shape)` pairs, one line per class prototype.
+    pub shapes: Vec<String>,
+    /// Mechanism wall-clock seconds (excluding dataset generation).
+    pub secs: f64,
+}
+
+/// Parameters of a classification trial.
+#[derive(Debug, Clone)]
+pub struct ClassificationSetup {
+    /// Privacy budget.
+    pub eps: f64,
+    /// SAX segment length `w`.
+    pub w: usize,
+    /// SAX alphabet `t`.
+    pub t: usize,
+    /// Shapes per class / cluster count `k` (the paper sets k = #classes).
+    pub k: usize,
+    /// Trial seed.
+    pub seed: u64,
+    /// Distance for EM scoring and nearest-shape classification.
+    pub distance: DistanceKind,
+    /// Preprocessing mode.
+    pub preprocessing: Preprocessing,
+    /// Whether Table-IV-style ground-truth quality should be computed
+    /// (true for Trace-like data only).
+    pub trace_quality: bool,
+}
+
+impl ClassificationSetup {
+    /// The paper's Trace settings.
+    pub fn trace(eps: f64, seed: u64) -> Self {
+        Self {
+            eps,
+            w: 10,
+            t: 4,
+            k: 3,
+            seed,
+            distance: DistanceKind::Sed,
+            preprocessing: Preprocessing::default(),
+            trace_quality: true,
+        }
+    }
+
+    /// Settings for the two-class trigonometric-wave task (Figs. 16/17).
+    pub fn trig(eps: f64, seed: u64) -> Self {
+        Self {
+            eps,
+            w: 10,
+            t: 4,
+            k: 2,
+            seed,
+            distance: DistanceKind::Sed,
+            preprocessing: Preprocessing::default(),
+            trace_quality: false,
+        }
+    }
+
+    fn sax(&self) -> SaxParams {
+        SaxParams::new(self.w, self.t).expect("valid SAX parameters")
+    }
+}
+
+/// Generates the Trace-like dataset for `users` total series.
+pub fn trace_dataset(users: usize, seed: u64) -> Dataset {
+    generate_trace_like(&TraceLikeConfig {
+        n_per_class: users / 3,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Classifies the test split with nearest-shape prototypes.
+fn prototype_accuracy(
+    prototypes: &[(SymbolSeq, usize)],
+    test: &Dataset,
+    setup: &ClassificationSetup,
+) -> f64 {
+    if prototypes.is_empty() {
+        return 0.0;
+    }
+    let params = setup.sax();
+    let clf = NearestShape::new(prototypes.to_vec(), setup.distance);
+    let predicted: Vec<usize> = test
+        .series()
+        .iter()
+        .map(|s| clf.classify(&privshape::transform_series(s, &params, &setup.preprocessing)))
+        .collect();
+    accuracy(&predicted, test.labels().expect("labeled dataset"))
+}
+
+fn finish(
+    prototypes: Vec<(SymbolSeq, usize)>,
+    test: &Dataset,
+    setup: &ClassificationSetup,
+    secs: f64,
+) -> ClassificationOutcome {
+    let acc = prototype_accuracy(&prototypes, test, setup);
+    let shapes_only: Vec<SymbolSeq> = prototypes.iter().map(|(s, _)| s.clone()).collect();
+    let quality = if setup.trace_quality {
+        shape_quality(&shapes_only, &trace_ground_truth(&setup.sax()))
+    } else {
+        None
+    };
+    ClassificationOutcome {
+        accuracy: acc,
+        quality,
+        shapes: prototypes
+            .iter()
+            .map(|(s, label)| format!("class {label}: {s}"))
+            .collect(),
+        secs,
+    }
+}
+
+/// PrivShape (labeled) trial on a pre-split dataset.
+pub fn run_privshape(data: &Dataset, setup: &ClassificationSetup) -> ClassificationOutcome {
+    let (train, test) = data.split(TRAIN_FRAC, setup.seed);
+    let mut config = PrivShapeConfig::new(
+        Epsilon::new(setup.eps).expect("positive eps"),
+        setup.k,
+        setup.sax(),
+    );
+    config.distance = setup.distance;
+    config.seed = setup.seed;
+    config.length_range = (1, 10);
+    config.preprocessing = setup.preprocessing.clone();
+    let started = Instant::now();
+    let extraction = PrivShape::new(config)
+        .expect("valid config")
+        .run_labeled(train.series(), train.labels().expect("labeled"))
+        .expect("mechanism runs");
+    let secs = started.elapsed().as_secs_f64();
+    finish(extraction.top_prototype_per_class(), &test, setup, secs)
+}
+
+/// Baseline (labeled) trial.
+pub fn run_baseline(data: &Dataset, setup: &ClassificationSetup) -> ClassificationOutcome {
+    let (train, test) = data.split(TRAIN_FRAC, setup.seed);
+    let mut config = BaselineConfig::new(
+        Epsilon::new(setup.eps).expect("positive eps"),
+        setup.k,
+        setup.sax(),
+    );
+    config.distance = setup.distance;
+    config.seed = setup.seed;
+    config.length_range = (1, 10);
+    config.preprocessing = setup.preprocessing.clone();
+    config.prune_threshold = 100.0 * data.len() as f64 / 40_000.0;
+    let started = Instant::now();
+    let extraction = Baseline::new(config)
+        .expect("valid config")
+        .run_labeled(train.series(), train.labels().expect("labeled"))
+        .expect("mechanism runs");
+    let secs = started.elapsed().as_secs_f64();
+    finish(extraction.top_prototype_per_class(), &test, setup, secs)
+}
+
+/// PatternLDP + random forest trial: perturb the training series, train RF
+/// on the noisy series, evaluate on the clean test split.
+pub fn run_patternldp_rf(data: &Dataset, setup: &ClassificationSetup) -> ClassificationOutcome {
+    let (train, test) = data.split(TRAIN_FRAC, setup.seed);
+    let mech = PatternLdp::new(PatternLdpConfig::default());
+    let started = Instant::now();
+    let noisy = mech.perturb_dataset(&train, Epsilon::new(setup.eps).expect("positive eps"), setup.seed);
+    let cap = noisy.len().min(RF_CAP);
+    let x: Vec<Vec<f64>> =
+        (0..cap).map(|i| noisy.series()[i].values().to_vec()).collect();
+    let y: Vec<usize> = noisy.labels().expect("labeled")[..cap].to_vec();
+    let rf = RandomForest::fit(
+        &RandomForestConfig { seed: setup.seed, ..Default::default() },
+        &x,
+        &y,
+    );
+    let secs = started.elapsed().as_secs_f64();
+    let test_x: Vec<Vec<f64>> =
+        test.series().iter().map(|s| s.values().to_vec()).collect();
+    let acc = accuracy(&rf.predict_batch(&test_x), test.labels().expect("labeled"));
+
+    // Table IV route: KShape centers of the perturbed data, symbolized.
+    let quality = if setup.trace_quality {
+        let sample: Vec<Vec<f64>> =
+            (0..noisy.len().min(150)).map(|i| noisy.series()[i].values().to_vec()).collect();
+        let fit = KShape { seed: setup.seed, ..KShape::new(setup.k) }.fit(&sample);
+        let params = setup.sax();
+        let shapes: Vec<SymbolSeq> = fit
+            .centroids
+            .iter()
+            .filter(|c| c.iter().any(|&v| v != 0.0))
+            .map(|c| series_shape(c, &params))
+            .collect();
+        shape_quality(&shapes, &trace_ground_truth(&params))
+    } else {
+        None
+    };
+    ClassificationOutcome { accuracy: acc, quality, shapes: Vec::new(), secs }
+}
+
+/// Clean-data reference: random forest on the unperturbed training split
+/// (the paper reports 100% on Trace).
+pub fn ground_truth_accuracy(data: &Dataset, seed: u64) -> f64 {
+    let (train, test) = data.split(TRAIN_FRAC, seed);
+    let cap = train.len().min(RF_CAP);
+    let x: Vec<Vec<f64>> =
+        (0..cap).map(|i| train.series()[i].values().to_vec()).collect();
+    let y: Vec<usize> = train.labels().expect("labeled")[..cap].to_vec();
+    let rf = RandomForest::fit(&RandomForestConfig { seed, ..Default::default() }, &x, &y);
+    let test_x: Vec<Vec<f64>> =
+        test.series().iter().map(|s| s.values().to_vec()).collect();
+    accuracy(&rf.predict_batch(&test_x), test.labels().expect("labeled"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privshape_classifies_trace_well_at_high_eps() {
+        let data = trace_dataset(900, 5);
+        let out = run_privshape(&data, &ClassificationSetup::trace(8.0, 5));
+        assert!(out.accuracy > 0.7, "accuracy {}", out.accuracy);
+        assert_eq!(out.shapes.len(), 3);
+        assert!(out.quality.is_some());
+    }
+
+    #[test]
+    fn clean_rf_reference_is_near_perfect() {
+        let data = trace_dataset(600, 3);
+        let acc = ground_truth_accuracy(&data, 3);
+        assert!(acc > 0.95, "clean RF accuracy {acc}");
+    }
+
+    #[test]
+    fn patternldp_rf_runs_end_to_end() {
+        let data = trace_dataset(300, 4);
+        let out = run_patternldp_rf(&data, &ClassificationSetup::trace(4.0, 4));
+        assert!((0.0..=1.0).contains(&out.accuracy));
+    }
+
+    #[test]
+    fn baseline_runs_labeled() {
+        let data = trace_dataset(600, 6);
+        let out = run_baseline(&data, &ClassificationSetup::trace(8.0, 6));
+        assert!((0.0..=1.0).contains(&out.accuracy));
+    }
+}

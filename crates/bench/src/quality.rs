@@ -1,0 +1,133 @@
+//! Shape-quality measurement: the DTW / SED / Euclidean columns of
+//! Tables III and IV (distance between extracted shapes and ground truth,
+//! both in Compressive-SAX space).
+
+use privshape_datasets::{symbols_template, trace_template, SYMBOLS_CLASSES, SYMBOLS_LEN, TRACE_CLASSES, TRACE_LEN};
+use privshape_distance::DistanceKind;
+use privshape_timeseries::{compressive_sax, SaxParams, SymbolSeq, TimeSeries};
+
+/// Mean distances between extracted shapes and the ground truth under the
+/// three metrics the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quality {
+    /// Mean DTW distance.
+    pub dtw: f64,
+    /// Mean string edit distance.
+    pub sed: f64,
+    /// Mean (padded) Euclidean distance.
+    pub euclidean: f64,
+}
+
+/// Ground-truth essential shapes of the Symbols-like classes: the noiseless
+/// class templates after z-scoring and Compressive SAX.
+pub fn symbols_ground_truth(params: &SaxParams) -> Vec<SymbolSeq> {
+    (0..SYMBOLS_CLASSES)
+        .map(|class| template_shape(symbols_template(class).sample(SYMBOLS_LEN), params))
+        .collect()
+}
+
+/// Ground-truth essential shapes of the Trace-like classes.
+pub fn trace_ground_truth(params: &SaxParams) -> Vec<SymbolSeq> {
+    (0..TRACE_CLASSES)
+        .map(|class| template_shape(trace_template(class).sample(TRACE_LEN), params))
+        .collect()
+}
+
+fn template_shape(raw: Vec<f64>, params: &SaxParams) -> SymbolSeq {
+    let z = TimeSeries::new(raw).expect("templates are finite").z_normalized();
+    compressive_sax(z.values(), params)
+}
+
+/// Compressive-SAX representation of an arbitrary numeric series (used to
+/// symbolize KMeans/KShape centers for Tables III/IV, as the paper does).
+pub fn series_shape(values: &[f64], params: &SaxParams) -> SymbolSeq {
+    let z = TimeSeries::new(values.to_vec())
+        .expect("finite center values")
+        .z_normalized();
+    compressive_sax(z.values(), params)
+}
+
+/// Measures extraction quality: every ground-truth shape is paired with its
+/// nearest extracted shape (nearest by each metric's own distance, reuse
+/// allowed), and the pair distances are averaged. Missing or badly wrong
+/// shapes therefore inflate the averages instead of being silently skipped.
+///
+/// Returns `None` when nothing was extracted.
+pub fn shape_quality(extracted: &[SymbolSeq], ground_truth: &[SymbolSeq]) -> Option<Quality> {
+    if extracted.is_empty() || ground_truth.is_empty() {
+        return None;
+    }
+    let mean_min = |kind: DistanceKind| -> f64 {
+        ground_truth
+            .iter()
+            .map(|gt| {
+                extracted
+                    .iter()
+                    .map(|e| kind.dist(gt, e))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum::<f64>()
+            / ground_truth.len() as f64
+    };
+    Some(Quality {
+        dtw: mean_min(DistanceKind::Dtw),
+        sed: mean_min(DistanceKind::Sed),
+        euclidean: mean_min(DistanceKind::Euclidean),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_shapes_are_distinct_and_compressed() {
+        let params = SaxParams::new(25, 6).unwrap();
+        let shapes = symbols_ground_truth(&params);
+        assert_eq!(shapes.len(), 6);
+        for (i, a) in shapes.iter().enumerate() {
+            assert!(privshape_timeseries::is_compressed(a));
+            for b in shapes.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        let trace = trace_ground_truth(&SaxParams::new(10, 4).unwrap());
+        assert_eq!(trace.len(), 3);
+    }
+
+    #[test]
+    fn perfect_extraction_scores_zero() {
+        let params = SaxParams::new(10, 4).unwrap();
+        let gt = trace_ground_truth(&params);
+        let q = shape_quality(&gt, &gt).unwrap();
+        assert_eq!(q.dtw, 0.0);
+        assert_eq!(q.sed, 0.0);
+        assert_eq!(q.euclidean, 0.0);
+    }
+
+    #[test]
+    fn worse_extraction_scores_higher() {
+        let params = SaxParams::new(10, 4).unwrap();
+        let gt = trace_ground_truth(&params);
+        let junk: Vec<SymbolSeq> = vec![SymbolSeq::parse("dadadada").unwrap()];
+        let good = shape_quality(&gt, &gt).unwrap();
+        let bad = shape_quality(&junk, &gt).unwrap();
+        assert!(bad.dtw > good.dtw);
+        assert!(bad.sed > good.sed);
+    }
+
+    #[test]
+    fn missing_extraction_is_none() {
+        let params = SaxParams::new(10, 4).unwrap();
+        let gt = trace_ground_truth(&params);
+        assert!(shape_quality(&[], &gt).is_none());
+    }
+
+    #[test]
+    fn series_shape_symbolizes_centers() {
+        let params = SaxParams::new(5, 3).unwrap();
+        let mut center = vec![-1.0; 20];
+        center.extend(vec![1.0; 20]);
+        assert_eq!(series_shape(&center, &params).to_string(), "ac");
+    }
+}

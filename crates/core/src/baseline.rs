@@ -1,0 +1,313 @@
+//! The baseline mechanism (Algorithm 1, §III).
+//!
+//! Users are split into Pa (length estimation) and Pb (trie expansion, one
+//! sub-group per level). Every frontier node expands to all `t − 1`
+//! children; candidates are pruned by the absolute frequency threshold `N`
+//! *after* each level's estimation, and the final output is the top-k most
+//! frequent leaves (no two-level refinement, no similarity suppression —
+//! those are PrivShape's additions).
+
+use crate::config::BaselineConfig;
+use crate::error::{Error, Result};
+use crate::expand::select_candidates;
+use crate::length::estimate_length;
+use crate::par;
+use crate::population::split_rounds;
+use crate::refine::refine_labeled;
+use crate::report::{ClassShapes, Diagnostics, ExtractedShape, Extraction, LabeledExtraction};
+use crate::rng::{user_rng, Stage};
+use crate::transform::transform_population;
+use privshape_timeseries::{SymbolSeq, TimeSeries};
+use privshape_trie::ShapeTrie;
+use rand::RngExt;
+use std::time::Instant;
+
+/// Expansion output for the unlabeled run: the pruned trie, the users'
+/// transformed sequences, the per-level user groups, and diagnostics.
+type ExpandedTrie = (ShapeTrie, Vec<SymbolSeq>, Vec<Vec<usize>>, Diagnostics);
+
+/// Expansion output for the labeled run: as [`ExpandedTrie`] but with the
+/// reserved label-round user group instead of the per-level groups.
+type LabeledExpandedTrie = (ShapeTrie, Vec<SymbolSeq>, Vec<usize>, Diagnostics);
+
+/// The baseline mechanism.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    config: BaselineConfig,
+}
+
+impl Baseline {
+    /// Creates the mechanism after validating the configuration.
+    pub fn new(config: BaselineConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BaselineConfig {
+        &self.config
+    }
+
+    /// Extracts the top-k frequent shapes from the users' series.
+    pub fn run(&self, series: &[TimeSeries]) -> Result<Extraction> {
+        let started = Instant::now();
+        let (trie, seqs, groups, mut diagnostics) = self.expand_trie(series)?;
+        let _ = seqs;
+        let _ = groups;
+        let shapes: Vec<ExtractedShape> = trie
+            .leaves_by_freq()
+            .into_iter()
+            .take(self.config.k)
+            .map(|(_, shape, frequency)| ExtractedShape { shape, frequency })
+            .collect();
+        diagnostics.elapsed = started.elapsed();
+        Ok(Extraction { shapes, diagnostics })
+    }
+
+    /// Classification variant: appends one extra user round that reports
+    /// `(nearest top-k leaf, class label)` through OUE, mirroring the
+    /// labeled refinement the paper adds to PrivShape in §V-E (the baseline
+    /// otherwise has no user group left to estimate labels from).
+    pub fn run_labeled(
+        &self,
+        series: &[TimeSeries],
+        labels: &[usize],
+    ) -> Result<LabeledExtraction> {
+        if labels.len() != series.len() {
+            return Err(Error::BadLabels(format!(
+                "{} labels for {} series",
+                labels.len(),
+                series.len()
+            )));
+        }
+        let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let started = Instant::now();
+        let (trie, seqs, label_group, mut diagnostics) =
+            self.expand_trie_reserving_label_round(series)?;
+
+        let leaf_candidates: Vec<SymbolSeq> = trie
+            .leaves_by_freq()
+            .into_iter()
+            .take(self.config.k.max(n_classes))
+            .map(|(_, shape, _)| shape)
+            .collect();
+        let freqs = refine_labeled(
+            &seqs,
+            labels,
+            &label_group,
+            &leaf_candidates,
+            n_classes,
+            self.config.distance,
+            self.config.epsilon,
+            self.config.seed,
+            par::resolve_threads(self.config.threads),
+        )?;
+
+        let classes = freqs
+            .into_iter()
+            .enumerate()
+            .map(|(label, class_freqs)| {
+                let mut shapes: Vec<ExtractedShape> = leaf_candidates
+                    .iter()
+                    .zip(&class_freqs)
+                    .map(|(shape, &frequency)| ExtractedShape { shape: shape.clone(), frequency })
+                    .collect();
+                shapes.sort_by(|a, b| {
+                    b.frequency.partial_cmp(&a.frequency).expect("finite frequencies")
+                });
+                shapes.truncate(self.config.k);
+                ClassShapes { label, shapes }
+            })
+            .collect();
+        diagnostics.elapsed = started.elapsed();
+        Ok(LabeledExtraction { classes, diagnostics })
+    }
+
+    /// Shared pipeline: preprocessing, population split, length estimation,
+    /// and threshold-pruned trie expansion over `rounds` user groups.
+    fn expand_trie(&self, series: &[TimeSeries]) -> Result<ExpandedTrie> {
+        self.expand_trie_inner(series, false).map(|(t, s, rounds, _, d)| (t, s, rounds, d))
+    }
+
+    fn expand_trie_reserving_label_round(
+        &self,
+        series: &[TimeSeries],
+    ) -> Result<LabeledExpandedTrie> {
+        self.expand_trie_inner(series, true).map(|(t, s, _, label_group, d)| (t, s, label_group, d))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn expand_trie_inner(
+        &self,
+        series: &[TimeSeries],
+        reserve_label_round: bool,
+    ) -> Result<(ShapeTrie, Vec<SymbolSeq>, Vec<Vec<usize>>, Vec<usize>, Diagnostics)> {
+        if series.is_empty() {
+            return Err(Error::NotEnoughUsers { needed: 1, got: 0 });
+        }
+        let cfg = &self.config;
+        let threads = par::resolve_threads(cfg.threads);
+        let alphabet = cfg.preprocessing.alphabet(&cfg.sax);
+        let seqs = transform_population(series, &cfg.sax, &cfg.preprocessing, threads);
+
+        // Split into Pa ∪ Pb with a seeded shuffle.
+        let n = seqs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = user_rng(cfg.seed, Stage::Server, 1);
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let na = ((n as f64) * cfg.pa).round() as usize;
+        let (pa, pb) = order.split_at(na.min(n));
+
+        let ell_s = estimate_length(
+            &seqs,
+            pa,
+            cfg.length_range,
+            cfg.epsilon,
+            cfg.seed,
+            threads,
+        )?;
+
+        let total_rounds = ell_s + usize::from(reserve_label_round);
+        let mut rounds = split_rounds(pb, total_rounds);
+        let label_group = if reserve_label_round {
+            rounds.pop().expect("total_rounds >= 1")
+        } else {
+            Vec::new()
+        };
+
+        let mut trie = ShapeTrie::new(alphabet)?;
+        let mut candidates_per_level = Vec::with_capacity(ell_s);
+        for level in 1..=ell_s {
+            trie.expand_next_level(None);
+            let candidates = trie.candidates(level)?;
+            let cand_seqs: Vec<SymbolSeq> =
+                candidates.iter().map(|(_, s)| s.clone()).collect();
+            let counts = select_candidates(
+                &seqs,
+                &rounds[level - 1],
+                &cand_seqs,
+                cfg.distance,
+                Some(level),
+                cfg.epsilon,
+                cfg.seed,
+                threads,
+            )?;
+            for ((id, _), count) in candidates.iter().zip(counts) {
+                trie.set_freq(*id, count);
+            }
+            trie.prune_threshold(level, cfg.prune_threshold)?;
+            candidates_per_level.push(trie.live_nodes(level)?.len());
+        }
+
+        let diagnostics = Diagnostics {
+            ell_s,
+            candidates_per_level,
+            trie_nodes: trie.node_count(),
+            group_sizes: [pa.len(), pb.len(), 0, 0],
+            elapsed: Default::default(),
+        };
+        Ok((trie, seqs, rounds, label_group, diagnostics))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privshape_distance::DistanceKind;
+    use privshape_ldp::Epsilon;
+    use privshape_timeseries::SaxParams;
+
+    /// A population where 2/3 of users trace shape "acb"-ish and 1/3 trace
+    /// "cab"-ish, at the raw series level.
+    fn planted_population(n: usize) -> Vec<TimeSeries> {
+        (0..n)
+            .map(|i| {
+                let (a, b, c) = if i % 3 < 2 { (-1.0, 1.5, 0.0) } else { (1.5, -1.0, 0.2) };
+                let mut v = Vec::with_capacity(60);
+                v.extend(std::iter::repeat_n(a, 20));
+                v.extend(std::iter::repeat_n(b, 20));
+                v.extend(std::iter::repeat_n(c, 20));
+                // Tiny deterministic jitter so series are not all identical.
+                let jitter = (i % 7) as f64 * 1e-3;
+                TimeSeries::new(v.into_iter().map(|x| x + jitter).collect()).unwrap()
+            })
+            .collect()
+    }
+
+    fn config(eps: f64, n_users: usize) -> BaselineConfig {
+        let mut cfg = BaselineConfig::new(
+            Epsilon::new(eps).unwrap(),
+            2,
+            SaxParams::new(10, 3).unwrap(),
+        );
+        cfg.length_range = (1, 6);
+        cfg.distance = DistanceKind::Sed;
+        // The paper's N = 100 assumes 40 000 users; scale proportionally.
+        cfg.prune_threshold = 100.0 * (n_users as f64) / 40_000.0;
+        cfg
+    }
+
+    #[test]
+    fn recovers_planted_majority_shape() {
+        let series = planted_population(3000);
+        let mech = Baseline::new(config(8.0, 3000)).unwrap();
+        let out = mech.run(&series).unwrap();
+        assert!(!out.shapes.is_empty());
+        let top = out.shapes[0].shape.to_string();
+        assert_eq!(top, "acb", "shapes: {:?}", out.shapes);
+        assert_eq!(out.diagnostics.ell_s, 3);
+    }
+
+    #[test]
+    fn diagnostics_are_populated() {
+        let series = planted_population(1000);
+        let mech = Baseline::new(config(4.0, 1000)).unwrap();
+        let out = mech.run(&series).unwrap();
+        let d = &out.diagnostics;
+        assert_eq!(d.candidates_per_level.len(), d.ell_s);
+        assert!(d.trie_nodes > 0);
+        assert_eq!(d.group_sizes[0], 20); // 2% of 1000
+        assert!(d.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn empty_population_is_rejected() {
+        let mech = Baseline::new(config(1.0, 100)).unwrap();
+        assert!(matches!(mech.run(&[]), Err(Error::NotEnoughUsers { .. })));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let series = planted_population(600);
+        let mech = Baseline::new(config(2.0, 600)).unwrap();
+        let a = mech.run(&series).unwrap();
+        let b = mech.run(&series).unwrap();
+        assert_eq!(a.shapes, b.shapes);
+    }
+
+    #[test]
+    fn labeled_run_attaches_class_shapes() {
+        let series = planted_population(4000);
+        let labels: Vec<usize> = (0..4000).map(|i| usize::from(i % 3 >= 2)).collect();
+        let mech = Baseline::new(config(8.0, 4000)).unwrap();
+        let out = mech.run_labeled(&series, &labels).unwrap();
+        assert_eq!(out.classes.len(), 2);
+        let top0 = &out.classes[0].shapes[0].shape.to_string();
+        let top1 = &out.classes[1].shapes[0].shape.to_string();
+        assert_eq!(top0, "acb", "class 0 shapes: {:?}", out.classes[0].shapes);
+        assert_eq!(top1, "cab", "class 1 shapes: {:?}", out.classes[1].shapes);
+    }
+
+    #[test]
+    fn labeled_rejects_mismatched_labels() {
+        let series = planted_population(10);
+        let mech = Baseline::new(config(1.0, 10)).unwrap();
+        assert!(matches!(
+            mech.run_labeled(&series, &[0, 1]),
+            Err(Error::BadLabels(_))
+        ));
+    }
+}

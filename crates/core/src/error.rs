@@ -1,0 +1,93 @@
+use privshape_ldp::LdpError;
+use privshape_timeseries::TsError;
+use privshape_trie::TrieError;
+use std::fmt;
+
+/// Convenience alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the PrivShape mechanisms.
+#[derive(Debug)]
+pub enum Error {
+    /// A configuration field failed validation.
+    InvalidConfig(String),
+    /// The mechanism needs more users than were provided.
+    NotEnoughUsers { needed: usize, got: usize },
+    /// Labels were required (classification variant) but missing/mismatched.
+    BadLabels(String),
+    /// Propagated time-series error.
+    Ts(TsError),
+    /// Propagated LDP-primitive error.
+    Ldp(LdpError),
+    /// Propagated trie error.
+    Trie(TrieError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::NotEnoughUsers { needed, got } => {
+                write!(f, "mechanism needs at least {needed} users, got {got}")
+            }
+            Error::BadLabels(msg) => write!(f, "bad labels: {msg}"),
+            Error::Ts(e) => write!(f, "time series error: {e}"),
+            Error::Ldp(e) => write!(f, "LDP error: {e}"),
+            Error::Trie(e) => write!(f, "trie error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Ts(e) => Some(e),
+            Error::Ldp(e) => Some(e),
+            Error::Trie(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TsError> for Error {
+    fn from(e: TsError) -> Self {
+        Error::Ts(e)
+    }
+}
+
+impl From<LdpError> for Error {
+    fn from(e: LdpError) -> Self {
+        Error::Ldp(e)
+    }
+}
+
+impl From<TrieError> for Error {
+    fn from(e: TrieError) -> Self {
+        Error::Trie(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(Error::InvalidConfig("k = 0".into()).to_string().contains("k = 0"));
+        assert!(Error::NotEnoughUsers { needed: 10, got: 2 }.to_string().contains("10"));
+        let e: Error = TsError::EmptySeries.into();
+        assert!(e.to_string().contains("time series"));
+        let e: Error = LdpError::InvalidEpsilon(0.0).into();
+        assert!(e.to_string().contains("LDP"));
+        let e: Error = TrieError::InvalidAlphabet(1).into();
+        assert!(e.to_string().contains("trie"));
+    }
+
+    #[test]
+    fn sources_are_preserved() {
+        use std::error::Error as _;
+        let e: Error = TsError::EmptySeries.into();
+        assert!(e.source().is_some());
+        assert!(Error::InvalidConfig("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,173 @@
+//! One round of candidate frequency estimation during trie expansion
+//! (Algorithm 1 lines 7–9 / Algorithm 2 lines 8–10).
+//!
+//! The server sends the current level's candidate shapes to that level's
+//! user group; each user scores every candidate against their own sequence
+//! prefix, selects one with the Exponential Mechanism (Eq. (2)) under the
+//! full budget ε, and uploads the selection. The selection counts are the
+//! level's estimated frequencies.
+
+use crate::error::Result;
+use crate::par;
+use crate::rng::{user_rng, Stage};
+use privshape_distance::{em_score, DistanceKind};
+use privshape_ldp::{Epsilon, ExpMech};
+use privshape_timeseries::SymbolSeq;
+
+/// Collects EM selections of `candidates` from the users in `group` and
+/// returns per-candidate counts.
+///
+/// `prefix_len` clips each user's sequence before scoring: during level-ℓ
+/// expansion candidates have length ℓ, so users compare their length-ℓ
+/// prefix (`Some(ℓ)`); the final refinement scores full sequences (`None`).
+// The argument list mirrors Eq. (2)'s inputs; a params struct would
+// obscure the correspondence with the paper.
+#[allow(clippy::too_many_arguments)]
+pub fn select_candidates(
+    seqs: &[SymbolSeq],
+    group: &[usize],
+    candidates: &[SymbolSeq],
+    distance: DistanceKind,
+    prefix_len: Option<usize>,
+    eps: Epsilon,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<f64>> {
+    if candidates.is_empty() {
+        return Ok(Vec::new());
+    }
+    let em = ExpMech::new(eps);
+
+    let selections = par::map_indexed(group.len(), threads, |i| {
+        let user = group[i];
+        let own = match prefix_len {
+            Some(len) => seqs[user].prefix(len),
+            None => seqs[user].clone(),
+        };
+        let scores: Vec<f64> =
+            candidates.iter().map(|c| em_score(distance.dist(&own, c))).collect();
+        let mut rng = user_rng(seed, Stage::Expand, user);
+        em.select(&mut rng, &scores).expect("candidates checked non-empty")
+    });
+
+    let mut counts = vec![0.0; candidates.len()];
+    for sel in selections {
+        counts[sel] += 1.0;
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn seqs_of(strs: &[&str]) -> Vec<SymbolSeq> {
+        strs.iter().map(|s| SymbolSeq::parse(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn counts_concentrate_on_matching_candidate() {
+        let seqs: Vec<SymbolSeq> =
+            (0..3000).map(|_| SymbolSeq::parse("acb").unwrap()).collect();
+        let group: Vec<usize> = (0..3000).collect();
+        let candidates = seqs_of(&["ab", "ac", "ba", "ca"]);
+        let counts = select_candidates(
+            &seqs,
+            &group,
+            &candidates,
+            DistanceKind::Sed,
+            Some(2),
+            eps(4.0),
+            1,
+            2,
+        )
+        .unwrap();
+        // Users' prefix "ac" matches candidate 1 exactly.
+        let best = counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 1, "counts={counts:?}");
+        assert_eq!(counts.iter().sum::<f64>(), 3000.0);
+    }
+
+    #[test]
+    fn low_budget_flattens_selections() {
+        let seqs: Vec<SymbolSeq> =
+            (0..4000).map(|_| SymbolSeq::parse("ab").unwrap()).collect();
+        let group: Vec<usize> = (0..4000).collect();
+        let candidates = seqs_of(&["ab", "ba"]);
+        let strong = select_candidates(
+            &seqs, &group, &candidates, DistanceKind::Sed, Some(2), eps(8.0), 1, 2,
+        )
+        .unwrap();
+        let weak = select_candidates(
+            &seqs, &group, &candidates, DistanceKind::Sed, Some(2), eps(0.1), 1, 2,
+        )
+        .unwrap();
+        let strong_frac = strong[0] / 4000.0;
+        let weak_frac = weak[0] / 4000.0;
+        assert!(strong_frac > 0.8, "strong={strong_frac}");
+        assert!((weak_frac - 0.5).abs() < 0.1, "weak={weak_frac}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let seqs = seqs_of(&["ab"]);
+        let counts = select_candidates(
+            &seqs, &[0], &[], DistanceKind::Dtw, None, eps(1.0), 0, 1,
+        )
+        .unwrap();
+        assert!(counts.is_empty());
+        let counts = select_candidates(
+            &seqs,
+            &[],
+            &seqs_of(&["ab"]),
+            DistanceKind::Dtw,
+            None,
+            eps(1.0),
+            0,
+            1,
+        )
+        .unwrap();
+        assert_eq!(counts, vec![0.0]);
+    }
+
+    #[test]
+    fn full_sequence_scoring_when_prefix_is_none() {
+        // Users hold "abab"; with prefix None, candidate "abab" wins over
+        // "ab" under SED.
+        let seqs: Vec<SymbolSeq> =
+            (0..2000).map(|_| SymbolSeq::parse("abab").unwrap()).collect();
+        let group: Vec<usize> = (0..2000).collect();
+        let candidates = seqs_of(&["ab", "abab"]);
+        let counts = select_candidates(
+            &seqs, &group, &candidates, DistanceKind::Sed, None, eps(4.0), 2, 2,
+        )
+        .unwrap();
+        assert!(counts[1] > counts[0], "{counts:?}");
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let seqs: Vec<SymbolSeq> =
+            (0..600).map(|i| if i % 2 == 0 { SymbolSeq::parse("ab").unwrap() } else { SymbolSeq::parse("ba").unwrap() }).collect();
+        let group: Vec<usize> = (0..600).collect();
+        let candidates = seqs_of(&["ab", "ba", "ac"]);
+        let a = select_candidates(
+            &seqs, &group, &candidates, DistanceKind::Dtw, Some(2), eps(1.0), 5, 1,
+        )
+        .unwrap();
+        let b = select_candidates(
+            &seqs, &group, &candidates, DistanceKind::Dtw, Some(2), eps(1.0), 5, 8,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+}

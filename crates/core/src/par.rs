@@ -1,0 +1,62 @@
+//! Deterministic fork/join over user populations (crossbeam scoped
+//! threads). Outputs land in per-index slots, so results are identical for
+//! any thread count.
+
+/// Applies `f` to each index in `0..n` using up to `threads` workers.
+pub(crate) fn map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 || n < 64 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (chunk_idx, slots) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                let base = chunk_idx * chunk;
+                for (offset, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(base + offset));
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    out.into_iter().map(|slot| slot.expect("all slots filled")).collect()
+}
+
+/// Default worker count: available parallelism, capped.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+}
+
+/// Resolves a configured thread count (0 ⇒ auto).
+pub(crate) fn resolve_threads(configured: usize) -> usize {
+    if configured == 0 {
+        default_threads()
+    } else {
+        configured
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let a = map_indexed(500, 4, |i| i * 3);
+        let b: Vec<usize> = (0..500).map(|i| i * 3).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resolve_zero_is_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

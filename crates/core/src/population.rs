@@ -1,0 +1,132 @@
+//! Deterministic partitioning of the user population across mechanism
+//! stages. Disjointness is what makes parallel composition (and thus the
+//! full-ε-per-user guarantee) go through.
+
+use crate::config::PopulationSplit;
+use crate::rng::{user_rng, Stage};
+use rand::RngExt;
+
+/// The four disjoint user groups of PrivShape (global user indices).
+#[derive(Debug, Clone)]
+pub struct Groups {
+    /// Length estimation.
+    pub pa: Vec<usize>,
+    /// Sub-shape estimation.
+    pub pb: Vec<usize>,
+    /// Trie expansion.
+    pub pc: Vec<usize>,
+    /// Two-level refinement.
+    pub pd: Vec<usize>,
+}
+
+/// Splits `n` users into the four groups with a seeded Fisher–Yates
+/// shuffle. Group sizes are `round(n·fraction)`, adjusted so they never
+/// exceed `n` in total; any rounding slack goes to the largest group (Pc).
+pub fn split_population(n: usize, split: &PopulationSplit, seed: u64) -> Groups {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = user_rng(seed, Stage::Server, 0);
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+
+    let na = ((n as f64) * split.pa).round() as usize;
+    let nb = ((n as f64) * split.pb).round() as usize;
+    let nd = ((n as f64) * split.pd).round() as usize;
+    // Everything else (including rounding slack within the configured
+    // total) goes to trie expansion.
+    let used = (na + nb + nd).min(n);
+    let total_frac = (split.pa + split.pb + split.pc + split.pd).min(1.0);
+    let n_total = ((n as f64) * total_frac).round() as usize;
+    let nc = n_total.saturating_sub(used);
+
+    let mut cursor = order.into_iter();
+    let pa: Vec<usize> = cursor.by_ref().take(na).collect();
+    let pb: Vec<usize> = cursor.by_ref().take(nb).collect();
+    let pc: Vec<usize> = cursor.by_ref().take(nc).collect();
+    let pd: Vec<usize> = cursor.by_ref().take(nd).collect();
+    Groups { pa, pb, pc, pd }
+}
+
+/// Splits a group into `rounds` near-equal chunks (one per trie level); the
+/// paper's `|P|/ℓ_S` users per level. Earlier chunks get the remainder.
+pub fn split_rounds(group: &[usize], rounds: usize) -> Vec<Vec<usize>> {
+    assert!(rounds >= 1, "need at least one round");
+    let base = group.len() / rounds;
+    let extra = group.len() % rounds;
+    let mut out = Vec::with_capacity(rounds);
+    let mut at = 0;
+    for r in 0..rounds {
+        let take = base + usize::from(r < extra);
+        out.push(group[at..at + take].to_vec());
+        at += take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_are_disjoint_and_sized() {
+        let split = PopulationSplit::default();
+        let g = split_population(10_000, &split, 7);
+        assert_eq!(g.pa.len(), 200);
+        assert_eq!(g.pb.len(), 800);
+        assert_eq!(g.pd.len(), 2000);
+        assert_eq!(g.pc.len(), 7000);
+        let mut all: Vec<usize> =
+            g.pa.iter().chain(&g.pb).chain(&g.pc).chain(&g.pd).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 10_000);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        let split = PopulationSplit::default();
+        let a = split_population(1000, &split, 1);
+        let b = split_population(1000, &split, 1);
+        assert_eq!(a.pa, b.pa);
+        assert_eq!(a.pc, b.pc);
+        let c = split_population(1000, &split, 2);
+        assert_ne!(a.pa, c.pa);
+    }
+
+    #[test]
+    fn partial_usage_leaves_users_out() {
+        let split = PopulationSplit { pa: 0.1, pb: 0.1, pc: 0.1, pd: 0.1 };
+        let g = split_population(100, &split, 0);
+        assert_eq!(g.pa.len() + g.pb.len() + g.pc.len() + g.pd.len(), 40);
+    }
+
+    #[test]
+    fn tiny_populations_do_not_panic() {
+        let split = PopulationSplit::default();
+        let g = split_population(3, &split, 0);
+        let total = g.pa.len() + g.pb.len() + g.pc.len() + g.pd.len();
+        assert!(total <= 3);
+        let g = split_population(0, &split, 0);
+        assert!(g.pa.is_empty() && g.pc.is_empty());
+    }
+
+    #[test]
+    fn rounds_cover_group_in_order() {
+        let group: Vec<usize> = (100..110).collect();
+        let rounds = split_rounds(&group, 3);
+        assert_eq!(rounds.len(), 3);
+        assert_eq!(rounds[0].len(), 4); // 10 = 4 + 3 + 3
+        assert_eq!(rounds[1].len(), 3);
+        assert_eq!(rounds[2].len(), 3);
+        let flat: Vec<usize> = rounds.concat();
+        assert_eq!(flat, group);
+    }
+
+    #[test]
+    fn rounds_with_more_rounds_than_users() {
+        let rounds = split_rounds(&[1, 2], 5);
+        assert_eq!(rounds.iter().filter(|r| !r.is_empty()).count(), 2);
+        assert_eq!(rounds.iter().map(|r| r.len()).sum::<usize>(), 2);
+    }
+}

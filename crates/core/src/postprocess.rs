@@ -1,0 +1,199 @@
+//! Similar-shape suppression (§IV-C): the final candidates are grouped into
+//! `k` clusters by their pairwise distance, and the most frequent member of
+//! each cluster is emitted. This prevents near-duplicates of one true shape
+//! from crowding out the other true shapes in the top-k.
+//!
+//! Clustering is a deterministic k-medoids (PAM-style): medoids start from
+//! the most frequent candidate and grow farthest-first, then alternate
+//! assignment/medoid-update until fixpoint.
+
+use privshape_distance::DistanceKind;
+use privshape_timeseries::SymbolSeq;
+
+/// Picks `k` mutually dissimilar shapes from `(candidate, frequency)`
+/// pairs, ordered by descending frequency.
+///
+/// When there are at most `k` candidates, all are returned (frequency
+/// sorted). Otherwise candidates are clustered into `k` groups and each
+/// group's most frequent member survives.
+pub fn select_distinct_top_k(
+    candidates: &[(SymbolSeq, f64)],
+    k: usize,
+    distance: DistanceKind,
+) -> Vec<(SymbolSeq, f64)> {
+    let mut out: Vec<(SymbolSeq, f64)>;
+    if candidates.len() <= k {
+        out = candidates.to_vec();
+    } else {
+        let labels = k_medoids(candidates, k, distance);
+        out = Vec::with_capacity(k);
+        for cluster in 0..k {
+            let best = candidates
+                .iter()
+                .zip(&labels)
+                .filter(|(_, &l)| l == cluster)
+                .map(|(c, _)| c)
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite frequencies"));
+            if let Some(best) = best {
+                out.push(best.clone());
+            }
+        }
+    }
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite frequencies"));
+    out
+}
+
+/// Deterministic k-medoids over the candidates; returns per-candidate
+/// cluster labels in `[0, k)`.
+fn k_medoids(candidates: &[(SymbolSeq, f64)], k: usize, distance: DistanceKind) -> Vec<usize> {
+    let n = candidates.len();
+    debug_assert!(k >= 1 && k < n);
+
+    // Pairwise distance matrix (n ≤ c·k, tiny).
+    let mut dist = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = distance.dist(&candidates[i].0, &candidates[j].0);
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+
+    // Seed: most frequent candidate, then farthest-first.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    let first = (0..n)
+        .max_by(|&a, &b| {
+            candidates[a]
+                .1
+                .partial_cmp(&candidates[b].1)
+                .expect("finite frequencies")
+                .then(b.cmp(&a))
+        })
+        .expect("non-empty candidates");
+    medoids.push(first);
+    while medoids.len() < k {
+        let next = (0..n)
+            .filter(|i| !medoids.contains(i))
+            .max_by(|&a, &b| {
+                let da = medoids.iter().map(|&m| dist[a][m]).fold(f64::INFINITY, f64::min);
+                let db = medoids.iter().map(|&m| dist[b][m]).fold(f64::INFINITY, f64::min);
+                da.partial_cmp(&db).expect("finite distances").then(b.cmp(&a))
+            })
+            .expect("k < n leaves unpicked candidates");
+        medoids.push(next);
+    }
+
+    let mut labels = vec![0usize; n];
+    for _ in 0..20 {
+        // Assignment.
+        for (i, label) in labels.iter_mut().enumerate() {
+            *label = medoids
+                .iter()
+                .enumerate()
+                .min_by(|(_, &ma), (_, &mb)| {
+                    dist[i][ma].partial_cmp(&dist[i][mb]).expect("finite").then(ma.cmp(&mb))
+                })
+                .map(|(c, _)| c)
+                .expect("k >= 1");
+        }
+        // Medoid update: member minimizing intra-cluster distance.
+        let mut changed = false;
+        for (c, medoid) in medoids.iter_mut().enumerate() {
+            let members: Vec<usize> =
+                (0..n).filter(|&i| labels[i] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let best = members
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let ca: f64 = members.iter().map(|&m| dist[a][m]).sum();
+                    let cb: f64 = members.iter().map(|&m| dist[b][m]).sum();
+                    ca.partial_cmp(&cb).expect("finite").then(a.cmp(&b))
+                })
+                .expect("members non-empty");
+            if best != *medoid {
+                *medoid = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(s: &str, f: f64) -> (SymbolSeq, f64) {
+        (SymbolSeq::parse(s).unwrap(), f)
+    }
+
+    #[test]
+    fn few_candidates_pass_through_sorted() {
+        let cands = vec![cand("ab", 1.0), cand("ba", 5.0)];
+        let out = select_distinct_top_k(&cands, 3, DistanceKind::Sed);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0.to_string(), "ba");
+    }
+
+    #[test]
+    fn near_duplicates_collapse_to_one_representative() {
+        // Two families: {abab-ish} and {cdcd-ish}. k = 2 must output one of
+        // each, not the two most frequent (which are both abab-ish).
+        let cands = vec![
+            cand("abab", 100.0),
+            cand("abad", 90.0), // near-duplicate of abab
+            cand("cdcd", 80.0),
+            cand("cdce", 10.0),
+        ];
+        let out = select_distinct_top_k(&cands, 2, DistanceKind::Sed);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0.to_string(), "abab");
+        assert_eq!(out[1].0.to_string(), "cdcd");
+    }
+
+    #[test]
+    fn output_is_frequency_sorted() {
+        let cands = vec![
+            cand("ab", 5.0),
+            cand("cd", 50.0),
+            cand("ef", 20.0),
+            cand("gh", 1.0),
+        ];
+        let out = select_distinct_top_k(&cands, 3, DistanceKind::Sed);
+        for w in out.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn k_one_returns_single_most_frequent() {
+        let cands = vec![cand("ab", 5.0), cand("cd", 50.0), cand("ef", 20.0)];
+        let out = select_distinct_top_k(&cands, 1, DistanceKind::Sed);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0.to_string(), "cd");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cands = vec![
+            cand("abab", 10.0),
+            cand("abba", 10.0),
+            cand("cdcd", 10.0),
+            cand("dcdc", 10.0),
+        ];
+        let a = select_distinct_top_k(&cands, 2, DistanceKind::Dtw);
+        let b = select_distinct_top_k(&cands, 2, DistanceKind::Dtw);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        assert!(select_distinct_top_k(&[], 3, DistanceKind::Sed).is_empty());
+    }
+}

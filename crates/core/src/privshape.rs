@@ -1,0 +1,360 @@
+//! PrivShape, the optimized mechanism (Algorithm 2, §IV).
+//!
+//! On top of the baseline's trie skeleton it adds:
+//!
+//! 1. **Sub-shape pruning** (§IV-B): a dedicated user group (Pb) estimates
+//!    the frequent bigrams of every level; trie expansion only follows
+//!    edges in a level's top-`c·k` bigram set, and candidates are pruned to
+//!    the top-`c·k` (no fragile absolute threshold).
+//! 2. **Two-level refinement** (§IV-C): the pruned leaves are re-estimated
+//!    from a fresh user group (Pd), whose reports are not biased by the
+//!    expansion path.
+//! 3. **Similar-shape suppression** (§IV-C): the final candidates are
+//!    clustered into `k` groups and one representative per group is output.
+
+use crate::config::PrivShapeConfig;
+use crate::error::{Error, Result};
+use crate::expand::select_candidates;
+use crate::length::estimate_length;
+use crate::par;
+use crate::population::{split_population, split_rounds, Groups};
+use crate::postprocess::select_distinct_top_k;
+use crate::refine::{refine_labeled, refine_unlabeled};
+use crate::report::{ClassShapes, Diagnostics, ExtractedShape, Extraction, LabeledExtraction};
+use crate::subshape::estimate_subshapes;
+use crate::transform::transform_population;
+use privshape_timeseries::{SymbolSeq, TimeSeries};
+use privshape_trie::{BigramSet, ShapeTrie};
+use std::time::Instant;
+
+/// The PrivShape mechanism.
+#[derive(Debug, Clone)]
+pub struct PrivShape {
+    config: PrivShapeConfig,
+}
+
+impl PrivShape {
+    /// Creates the mechanism after validating the configuration.
+    pub fn new(config: PrivShapeConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PrivShapeConfig {
+        &self.config
+    }
+
+    /// Extracts the top-k frequent shapes (clustering-oriented output).
+    pub fn run(&self, series: &[TimeSeries]) -> Result<Extraction> {
+        let started = Instant::now();
+        let state = self.expand(series)?;
+        let threads = par::resolve_threads(self.config.threads);
+
+        // Two-level refinement: re-estimate the (already ≤ c·k) leaves from
+        // the reserved population Pd, scoring full sequences.
+        let leaf_seqs: Vec<SymbolSeq> =
+            state.trie.leaves_by_freq().into_iter().map(|(_, s, _)| s).collect();
+        let refined = refine_unlabeled(
+            &state.seqs,
+            &state.groups.pd,
+            &leaf_seqs,
+            self.config.distance,
+            self.config.epsilon,
+            self.config.seed,
+            threads,
+        )?;
+        let candidates: Vec<(SymbolSeq, f64)> =
+            leaf_seqs.into_iter().zip(refined).collect();
+
+        // Post-processing: suppress similar shapes, keep k distinct ones.
+        let shapes = select_distinct_top_k(&candidates, self.config.k, self.config.distance)
+            .into_iter()
+            .map(|(shape, frequency)| ExtractedShape { shape, frequency })
+            .collect();
+
+        let mut diagnostics = state.diagnostics;
+        diagnostics.elapsed = started.elapsed();
+        Ok(Extraction { shapes, diagnostics })
+    }
+
+    /// Classification variant (§V-E): the refinement reports go through OUE
+    /// over the `c·k × L` candidate/label grid, yielding per-class shapes.
+    pub fn run_labeled(
+        &self,
+        series: &[TimeSeries],
+        labels: &[usize],
+    ) -> Result<LabeledExtraction> {
+        if labels.len() != series.len() {
+            return Err(Error::BadLabels(format!(
+                "{} labels for {} series",
+                labels.len(),
+                series.len()
+            )));
+        }
+        let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let started = Instant::now();
+        let state = self.expand(series)?;
+        let threads = par::resolve_threads(self.config.threads);
+
+        let leaf_seqs: Vec<SymbolSeq> =
+            state.trie.leaves_by_freq().into_iter().map(|(_, s, _)| s).collect();
+        let freqs = refine_labeled(
+            &state.seqs,
+            labels,
+            &state.groups.pd,
+            &leaf_seqs,
+            n_classes,
+            self.config.distance,
+            self.config.epsilon,
+            self.config.seed,
+            threads,
+        )?;
+
+        let classes = freqs
+            .into_iter()
+            .enumerate()
+            .map(|(label, class_freqs)| {
+                let candidates: Vec<(SymbolSeq, f64)> =
+                    leaf_seqs.iter().cloned().zip(class_freqs).collect();
+                // Per class, suppress similar shapes then keep the top-k.
+                let shapes =
+                    select_distinct_top_k(&candidates, self.config.k, self.config.distance)
+                        .into_iter()
+                        .map(|(shape, frequency)| ExtractedShape { shape, frequency })
+                        .collect();
+                ClassShapes { label, shapes }
+            })
+            .collect();
+
+        let mut diagnostics = state.diagnostics;
+        diagnostics.elapsed = started.elapsed();
+        Ok(LabeledExtraction { classes, diagnostics })
+    }
+
+    /// Stages 1–3: preprocessing, population split, length estimation,
+    /// sub-shape estimation, and pruned trie expansion.
+    fn expand(&self, series: &[TimeSeries]) -> Result<ExpandState> {
+        if series.is_empty() {
+            return Err(Error::NotEnoughUsers { needed: 1, got: 0 });
+        }
+        let cfg = &self.config;
+        let threads = par::resolve_threads(cfg.threads);
+        let alphabet = cfg.preprocessing.alphabet(&cfg.sax);
+        let top_m = cfg.c * cfg.k;
+
+        let seqs = transform_population(series, &cfg.sax, &cfg.preprocessing, threads);
+        let groups = split_population(seqs.len(), &cfg.split, cfg.seed);
+
+        let ell_s = estimate_length(
+            &seqs,
+            &groups.pa,
+            cfg.length_range,
+            cfg.epsilon,
+            cfg.seed,
+            threads,
+        )?;
+
+        let bigram_sets = estimate_subshapes(
+            &seqs,
+            &groups.pb,
+            ell_s,
+            alphabet,
+            top_m,
+            cfg.epsilon,
+            cfg.seed,
+            threads,
+        )?;
+
+        let rounds = split_rounds(&groups.pc, ell_s);
+        let mut trie = ShapeTrie::new(alphabet)?;
+        let mut candidates_per_level = Vec::with_capacity(ell_s);
+        for level in 1..=ell_s {
+            let allowed = if level == 1 {
+                None
+            } else {
+                let set = &bigram_sets[level - 2];
+                // Engineering fallback: if LDP noise produced a bigram set
+                // disjoint from the live frontier, expanding with it would
+                // dead-end the trie; fall back to unconstrained expansion
+                // for this level (DESIGN.md §2).
+                if frontier_has_allowed_edge(&trie, level - 1, set)? {
+                    Some(set)
+                } else {
+                    None
+                }
+            };
+            trie.expand_next_level(allowed);
+            let candidates = trie.candidates(level)?;
+            let cand_seqs: Vec<SymbolSeq> =
+                candidates.iter().map(|(_, s)| s.clone()).collect();
+            let counts = select_candidates(
+                &seqs,
+                &rounds[level - 1],
+                &cand_seqs,
+                cfg.distance,
+                Some(level),
+                cfg.epsilon,
+                cfg.seed,
+                threads,
+            )?;
+            for ((id, _), count) in candidates.iter().zip(counts) {
+                trie.set_freq(*id, count);
+            }
+            trie.prune_top_m(level, top_m)?;
+            candidates_per_level.push(trie.live_nodes(level)?.len());
+        }
+
+        let diagnostics = Diagnostics {
+            ell_s,
+            candidates_per_level,
+            trie_nodes: trie.node_count(),
+            group_sizes: [groups.pa.len(), groups.pb.len(), groups.pc.len(), groups.pd.len()],
+            elapsed: Default::default(),
+        };
+        Ok(ExpandState { trie, seqs, groups, diagnostics })
+    }
+}
+
+/// Intermediate state shared by the unlabeled and labeled runs.
+struct ExpandState {
+    trie: ShapeTrie,
+    seqs: Vec<SymbolSeq>,
+    groups: Groups,
+    diagnostics: Diagnostics,
+}
+
+/// Whether any live node at `level` has at least one outgoing edge in
+/// `set` — i.e. whether constrained expansion can make progress.
+fn frontier_has_allowed_edge(
+    trie: &ShapeTrie,
+    level: usize,
+    set: &BigramSet,
+) -> Result<bool> {
+    let alphabet = trie.alphabet();
+    for (_, shape) in trie.candidates(level)? {
+        if let Some(x) = shape.last() {
+            for y in 0..alphabet {
+                let y = privshape_timeseries::Symbol::from_index(y as u8);
+                if set.contains(x, y) {
+                    return Ok(true);
+                }
+            }
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privshape_distance::DistanceKind;
+    use privshape_ldp::Epsilon;
+    use privshape_timeseries::SaxParams;
+
+    /// Users trace one of two planted step shapes.
+    fn planted_population(n: usize) -> (Vec<TimeSeries>, Vec<usize>) {
+        let mut series = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = usize::from(i % 3 >= 2); // 2:1 class imbalance
+            let (a, b, c) = if class == 0 { (-1.0, 1.5, 0.0) } else { (1.5, -1.0, 0.2) };
+            let mut v = Vec::with_capacity(60);
+            v.extend(std::iter::repeat_n(a, 20));
+            v.extend(std::iter::repeat_n(b, 20));
+            v.extend(std::iter::repeat_n(c, 20));
+            let jitter = (i % 11) as f64 * 1e-3;
+            series.push(TimeSeries::new(v.into_iter().map(|x| x + jitter).collect()).unwrap());
+            labels.push(class);
+        }
+        (series, labels)
+    }
+
+    fn config(eps: f64) -> PrivShapeConfig {
+        let mut cfg = PrivShapeConfig::new(
+            Epsilon::new(eps).unwrap(),
+            2,
+            SaxParams::new(10, 3).unwrap(),
+        );
+        cfg.length_range = (1, 6);
+        cfg.distance = DistanceKind::Sed;
+        cfg
+    }
+
+    #[test]
+    fn recovers_both_planted_shapes() {
+        let (series, _) = planted_population(6000);
+        let mech = PrivShape::new(config(8.0)).unwrap();
+        let out = mech.run(&series).unwrap();
+        assert_eq!(out.shapes.len(), 2);
+        let found: Vec<String> =
+            out.shapes.iter().map(|s| s.shape.to_string()).collect();
+        assert!(found.contains(&"acb".to_string()), "{found:?}");
+        assert!(found.contains(&"cab".to_string()), "{found:?}");
+        // Majority shape ranks first.
+        assert_eq!(out.shapes[0].shape.to_string(), "acb");
+    }
+
+    #[test]
+    fn diagnostics_reflect_pruning() {
+        let (series, _) = planted_population(3000);
+        let mech = PrivShape::new(config(4.0)).unwrap();
+        let out = mech.run(&series).unwrap();
+        let d = &out.diagnostics;
+        assert_eq!(d.ell_s, 3);
+        assert_eq!(d.candidates_per_level.len(), 3);
+        // top-c·k pruning caps every level at 6 candidates.
+        assert!(d.candidates_per_level.iter().all(|&c| c <= 6), "{d:?}");
+        assert_eq!(d.group_sizes.iter().sum::<usize>(), 3000);
+        assert!(d.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn labeled_run_separates_classes() {
+        let (series, labels) = planted_population(8000);
+        let mech = PrivShape::new(config(8.0)).unwrap();
+        let out = mech.run_labeled(&series, &labels).unwrap();
+        assert_eq!(out.classes.len(), 2);
+        assert_eq!(out.classes[0].shapes[0].shape.to_string(), "acb");
+        assert_eq!(out.classes[1].shapes[0].shape.to_string(), "cab");
+        let protos = out.top_prototype_per_class();
+        assert_eq!(protos.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed_any_thread_count() {
+        let (series, _) = planted_population(1500);
+        let mut cfg = config(2.0);
+        cfg.threads = 1;
+        let a = PrivShape::new(cfg.clone()).unwrap().run(&series).unwrap();
+        cfg.threads = 8;
+        let b = PrivShape::new(cfg).unwrap().run(&series).unwrap();
+        assert_eq!(a.shapes, b.shapes);
+    }
+
+    #[test]
+    fn empty_population_rejected() {
+        let mech = PrivShape::new(config(1.0)).unwrap();
+        assert!(matches!(mech.run(&[]), Err(Error::NotEnoughUsers { .. })));
+    }
+
+    #[test]
+    fn mismatched_labels_rejected() {
+        let (series, _) = planted_population(10);
+        let mech = PrivShape::new(config(1.0)).unwrap();
+        assert!(matches!(
+            mech.run_labeled(&series, &[0]),
+            Err(Error::BadLabels(_))
+        ));
+    }
+
+    #[test]
+    fn tiny_population_degrades_gracefully() {
+        // 20 users is far below anything useful, but the mechanism must
+        // not panic or loop — it should produce *some* (noisy) output.
+        let (series, _) = planted_population(20);
+        let mech = PrivShape::new(config(1.0)).unwrap();
+        let out = mech.run(&series).unwrap();
+        assert!(out.shapes.len() <= 2);
+    }
+}

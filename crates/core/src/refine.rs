@@ -1,0 +1,201 @@
+//! Two-level refinement (§IV-C) — re-estimating the pruned leaf candidates
+//! from the reserved population Pd.
+//!
+//! * Unlabeled (clustering): each Pd user EM-selects among the ≤ c·k leaf
+//!   candidates using their *full* sequence; the counts replace the leaf
+//!   frequencies.
+//! * Labeled (classification, §V-E): each Pd user locally finds their
+//!   nearest candidate, combines it with their class label into one of
+//!   `c·k·L` cells, and reports the cell through OUE. The server unbiases
+//!   per-cell counts, giving per-class candidate frequencies.
+
+use crate::error::{Error, Result};
+use crate::expand::select_candidates;
+use crate::par;
+use crate::rng::{user_rng, Stage};
+use privshape_distance::DistanceKind;
+use privshape_ldp::{Epsilon, Oue, OueAggregator};
+use privshape_timeseries::SymbolSeq;
+
+/// Unlabeled refinement: fresh EM-based frequency estimates for
+/// `candidates` from the users in `group`.
+pub fn refine_unlabeled(
+    seqs: &[SymbolSeq],
+    group: &[usize],
+    candidates: &[SymbolSeq],
+    distance: DistanceKind,
+    eps: Epsilon,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<f64>> {
+    select_candidates(seqs, group, candidates, distance, None, eps, seed, threads)
+}
+
+/// Labeled refinement: per-class frequency estimates.
+///
+/// Returns `freqs[class][candidate]` (unbiased OUE estimates, may be
+/// negative). `labels` are global per-user labels in `[0, n_classes)`.
+// Mirrors the labeled refinement's inputs (candidates x labels grid).
+#[allow(clippy::too_many_arguments)]
+pub fn refine_labeled(
+    seqs: &[SymbolSeq],
+    labels: &[usize],
+    group: &[usize],
+    candidates: &[SymbolSeq],
+    n_classes: usize,
+    distance: DistanceKind,
+    eps: Epsilon,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<Vec<f64>>> {
+    if candidates.is_empty() {
+        return Ok(vec![Vec::new(); n_classes]);
+    }
+    if n_classes == 0 {
+        return Err(Error::BadLabels("n_classes must be >= 1".into()));
+    }
+    if let Some(&bad) = group.iter().find(|&&u| labels[u] >= n_classes) {
+        return Err(Error::BadLabels(format!(
+            "user {bad} has label {} >= n_classes {n_classes}",
+            labels[bad]
+        )));
+    }
+    // The paper's encoding grid: c·k candidates × L classes cells.
+    let cells = candidates.len() * n_classes;
+    let oue = if cells >= 2 { Some(Oue::new(cells, eps)?) } else { None };
+
+    let oue_ref = oue.as_ref();
+    let reports = par::map_indexed(group.len(), threads, |i| {
+        let user = group[i];
+        let own = &seqs[user];
+        // Nearest candidate under the configured distance (ties toward the
+        // earlier candidate — deterministic).
+        let mut best = (0usize, f64::INFINITY);
+        for (c, cand) in candidates.iter().enumerate() {
+            let d = distance.dist(own, cand);
+            if d < best.1 {
+                best = (c, d);
+            }
+        }
+        let cell = best.0 * n_classes + labels[user];
+        let mut rng = user_rng(seed, Stage::Refine, user);
+        match oue_ref {
+            Some(oue) => oue.perturb(&mut rng, cell),
+            // Single-cell degenerate grid: the report carries no
+            // information, so emit an empty OUE report.
+            None => privshape_ldp::Oue::new(2, eps)
+                .expect("binary OUE is valid")
+                .perturb(&mut rng, 0),
+        }
+    });
+
+    let mut freqs = vec![vec![0.0; candidates.len()]; n_classes];
+    if let Some(oue) = &oue {
+        let mut agg = OueAggregator::new(oue);
+        for report in &reports {
+            agg.add(report);
+        }
+        for (class, class_freqs) in freqs.iter_mut().enumerate() {
+            for (cand, slot) in class_freqs.iter_mut().enumerate() {
+                *slot = agg.estimate(cand * n_classes + class);
+            }
+        }
+    } else {
+        // One candidate, one class: everyone matches it.
+        freqs[0][0] = group.len() as f64;
+    }
+    Ok(freqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn parse_all(strs: &[&str]) -> Vec<SymbolSeq> {
+        strs.iter().map(|s| SymbolSeq::parse(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn unlabeled_refinement_ranks_true_shape_first() {
+        let seqs: Vec<SymbolSeq> =
+            (0..3000).map(|_| SymbolSeq::parse("abc").unwrap()).collect();
+        let group: Vec<usize> = (0..3000).collect();
+        let candidates = parse_all(&["abc", "cba", "bac"]);
+        let freqs = refine_unlabeled(
+            &seqs, &group, &candidates, DistanceKind::Sed, eps(4.0), 1, 2,
+        )
+        .unwrap();
+        assert!(freqs[0] > freqs[1] && freqs[0] > freqs[2], "{freqs:?}");
+    }
+
+    #[test]
+    fn labeled_refinement_recovers_class_structure() {
+        // Class 0 holds "ab", class 1 holds "ba".
+        let n = 8000;
+        let seqs: Vec<SymbolSeq> = (0..n)
+            .map(|i| SymbolSeq::parse(if i % 2 == 0 { "ab" } else { "ba" }).unwrap())
+            .collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let group: Vec<usize> = (0..n).collect();
+        let candidates = parse_all(&["ab", "ba"]);
+        let freqs = refine_labeled(
+            &seqs, &labels, &group, &candidates, 2, DistanceKind::Sed, eps(4.0), 1, 2,
+        )
+        .unwrap();
+        // Class 0's dominant candidate is "ab" (index 0), class 1's "ba".
+        assert!(freqs[0][0] > freqs[0][1], "class 0: {:?}", freqs[0]);
+        assert!(freqs[1][1] > freqs[1][0], "class 1: {:?}", freqs[1]);
+        // Estimates are near n/2 for the true cells.
+        assert!((freqs[0][0] - (n / 2) as f64).abs() < 0.2 * n as f64);
+    }
+
+    #[test]
+    fn labeled_rejects_bad_labels() {
+        let seqs = parse_all(&["ab"]);
+        let err = refine_labeled(
+            &seqs,
+            &[5],
+            &[0],
+            &parse_all(&["ab", "ba"]),
+            2,
+            DistanceKind::Sed,
+            eps(1.0),
+            0,
+            1,
+        );
+        assert!(matches!(err, Err(Error::BadLabels(_))));
+    }
+
+    #[test]
+    fn labeled_empty_candidates_gives_empty_classes() {
+        let seqs = parse_all(&["ab"]);
+        let freqs = refine_labeled(
+            &seqs, &[0], &[0], &[], 3, DistanceKind::Sed, eps(1.0), 0, 1,
+        )
+        .unwrap();
+        assert_eq!(freqs.len(), 3);
+        assert!(freqs.iter().all(|f| f.is_empty()));
+    }
+
+    #[test]
+    fn labeled_single_cell_degenerate_grid() {
+        let seqs = parse_all(&["ab", "ab", "ab"]);
+        let freqs = refine_labeled(
+            &seqs,
+            &[0, 0, 0],
+            &[0, 1, 2],
+            &parse_all(&["ab"]),
+            1,
+            DistanceKind::Sed,
+            eps(1.0),
+            0,
+            1,
+        )
+        .unwrap();
+        assert_eq!(freqs, vec![vec![3.0]]);
+    }
+}

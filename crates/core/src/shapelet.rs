@@ -1,0 +1,204 @@
+//! Shapelet discovery on top of privately extracted shapes — the extension
+//! the paper names as future work (§VII).
+//!
+//! A *shapelet* is a short subsequence whose distance to a series is
+//! discriminative. PrivShape's output is exactly a set of such candidate
+//! subsequences, obtained with a user-level LDP guarantee; this module
+//! turns them into a shapelet transform: each series is mapped to a feature
+//! vector of minimal sliding-window distances to the extracted shapes.
+//! Any downstream classifier (e.g. the random forest in `privshape-eval`)
+//! can then train on the features — the original series never leave the
+//! users, and the shapelets themselves were discovered privately.
+
+use crate::config::Preprocessing;
+use crate::error::{Error, Result};
+use crate::par;
+use crate::report::{Extraction, LabeledExtraction};
+use crate::transform::transform_series;
+use privshape_distance::DistanceKind;
+use privshape_timeseries::{SaxParams, SymbolSeq, TimeSeries};
+
+/// A shapelet transform built from privately extracted shapes.
+#[derive(Debug, Clone)]
+pub struct ShapeletTransform {
+    shapelets: Vec<SymbolSeq>,
+    distance: DistanceKind,
+}
+
+impl ShapeletTransform {
+    /// Builds the transform from explicit shapelets.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty shapelet set or any empty shapelet — both would
+    /// produce degenerate (constant) features.
+    pub fn new(shapelets: Vec<SymbolSeq>, distance: DistanceKind) -> Result<Self> {
+        if shapelets.is_empty() {
+            return Err(Error::InvalidConfig("shapelet set must be non-empty".into()));
+        }
+        if shapelets.iter().any(|s| s.is_empty()) {
+            return Err(Error::InvalidConfig("shapelets must be non-empty sequences".into()));
+        }
+        Ok(Self { shapelets, distance })
+    }
+
+    /// Builds the transform from an unlabeled extraction's top-k shapes.
+    pub fn from_extraction(extraction: &Extraction, distance: DistanceKind) -> Result<Self> {
+        Self::new(extraction.sequences(), distance)
+    }
+
+    /// Builds the transform from a labeled extraction, using every class's
+    /// shapes as shapelets (features become class-affinity scores).
+    pub fn from_labeled(extraction: &LabeledExtraction, distance: DistanceKind) -> Result<Self> {
+        let shapelets = extraction
+            .prototypes()
+            .into_iter()
+            .map(|(shape, _)| shape)
+            .collect();
+        Self::new(shapelets, distance)
+    }
+
+    /// The shapelets, in feature order.
+    pub fn shapelets(&self) -> &[SymbolSeq] {
+        &self.shapelets
+    }
+
+    /// Number of features produced per series.
+    pub fn n_features(&self) -> usize {
+        self.shapelets.len()
+    }
+
+    /// The shapelet feature vector of a symbol sequence:
+    /// `f_j = min_window dist(window, shapelet_j)` over all contiguous
+    /// windows of the shapelet's length (the whole sequence when it is
+    /// shorter than the shapelet).
+    pub fn features(&self, seq: &SymbolSeq) -> Vec<f64> {
+        self.shapelets
+            .iter()
+            .map(|shapelet| min_window_distance(seq, shapelet, self.distance))
+            .collect()
+    }
+
+    /// Features for a raw series (preprocessed the same way the mechanism
+    /// preprocesses user data).
+    pub fn features_for_series(
+        &self,
+        series: &TimeSeries,
+        sax: &SaxParams,
+        preprocessing: &Preprocessing,
+    ) -> Vec<f64> {
+        self.features(&transform_series(series, sax, preprocessing))
+    }
+
+    /// Transforms a whole population in parallel (0 threads ⇒ auto).
+    pub fn transform_population(
+        &self,
+        series: &[TimeSeries],
+        sax: &SaxParams,
+        preprocessing: &Preprocessing,
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        let threads = par::resolve_threads(threads);
+        par::map_indexed(series.len(), threads, |i| {
+            self.features_for_series(&series[i], sax, preprocessing)
+        })
+    }
+}
+
+/// Minimal distance between `shapelet` and any length-`|shapelet|`
+/// contiguous window of `seq`.
+fn min_window_distance(seq: &SymbolSeq, shapelet: &SymbolSeq, distance: DistanceKind) -> f64 {
+    let n = seq.len();
+    let l = shapelet.len();
+    if n == 0 {
+        // No information: maximally distant under the padded conventions.
+        return f64::INFINITY;
+    }
+    if n <= l {
+        return distance.dist(seq, shapelet);
+    }
+    let symbols = seq.symbols();
+    (0..=n - l)
+        .map(|start| {
+            let window = SymbolSeq::from_symbols(symbols[start..start + l].to_vec());
+            distance.dist(&window, shapelet)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> SymbolSeq {
+        SymbolSeq::parse(s).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(ShapeletTransform::new(vec![], DistanceKind::Sed).is_err());
+        assert!(ShapeletTransform::new(vec![seq("")], DistanceKind::Sed).is_err());
+        let t = ShapeletTransform::new(vec![seq("ab"), seq("ba")], DistanceKind::Sed).unwrap();
+        assert_eq!(t.n_features(), 2);
+        assert_eq!(t.shapelets().len(), 2);
+    }
+
+    #[test]
+    fn contained_shapelet_scores_zero() {
+        let t = ShapeletTransform::new(vec![seq("bc")], DistanceKind::Sed).unwrap();
+        assert_eq!(t.features(&seq("abcd")), vec![0.0]);
+        // Not contained: the best window "ba" still needs one edit.
+        assert_eq!(t.features(&seq("abab")), vec![1.0]);
+    }
+
+    #[test]
+    fn shorter_sequences_compare_whole() {
+        let t = ShapeletTransform::new(vec![seq("abcd")], DistanceKind::Sed).unwrap();
+        // "ab" vs "abcd": two insertions.
+        assert_eq!(t.features(&seq("ab")), vec![2.0]);
+    }
+
+    #[test]
+    fn features_separate_planted_classes() {
+        let t = ShapeletTransform::new(vec![seq("acb"), seq("cab")], DistanceKind::Sed).unwrap();
+        let class0 = t.features(&seq("acbacb"));
+        let class1 = t.features(&seq("cabcab"));
+        assert!(class0[0] < class0[1], "{class0:?}");
+        assert!(class1[1] < class1[0], "{class1:?}");
+    }
+
+    #[test]
+    fn features_for_series_match_manual_transform() {
+        let sax = SaxParams::new(10, 3).unwrap();
+        let mut v = vec![-1.0; 20];
+        v.extend(vec![1.5; 20]);
+        v.extend(vec![0.0; 20]);
+        let series = TimeSeries::new(v).unwrap();
+        let t = ShapeletTransform::new(vec![seq("ac")], DistanceKind::Sed).unwrap();
+        let direct = t.features(&transform_series(&series, &sax, &Preprocessing::default()));
+        let via = t.features_for_series(&series, &sax, &Preprocessing::default());
+        assert_eq!(direct, via);
+        assert_eq!(via, vec![0.0]); // "acb" contains "ac"
+    }
+
+    #[test]
+    fn population_transform_is_deterministic_and_parallel_safe() {
+        let sax = SaxParams::new(5, 3).unwrap();
+        let series: Vec<TimeSeries> = (0..150)
+            .map(|i| {
+                TimeSeries::new((0..40).map(|j| ((i + j) as f64 * 0.2).sin()).collect()).unwrap()
+            })
+            .collect();
+        let t = ShapeletTransform::new(vec![seq("ab"), seq("cb")], DistanceKind::Dtw).unwrap();
+        let a = t.transform_population(&series, &sax, &Preprocessing::default(), 1);
+        let b = t.transform_population(&series, &sax, &Preprocessing::default(), 4);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|f| f.len() == 2));
+    }
+
+    #[test]
+    fn empty_query_is_infinite() {
+        let t = ShapeletTransform::new(vec![seq("ab")], DistanceKind::Sed).unwrap();
+        assert!(t.features(&SymbolSeq::new())[0].is_infinite());
+    }
+}

@@ -1,0 +1,186 @@
+//! Frequent sub-shape estimation by padding-and-sampling (Algorithm 2
+//! lines 2–5; §IV-B).
+//!
+//! Each user in Pb pads/truncates their compressed sequence to length ℓ_S,
+//! picks a level `j ∈ {1, …, ℓ_S − 1}` uniformly at random, and reports
+//! `(j, GRR((s_j, s_{j+1})))` over the `t(t−1)` distinct-pair domain. The
+//! level choice is data-independent, so only the GRR report consumes ε.
+//! The server unbiases each level's counts and keeps the top-`c·k` pairs as
+//! that level's permitted expansion edges.
+
+use crate::error::Result;
+use crate::par;
+use crate::rng::{user_rng, Stage};
+use privshape_ldp::{Epsilon, Grr, GrrAggregator};
+use privshape_timeseries::SymbolSeq;
+use privshape_trie::BigramSet;
+use rand::{Rng, RngExt};
+
+/// Runs sub-shape estimation.
+///
+/// Returns one [`BigramSet`] per expansion step `j → j+1`
+/// (`result[j - 1]` constrains the expansion from level `j` to `j + 1`),
+/// i.e. `ℓ_S − 1` sets. When ℓ_S = 1 there is nothing to estimate and the
+/// result is empty. An empty user group degrades gracefully to fully
+/// permissive sets (no pruning information ⇒ no pruning).
+// Mirrors Algorithm 2 lines 2-5's inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_subshapes(
+    seqs: &[SymbolSeq],
+    group: &[usize],
+    ell_s: usize,
+    alphabet: usize,
+    top_m: usize,
+    eps: Epsilon,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<BigramSet>> {
+    if ell_s <= 1 {
+        return Ok(Vec::new());
+    }
+    let levels = ell_s - 1;
+    if group.is_empty() {
+        return Ok(vec![BigramSet::full(alphabet); levels]);
+    }
+    let domain = alphabet * (alphabet - 1);
+    let grr = Grr::new(domain, eps)?;
+
+    let grr_ref = &grr;
+    let reports: Vec<(usize, usize)> = par::map_indexed(group.len(), threads, move |i| {
+        let user = group[i];
+        let mut rng = user_rng(seed, Stage::SubShape, user);
+        // Uniform level choice (independent of the data).
+        let level = rng.random_range(1..=levels);
+        let value = bigram_at(&seqs[user], level, alphabet, &mut rng);
+        (level, grr_ref.perturb(&mut rng, value))
+    });
+
+    let mut aggs: Vec<GrrAggregator> = (0..levels).map(|_| GrrAggregator::new(&grr)).collect();
+    for (level, report) in reports {
+        aggs[level - 1].add(report);
+    }
+
+    Ok(aggs
+        .into_iter()
+        .map(|agg| {
+            let mut set = BigramSet::new(alphabet);
+            for idx in agg.top_m(top_m) {
+                let (x, y) = BigramSet::domain_index_to_pair(alphabet, idx)
+                    .expect("aggregator domain matches bigram domain");
+                set.insert(x, y);
+            }
+            set
+        })
+        .collect())
+}
+
+/// The user-side sub-shape at `level` (1-based): `(s_level, s_{level+1})`
+/// of the sequence padded to ℓ_S.
+///
+/// Positions beyond the user's actual length are filled with a uniformly
+/// random valid pair, keeping the report domain at `t(t−1)` and spreading
+/// padding mass evenly so it cancels in the estimator's *ranking*
+/// (DESIGN.md §2). A boundary pair with one real and one padded symbol is
+/// completed by drawing the padded side uniformly from the symbols ≠ the
+/// real one.
+fn bigram_at<R: Rng + ?Sized>(
+    seq: &SymbolSeq,
+    level: usize,
+    alphabet: usize,
+    rng: &mut R,
+) -> usize {
+    let first = seq.get(level - 1);
+    let second = seq.get(level);
+    let (x, y) = match (first, second) {
+        (Some(a), Some(b)) if a != b => (a, b),
+        (Some(a), Some(_)) | (Some(a), None) => {
+            // Degenerate equal pair (possible only for uncompressed ablation
+            // input) or a boundary pair: draw the successor uniformly among
+            // the other symbols.
+            let mut other = rng.random_range(0..alphabet - 1);
+            if other >= a.index() {
+                other += 1;
+            }
+            (a, privshape_timeseries::Symbol::from_index(other as u8))
+        }
+        _ => {
+            // Fully padded level: uniform valid pair.
+            let idx = rng.random_range(0..alphabet * (alphabet - 1));
+            BigramSet::domain_index_to_pair(alphabet, idx).expect("index in domain")
+        }
+    };
+    BigramSet::pair_to_domain_index(alphabet, x, y).expect("distinct pair")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn recovers_planted_subshapes() {
+        // Everyone holds "abc": level-1 pair (a,b), level-2 pair (b,c).
+        let seqs: Vec<SymbolSeq> =
+            (0..6000).map(|_| SymbolSeq::parse("abc").unwrap()).collect();
+        let group: Vec<usize> = (0..6000).collect();
+        let sets =
+            estimate_subshapes(&seqs, &group, 3, 3, 2, eps(2.0), 1, 2).unwrap();
+        assert_eq!(sets.len(), 2);
+        let a = privshape_timeseries::Symbol::from_char('a').unwrap();
+        let b = privshape_timeseries::Symbol::from_char('b').unwrap();
+        let c = privshape_timeseries::Symbol::from_char('c').unwrap();
+        assert!(sets[0].contains(a, b), "level 1 should keep (a,b)");
+        assert!(sets[1].contains(b, c), "level 2 should keep (b,c)");
+    }
+
+    #[test]
+    fn top_m_bounds_set_size() {
+        let seqs: Vec<SymbolSeq> =
+            (0..2000).map(|i| if i % 2 == 0 { SymbolSeq::parse("ab").unwrap() } else { SymbolSeq::parse("ba").unwrap() }).collect();
+        let group: Vec<usize> = (0..2000).collect();
+        let sets = estimate_subshapes(&seqs, &group, 2, 4, 3, eps(1.0), 0, 2).unwrap();
+        assert_eq!(sets.len(), 1);
+        assert!(sets[0].len() <= 3);
+    }
+
+    #[test]
+    fn ell_one_yields_no_sets_and_empty_group_is_permissive() {
+        let seqs = vec![SymbolSeq::parse("ab").unwrap()];
+        assert!(estimate_subshapes(&seqs, &[0], 1, 3, 2, eps(1.0), 0, 1)
+            .unwrap()
+            .is_empty());
+        let sets = estimate_subshapes(&seqs, &[], 3, 3, 2, eps(1.0), 0, 1).unwrap();
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].len(), 6); // fully permissive
+    }
+
+    #[test]
+    fn short_sequences_pad_without_bias_toward_any_pair() {
+        // All users hold just "a": level 1 bigrams are (a, random≠a); the
+        // estimate should spread across pairs starting with 'a'.
+        let seqs: Vec<SymbolSeq> = (0..3000).map(|_| SymbolSeq::parse("a").unwrap()).collect();
+        let group: Vec<usize> = (0..3000).collect();
+        let sets = estimate_subshapes(&seqs, &group, 2, 3, 2, eps(3.0), 5, 2).unwrap();
+        let a = privshape_timeseries::Symbol::from_char('a').unwrap();
+        let kept: Vec<(char, char)> =
+            sets[0].iter().map(|(x, y)| (x.as_char(), y.as_char())).collect();
+        assert!(
+            sets[0].contains(a, privshape_timeseries::Symbol::from_char('b').unwrap())
+                || sets[0].contains(a, privshape_timeseries::Symbol::from_char('c').unwrap()),
+            "top pairs should start with the real symbol: {kept:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let seqs: Vec<SymbolSeq> =
+            (0..1000).map(|i| if i % 3 == 0 { SymbolSeq::parse("abcd").unwrap() } else { SymbolSeq::parse("dcba").unwrap() }).collect();
+        let group: Vec<usize> = (0..1000).collect();
+        let a = estimate_subshapes(&seqs, &group, 4, 4, 4, eps(1.0), 3, 1).unwrap();
+        let b = estimate_subshapes(&seqs, &group, 4, 4, 4, eps(1.0), 3, 8).unwrap();
+        assert_eq!(a, b);
+    }
+}

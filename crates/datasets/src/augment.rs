@@ -1,0 +1,166 @@
+//! Per-instance augmentation: the intra-class variations of Fig. 2
+//! (value-axis scaling, time-axis warping/shift) plus sensor noise.
+
+use crate::standard_normal;
+use crate::template::Template;
+use rand::{Rng, RngExt};
+
+/// Augmentation parameters applied independently to every generated
+/// instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Augment {
+    /// Additive white-noise standard deviation (relative to the template's
+    /// ≈ unit amplitude).
+    pub noise_std: f64,
+    /// Amplitude scale is drawn from `U[1 − j, 1 + j]` (Fig. 2a scaling).
+    pub scale_jitter: f64,
+    /// Strength of the smooth monotone time warp: interior warp knots move
+    /// by up to this fraction of their spacing (Fig. 2b "not warping").
+    pub warp_strength: f64,
+    /// Global time shift drawn from `U[−s, s]` (fraction of the series).
+    pub shift_frac: f64,
+}
+
+impl Default for Augment {
+    fn default() -> Self {
+        Self { noise_std: 0.15, scale_jitter: 0.2, warp_strength: 0.4, shift_frac: 0.03 }
+    }
+}
+
+impl Augment {
+    /// No-op augmentation (exact template samples).
+    pub fn none() -> Self {
+        Self { noise_std: 0.0, scale_jitter: 0.0, warp_strength: 0.0, shift_frac: 0.0 }
+    }
+
+    /// Draws one augmented instance of `template` with `len` samples.
+    ///
+    /// The result is *not* z-normalized; generators normalize after
+    /// augmentation so the noise contributes to the variance the way real
+    /// sensor noise would.
+    pub fn apply<R: Rng + ?Sized>(
+        &self,
+        template: &Template,
+        len: usize,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let scale = 1.0 + self.scale_jitter * (2.0 * rng.random::<f64>() - 1.0);
+        let shift = self.shift_frac * (2.0 * rng.random::<f64>() - 1.0);
+        let warp = MonotoneWarp::random(self.warp_strength, rng);
+        (0..len)
+            .map(|i| {
+                let x = i as f64 / (len - 1).max(1) as f64;
+                let warped = (warp.eval(x) + shift).clamp(0.0, 1.0);
+                scale * template.eval(warped) + self.noise_std * standard_normal(rng)
+            })
+            .collect()
+    }
+}
+
+/// A random monotone, endpoint-preserving warp of `[0, 1]`, built from
+/// jittered interior knots with piecewise-linear interpolation. Monotonicity
+/// keeps the event *order* intact — instances differ in pacing, not in
+/// structure, exactly like the paper's motion/speech examples.
+struct MonotoneWarp {
+    knots: Vec<(f64, f64)>,
+}
+
+impl MonotoneWarp {
+    const INTERIOR: usize = 3;
+
+    fn random<R: Rng + ?Sized>(strength: f64, rng: &mut R) -> Self {
+        let mut knots = Vec::with_capacity(Self::INTERIOR + 2);
+        knots.push((0.0, 0.0));
+        let spacing = 1.0 / (Self::INTERIOR + 1) as f64;
+        let mut prev = 0.0f64;
+        for i in 1..=Self::INTERIOR {
+            let base = i as f64 * spacing;
+            // Jitter the *target* position, clamped to stay monotone with a
+            // small margin.
+            let jitter = strength * spacing * (2.0 * rng.random::<f64>() - 1.0);
+            let y = (base + jitter).clamp(prev + 0.05 * spacing, 1.0 - 0.05 * spacing);
+            knots.push((base, y));
+            prev = y;
+        }
+        knots.push((1.0, 1.0));
+        Self { knots }
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        let idx = self
+            .knots
+            .windows(2)
+            .position(|w| x <= w[1].0)
+            .unwrap_or(self.knots.len() - 2);
+        let (x0, y0) = self.knots[idx];
+        let (x1, y1) = self.knots[idx + 1];
+        let t = if x1 > x0 { (x - x0) / (x1 - x0) } else { 0.0 };
+        y0 + t * (y1 - y0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn template() -> Template {
+        Template::new(vec![(0.0, 0.0), (0.5, 1.0), (1.0, -1.0)])
+    }
+
+    #[test]
+    fn none_reproduces_template_exactly() {
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let out = Augment::none().apply(&template(), 64, &mut rng);
+        let want = template().sample(64);
+        for (a, b) in out.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_scale() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let aug = Augment { noise_std: 0.1, ..Augment::none() };
+        let out = aug.apply(&template(), 256, &mut rng);
+        let want = template().sample(256);
+        let mse: f64 =
+            out.iter().zip(&want).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / 256.0;
+        assert!(mse > 0.001 && mse < 0.05, "mse={mse}");
+    }
+
+    #[test]
+    fn warp_is_monotone() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        for _ in 0..50 {
+            let w = MonotoneWarp::random(0.8, &mut rng);
+            let mut prev = -1.0;
+            for i in 0..=100 {
+                let y = w.eval(i as f64 / 100.0);
+                assert!(y >= prev - 1e-12, "warp not monotone");
+                assert!((0.0..=1.0).contains(&y));
+                prev = y;
+            }
+            assert_eq!(w.eval(0.0), 0.0);
+            assert_eq!(w.eval(1.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn different_draws_differ() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let aug = Augment::default();
+        let a = aug.apply(&template(), 100, &mut rng);
+        let b = aug.apply(&template(), 100, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let aug = Augment::default();
+        let a = aug.apply(&template(), 100, &mut ChaCha12Rng::seed_from_u64(7));
+        let b = aug.apply(&template(), 100, &mut ChaCha12Rng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,262 @@
+//! The Symbols-like and Trace-like dataset generators (substitutes for the
+//! paper's GAN-augmented UCR data; see DESIGN.md §3).
+
+use crate::augment::Augment;
+use crate::template::{Burst, Template};
+use privshape_timeseries::{Dataset, TimeSeries};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Number of classes in the Symbols-like dataset (as in UCR Symbols).
+pub const SYMBOLS_CLASSES: usize = 6;
+/// Series length of the Symbols-like dataset (as in UCR Symbols).
+pub const SYMBOLS_LEN: usize = 398;
+/// Number of classes used from Trace (the paper selects three).
+pub const TRACE_CLASSES: usize = 3;
+/// Series length of the Trace-like dataset (as in UCR Trace).
+pub const TRACE_LEN: usize = 275;
+
+/// The essential shape of Symbols-like class `class ∈ [0, 6)`.
+///
+/// Each template is a distinct smooth pen-trajectory-style curve: single
+/// bumps, dips, S-curves and double bumps — shapes whose compressed SAX
+/// encodings are pairwise well separated.
+///
+/// # Panics
+///
+/// Panics if `class ≥ SYMBOLS_CLASSES`.
+pub fn symbols_template(class: usize) -> Template {
+    match class {
+        // Single centered positive bump.
+        0 => Template::new(vec![(0.0, -1.0), (0.5, 1.6), (1.0, -1.0)]),
+        // Single centered dip.
+        1 => Template::new(vec![(0.0, 1.0), (0.5, -1.6), (1.0, 1.0)]),
+        // Rise–fall S: early peak, late trough.
+        2 => Template::new(vec![(0.0, 0.0), (0.25, 1.5), (0.75, -1.5), (1.0, 0.0)]),
+        // Fall–rise S: early trough, late peak.
+        3 => Template::new(vec![(0.0, 0.0), (0.25, -1.5), (0.75, 1.5), (1.0, 0.0)]),
+        // Double positive bump (camel back).
+        4 => Template::new(vec![
+            (0.0, -1.2),
+            (0.22, 1.3),
+            (0.5, -0.6),
+            (0.78, 1.3),
+            (1.0, -1.2),
+        ]),
+        // Ramp up to a held plateau, then release.
+        5 => Template::new(vec![(0.0, -1.4), (0.3, 0.9), (0.7, 1.1), (1.0, -1.4)]),
+        _ => panic!("Symbols-like has {SYMBOLS_CLASSES} classes, got {class}"),
+    }
+}
+
+/// The essential shape of Trace-like class `class ∈ [0, 3)`.
+///
+/// Modeled on the character of the real Trace classes (nuclear-plant
+/// instrumentation): level shifts and transient oscillations.
+///
+/// # Panics
+///
+/// Panics if `class ≥ TRACE_CLASSES`.
+pub fn trace_template(class: usize) -> Template {
+    match class {
+        // Low plateau, sharp step up at 60%, high plateau.
+        0 => Template::new(vec![
+            (0.0, -1.0),
+            (0.55, -1.0),
+            (0.65, 1.2),
+            (1.0, 1.2),
+        ]),
+        // High start, gradual decay with a transient burst near the middle.
+        1 => Template::new(vec![(0.0, 1.2), (0.4, 0.8), (1.0, -1.2)])
+            .with_burst(Burst { center: 0.45, width: 0.06, freq: 12.0, amp: 0.9 }),
+        // Flat baseline with a late dip-and-recover excursion.
+        2 => Template::new(vec![
+            (0.0, 0.4),
+            (0.6, 0.4),
+            (0.75, -1.8),
+            (0.9, 0.4),
+            (1.0, 0.4),
+        ]),
+        _ => panic!("Trace-like has {TRACE_CLASSES} classes, got {class}"),
+    }
+}
+
+/// Configuration of the Symbols-like generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolsLikeConfig {
+    /// Instances generated per class.
+    pub n_per_class: usize,
+    /// Series length (UCR Symbols uses 398).
+    pub length: usize,
+    /// Per-instance augmentation.
+    pub augment: Augment,
+    /// Master seed; generation is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for SymbolsLikeConfig {
+    fn default() -> Self {
+        Self { n_per_class: 1000, length: SYMBOLS_LEN, augment: Augment::default(), seed: 2023 }
+    }
+}
+
+/// Configuration of the Trace-like generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceLikeConfig {
+    /// Instances generated per class.
+    pub n_per_class: usize,
+    /// Series length (UCR Trace uses 275).
+    pub length: usize,
+    /// Per-instance augmentation.
+    pub augment: Augment,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TraceLikeConfig {
+    fn default() -> Self {
+        Self { n_per_class: 1000, length: TRACE_LEN, augment: Augment::default(), seed: 2023 }
+    }
+}
+
+/// Generates the Symbols-like dataset: `6 × n_per_class` labeled, z-scored
+/// series, class-interleaved so any prefix is class-balanced.
+pub fn generate_symbols_like(config: &SymbolsLikeConfig) -> Dataset {
+    generate(
+        SYMBOLS_CLASSES,
+        config.n_per_class,
+        config.length,
+        &config.augment,
+        config.seed,
+        symbols_template,
+    )
+}
+
+/// Generates the Trace-like dataset: `3 × n_per_class` labeled, z-scored
+/// series, class-interleaved.
+pub fn generate_trace_like(config: &TraceLikeConfig) -> Dataset {
+    generate(
+        TRACE_CLASSES,
+        config.n_per_class,
+        config.length,
+        &config.augment,
+        config.seed,
+        trace_template,
+    )
+}
+
+fn generate(
+    classes: usize,
+    n_per_class: usize,
+    length: usize,
+    augment: &Augment,
+    seed: u64,
+    template_of: fn(usize) -> Template,
+) -> Dataset {
+    let templates: Vec<Template> = (0..classes).map(template_of).collect();
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut series = Vec::with_capacity(classes * n_per_class);
+    let mut labels = Vec::with_capacity(classes * n_per_class);
+    for _ in 0..n_per_class {
+        for (class, template) in templates.iter().enumerate() {
+            let values = augment.apply(template, length, &mut rng);
+            let ts = TimeSeries::new(values)
+                .expect("generator emits finite samples")
+                .z_normalized();
+            series.push(ts);
+            labels.push(class);
+        }
+    }
+    Dataset::labeled(series, labels).expect("lengths match by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privshape_timeseries::{compressive_sax, SaxParams};
+
+    #[test]
+    fn symbols_generator_shape_and_labels() {
+        let cfg = SymbolsLikeConfig { n_per_class: 3, ..Default::default() };
+        let d = generate_symbols_like(&cfg);
+        assert_eq!(d.len(), 18);
+        assert_eq!(d.n_classes(), Some(6));
+        assert!(d.series().iter().all(|s| s.len() == SYMBOLS_LEN));
+        // Interleaved: first six instances cover all classes.
+        let first_six: Vec<usize> = d.labels().unwrap()[..6].to_vec();
+        assert_eq!(first_six, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn trace_generator_shape_and_labels() {
+        let cfg = TraceLikeConfig { n_per_class: 4, ..Default::default() };
+        let d = generate_trace_like(&cfg);
+        assert_eq!(d.len(), 12);
+        assert_eq!(d.n_classes(), Some(3));
+        assert!(d.series().iter().all(|s| s.len() == TRACE_LEN));
+    }
+
+    #[test]
+    fn output_is_z_normalized() {
+        let cfg = SymbolsLikeConfig { n_per_class: 2, ..Default::default() };
+        let d = generate_symbols_like(&cfg);
+        for s in d.series() {
+            assert!(s.mean().abs() < 1e-9);
+            assert!((s.std() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TraceLikeConfig { n_per_class: 2, seed: 99, ..Default::default() };
+        let a = generate_trace_like(&cfg);
+        let b = generate_trace_like(&cfg);
+        assert_eq!(a.series()[5], b.series()[5]);
+        let c = generate_trace_like(&TraceLikeConfig { seed: 100, ..cfg });
+        assert_ne!(a.series()[5], c.series()[5]);
+    }
+
+    #[test]
+    fn class_templates_have_distinct_compressed_shapes() {
+        // The whole premise of the synthetic substitution: intra-class
+        // instances share an essential shape, classes differ. Check the
+        // noiseless templates map to pairwise distinct Compressive SAX
+        // strings under the paper's Symbols parameters (w=25, t=6 over 398).
+        let params = SaxParams::new(25, 6).unwrap();
+        let mut shapes = Vec::new();
+        for class in 0..SYMBOLS_CLASSES {
+            let raw = symbols_template(class).sample(SYMBOLS_LEN);
+            let z = TimeSeries::new(raw).unwrap().z_normalized();
+            shapes.push(compressive_sax(z.values(), &params).to_string());
+        }
+        for i in 0..shapes.len() {
+            for j in (i + 1)..shapes.len() {
+                assert_ne!(shapes[i], shapes[j], "classes {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_templates_distinct_under_paper_params() {
+        let params = SaxParams::new(10, 4).unwrap();
+        let mut shapes = Vec::new();
+        for class in 0..TRACE_CLASSES {
+            let raw = trace_template(class).sample(TRACE_LEN);
+            let z = TimeSeries::new(raw).unwrap().z_normalized();
+            shapes.push(compressive_sax(z.values(), &params).to_string());
+        }
+        for i in 0..shapes.len() {
+            for j in (i + 1)..shapes.len() {
+                assert_ne!(shapes[i], shapes[j], "classes {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "classes")]
+    fn template_bounds_checked() {
+        symbols_template(6);
+    }
+
+    use privshape_timeseries::TimeSeries;
+}

@@ -1,0 +1,145 @@
+//! Class templates: the essential shape each synthetic class is built from.
+
+/// A transient oscillation added on top of the spline backbone — used by the
+/// Trace-like classes, whose real-world counterparts contain short
+//  instrument transients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// Center position in `[0, 1]`.
+    pub center: f64,
+    /// Gaussian envelope width (fraction of the series).
+    pub width: f64,
+    /// Oscillation frequency in cycles over the whole series.
+    pub freq: f64,
+    /// Peak amplitude.
+    pub amp: f64,
+}
+
+impl Burst {
+    fn eval(&self, x: f64) -> f64 {
+        let d = (x - self.center) / self.width;
+        let envelope = (-d * d).exp();
+        self.amp * envelope * (2.0 * std::f64::consts::PI * self.freq * (x - self.center)).sin()
+    }
+}
+
+/// A smooth template over `[0, 1]`: cosine-interpolated control points plus
+/// optional oscillatory bursts.
+///
+/// Cosine interpolation keeps the curve C¹-smooth between knots without the
+/// overshoot cubic splines can produce — important because overshoot would
+/// change which SAX region a segment lands in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Template {
+    /// `(position, value)` knots; positions strictly increasing, covering 0
+    /// and 1.
+    control: Vec<(f64, f64)>,
+    bursts: Vec<Burst>,
+}
+
+impl Template {
+    /// Builds a template from control points.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless there are ≥ 2 knots with strictly increasing positions
+    /// starting at 0.0 and ending at 1.0 — templates are compiled-in class
+    /// definitions, so violations are programming errors.
+    pub fn new(control: Vec<(f64, f64)>) -> Self {
+        assert!(control.len() >= 2, "template needs at least two knots");
+        assert_eq!(control[0].0, 0.0, "first knot must sit at position 0");
+        assert_eq!(control[control.len() - 1].0, 1.0, "last knot must sit at position 1");
+        assert!(
+            control.windows(2).all(|w| w[0].0 < w[1].0),
+            "knot positions must be strictly increasing"
+        );
+        Self { control, bursts: Vec::new() }
+    }
+
+    /// Adds an oscillatory burst.
+    pub fn with_burst(mut self, burst: Burst) -> Self {
+        self.bursts.push(burst);
+        self
+    }
+
+    /// Evaluates the template at `x ∈ [0, 1]` (clamped outside).
+    pub fn eval(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        // Find the knot interval containing x.
+        let idx = self
+            .control
+            .windows(2)
+            .position(|w| x <= w[1].0)
+            .unwrap_or(self.control.len() - 2);
+        let (x0, y0) = self.control[idx];
+        let (x1, y1) = self.control[idx + 1];
+        let t = if x1 > x0 { (x - x0) / (x1 - x0) } else { 0.0 };
+        let smooth = (1.0 - (std::f64::consts::PI * t).cos()) / 2.0;
+        let base = y0 + smooth * (y1 - y0);
+        base + self.bursts.iter().map(|b| b.eval(x)).sum::<f64>()
+    }
+
+    /// Samples the template at `len` evenly spaced positions.
+    pub fn sample(&self, len: usize) -> Vec<f64> {
+        assert!(len >= 2, "need at least two samples");
+        (0..len).map(|i| self.eval(i as f64 / (len - 1) as f64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation_passes_through_knots() {
+        let t = Template::new(vec![(0.0, -1.0), (0.5, 2.0), (1.0, 0.0)]);
+        assert!((t.eval(0.0) + 1.0).abs() < 1e-12);
+        assert!((t.eval(0.5) - 2.0).abs() < 1e-12);
+        assert!((t.eval(1.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_is_monotone_between_two_knots() {
+        let t = Template::new(vec![(0.0, 0.0), (1.0, 1.0)]);
+        let s = t.sample(50);
+        for w in s.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // Cosine easing stays within the knot value range (no overshoot).
+        assert!(s.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn out_of_range_positions_clamp() {
+        let t = Template::new(vec![(0.0, 3.0), (1.0, 7.0)]);
+        assert_eq!(t.eval(-1.0), 3.0);
+        assert_eq!(t.eval(2.0), 7.0);
+    }
+
+    #[test]
+    fn burst_is_localized() {
+        let t = Template::new(vec![(0.0, 0.0), (1.0, 0.0)])
+            .with_burst(Burst { center: 0.5, width: 0.05, freq: 10.0, amp: 1.0 });
+        // Far from the center the burst has decayed.
+        assert!(t.eval(0.1).abs() < 1e-6);
+        assert!(t.eval(0.9).abs() < 1e-6);
+        // Near the center there is signal.
+        let peak = t.sample(500).iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(peak > 0.5, "peak={peak}");
+    }
+
+    #[test]
+    fn sample_spans_whole_domain() {
+        let t = Template::new(vec![(0.0, 1.0), (1.0, -1.0)]);
+        let s = t.sample(11);
+        assert_eq!(s.len(), 11);
+        assert_eq!(s[0], 1.0);
+        assert_eq!(s[10], -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_knots() {
+        Template::new(vec![(0.0, 0.0), (0.7, 1.0), (0.5, 2.0), (1.0, 0.0)]);
+    }
+}

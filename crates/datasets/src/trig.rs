@@ -1,0 +1,194 @@
+//! The Trigonometric Wave dataset (§V-I): sine and cosine values within one
+//! period, used to probe sensitivity to series length.
+//!
+//! Two regimes from the paper:
+//!
+//! * [`TrigMode::FullPeriod`] — the whole period is resampled at the target
+//!   length, so the *shape stays constant* as the length varies (Fig. 16);
+//! * [`TrigMode::Prefix`] — the first `length` points of a 1000-point
+//!   period, so the *shape changes* with the length (Fig. 17).
+
+use crate::standard_normal;
+use privshape_timeseries::{Dataset, TimeSeries};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Which wave a class represents. Class labels: sine = 0, cosine = 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaveKind {
+    /// `sin(2πx)` over one period.
+    Sine,
+    /// `cos(2πx)` over one period.
+    Cosine,
+}
+
+impl WaveKind {
+    fn eval(self, x: f64) -> f64 {
+        let angle = 2.0 * std::f64::consts::PI * x;
+        match self {
+            WaveKind::Sine => angle.sin(),
+            WaveKind::Cosine => angle.cos(),
+        }
+    }
+
+    /// The class label used in generated datasets.
+    pub fn label(self) -> usize {
+        match self {
+            WaveKind::Sine => 0,
+            WaveKind::Cosine => 1,
+        }
+    }
+}
+
+/// How series length relates to the underlying period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrigMode {
+    /// Sample the full period at `length` points (same shape, Fig. 16).
+    FullPeriod,
+    /// Take the first `length` of `period_len` points (different shapes,
+    /// Fig. 17).
+    Prefix {
+        /// Length of the full-period reference series (the paper uses 1000).
+        period_len: usize,
+    },
+}
+
+/// Configuration of the trigonometric generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrigConfig {
+    /// Instances per class (sine and cosine each).
+    pub n_per_class: usize,
+    /// Series length.
+    pub length: usize,
+    /// Length regime.
+    pub mode: TrigMode,
+    /// Additive white-noise std before z-normalization.
+    pub noise_std: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TrigConfig {
+    fn default() -> Self {
+        Self {
+            n_per_class: 1000,
+            length: 200,
+            mode: TrigMode::FullPeriod,
+            noise_std: 0.05,
+            seed: 2023,
+        }
+    }
+}
+
+/// Generates the two-class sine/cosine dataset, class-interleaved and
+/// z-score normalized (as the paper requires for PatternLDP).
+pub fn generate_trig(config: &TrigConfig) -> Dataset {
+    let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+    let mut series = Vec::with_capacity(2 * config.n_per_class);
+    let mut labels = Vec::with_capacity(2 * config.n_per_class);
+    for _ in 0..config.n_per_class {
+        for kind in [WaveKind::Sine, WaveKind::Cosine] {
+            let values: Vec<f64> = (0..config.length)
+                .map(|i| {
+                    let x = match config.mode {
+                        TrigMode::FullPeriod => i as f64 / (config.length - 1).max(1) as f64,
+                        TrigMode::Prefix { period_len } => {
+                            i as f64 / (period_len - 1).max(1) as f64
+                        }
+                    };
+                    kind.eval(x) + config.noise_std * standard_normal(&mut rng)
+                })
+                .collect();
+            series.push(
+                TimeSeries::new(values).expect("finite samples").z_normalized(),
+            );
+            labels.push(kind.label());
+        }
+    }
+    Dataset::labeled(series, labels).expect("lengths match")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_balanced_classes() {
+        let d = generate_trig(&TrigConfig { n_per_class: 5, ..Default::default() });
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.class_indices(0).len(), 5);
+        assert_eq!(d.class_indices(1).len(), 5);
+    }
+
+    #[test]
+    fn full_period_preserves_shape_across_lengths() {
+        // A noiseless sine at any length starts and ends near 0 (z-scored),
+        // peaks in the first half and troughs in the second.
+        for len in [200usize, 600, 1000] {
+            let d = generate_trig(&TrigConfig {
+                n_per_class: 1,
+                length: len,
+                noise_std: 0.0,
+                ..Default::default()
+            });
+            let sine = &d.series()[0];
+            let vals = sine.values();
+            let argmax = vals
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            let argmin = vals
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert!(argmax < len / 2, "len={len} argmax={argmax}");
+            assert!(argmin > len / 2, "len={len} argmin={argmin}");
+        }
+    }
+
+    #[test]
+    fn prefix_mode_changes_shape_with_length() {
+        // A 250-point prefix of a 1000-point sine covers only the first
+        // quarter period: it is monotone increasing (before z-scoring, and
+        // z-scoring preserves monotonicity).
+        let d = generate_trig(&TrigConfig {
+            n_per_class: 1,
+            length: 250,
+            mode: TrigMode::Prefix { period_len: 1000 },
+            noise_std: 0.0,
+            ..Default::default()
+        });
+        let sine = d.series()[0].values();
+        let rising = sine.windows(2).filter(|w| w[1] >= w[0]).count();
+        assert!(rising as f64 > 0.95 * (sine.len() - 1) as f64);
+    }
+
+    #[test]
+    fn output_is_z_normalized() {
+        let d = generate_trig(&TrigConfig { n_per_class: 2, ..Default::default() });
+        for s in d.series() {
+            assert!(s.mean().abs() < 1e-9);
+            assert!((s.std() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = TrigConfig { n_per_class: 2, seed: 5, ..Default::default() };
+        assert_eq!(generate_trig(&cfg).series()[3], generate_trig(&cfg).series()[3]);
+    }
+
+    #[test]
+    fn sine_and_cosine_differ() {
+        let d = generate_trig(&TrigConfig {
+            n_per_class: 1,
+            noise_std: 0.0,
+            ..Default::default()
+        });
+        assert_ne!(d.series()[0], d.series()[1]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Symmetric Hausdorff distance between sequences viewed as point sets
+//! `{(i, a_i)}` in the time–value plane.
+//!
+//! §IV-B lists Hausdorff among the metrics satisfying the relaxed
+//! subadditivity assumption `dist(S) ≤ dist(PRE) + dist(SUF)`, so it is a
+//! valid plug-in for the EM score function. Time coordinates are normalized
+//! to `[0, 1]` so that sequences of different lengths remain comparable.
+
+/// Symmetric Hausdorff distance: `max(h(a→b), h(b→a))` where
+/// `h(x→y) = max_{p∈x} min_{q∈y} ‖p − q‖₂`.
+pub fn hausdorff(a: &[f64], b: &[f64]) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::INFINITY,
+        _ => {}
+    }
+    directed(a, b).max(directed(b, a))
+}
+
+fn directed(from: &[f64], to: &[f64]) -> f64 {
+    let fx = |i: usize, n: usize| if n <= 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+    let mut worst = 0.0f64;
+    for (i, &av) in from.iter().enumerate() {
+        let ax = fx(i, from.len());
+        let mut best = f64::INFINITY;
+        for (j, &bv) in to.iter().enumerate() {
+            let bx = fx(j, to.len());
+            let dx = ax - bx;
+            let dy = av - bv;
+            best = best.min((dx * dx + dy * dy).sqrt());
+            if best == 0.0 {
+                break;
+            }
+        }
+        worst = worst.max(best);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_are_at_zero() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(hausdorff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [0.0, 1.0, 0.0];
+        let b = [0.5, 0.5];
+        assert_eq!(hausdorff(&a, &b), hausdorff(&b, &a));
+    }
+
+    #[test]
+    fn constant_offset_is_the_offset() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [2.0, 2.0, 2.0];
+        assert!((hausdorff(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_handling() {
+        assert_eq!(hausdorff(&[], &[]), 0.0);
+        assert!(hausdorff(&[], &[1.0]).is_infinite());
+    }
+
+    #[test]
+    fn captures_worst_case_point() {
+        // One outlier point dominates the distance.
+        let a = [0.0, 0.0, 10.0];
+        let b = [0.0, 0.0, 0.0];
+        assert!(hausdorff(&a, &b) >= 10.0 - 1e-9);
+    }
+
+    #[test]
+    fn singletons_use_normalized_time() {
+        // Both singletons sit at x = 0, so only values differ.
+        assert!((hausdorff(&[1.0], &[4.0]) - 3.0).abs() < 1e-12);
+    }
+}

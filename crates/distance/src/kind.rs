@@ -1,0 +1,129 @@
+//! Runtime-selectable distance over symbol sequences.
+
+use crate::{dtw, euclidean_padded, hausdorff, sed};
+use privshape_timeseries::SymbolSeq;
+
+/// A distance measure over [`SymbolSeq`]s.
+///
+/// Implemented by [`DistanceKind`]; a trait keeps the mechanisms generic so
+/// downstream users can plug in custom measures (the paper's framework only
+/// requires the relaxed subadditivity of §IV-B for the pruning lemma).
+pub trait SymbolDistance {
+    /// Distance between two symbol sequences; must be non-negative,
+    /// symmetric, and zero on identical inputs.
+    fn dist(&self, a: &SymbolSeq, b: &SymbolSeq) -> f64;
+}
+
+/// The distance measures evaluated in the paper (§V-H).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DistanceKind {
+    /// Dynamic time warping over symbol indices (paper default, clustering).
+    #[default]
+    Dtw,
+    /// String edit distance (paper default, classification).
+    Sed,
+    /// Euclidean over symbol indices with last-symbol padding.
+    Euclidean,
+    /// Hausdorff over `(time, symbol)` point sets.
+    Hausdorff,
+}
+
+impl DistanceKind {
+    /// All variants, in the order the paper reports them.
+    pub const ALL: [DistanceKind; 4] =
+        [DistanceKind::Dtw, DistanceKind::Sed, DistanceKind::Euclidean, DistanceKind::Hausdorff];
+
+    /// Distance between two symbol sequences under this measure.
+    pub fn dist(&self, a: &SymbolSeq, b: &SymbolSeq) -> f64 {
+        match self {
+            DistanceKind::Dtw => dtw(&a.as_indices(), &b.as_indices()),
+            DistanceKind::Sed => sed(a.symbols(), b.symbols()),
+            DistanceKind::Euclidean => euclidean_padded(&a.as_indices(), &b.as_indices()),
+            DistanceKind::Hausdorff => hausdorff(&a.as_indices(), &b.as_indices()),
+        }
+    }
+
+    /// Short lowercase name used in experiment output (`dtw`, `sed`, …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DistanceKind::Dtw => "dtw",
+            DistanceKind::Sed => "sed",
+            DistanceKind::Euclidean => "euclidean",
+            DistanceKind::Hausdorff => "hausdorff",
+        }
+    }
+}
+
+impl SymbolDistance for DistanceKind {
+    fn dist(&self, a: &SymbolSeq, b: &SymbolSeq) -> f64 {
+        DistanceKind::dist(self, a, b)
+    }
+}
+
+impl std::fmt::Display for DistanceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for DistanceKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "dtw" => Ok(DistanceKind::Dtw),
+            "sed" => Ok(DistanceKind::Sed),
+            "euclidean" | "l2" => Ok(DistanceKind::Euclidean),
+            "hausdorff" => Ok(DistanceKind::Hausdorff),
+            other => Err(format!("unknown distance {other:?} (dtw|sed|euclidean|hausdorff)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> SymbolSeq {
+        SymbolSeq::parse(s).unwrap()
+    }
+
+    #[test]
+    fn all_kinds_are_zero_on_identity_and_symmetric() {
+        let a = seq("acba");
+        let b = seq("abdc");
+        for kind in DistanceKind::ALL {
+            assert_eq!(kind.dist(&a, &a), 0.0, "{kind}");
+            assert_eq!(kind.dist(&a, &b), kind.dist(&b, &a), "{kind}");
+            assert!(kind.dist(&a, &b) > 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn kinds_disagree_where_expected() {
+        // "ac" vs "ab": SED counts one edit; DTW/Euclidean see the magnitude.
+        let x = seq("ac");
+        let y = seq("ab");
+        assert_eq!(DistanceKind::Sed.dist(&x, &y), 1.0);
+        assert_eq!(DistanceKind::Dtw.dist(&x, &y), 1.0);
+        let x2 = seq("az");
+        assert_eq!(DistanceKind::Sed.dist(&x2, &y), 1.0); // still one edit
+        assert!(DistanceKind::Dtw.dist(&x2, &y) > 20.0); // but much farther
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for kind in DistanceKind::ALL {
+            let parsed: DistanceKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("cosine".parse::<DistanceKind>().is_err());
+        assert_eq!("L2".parse::<DistanceKind>().unwrap(), DistanceKind::Euclidean);
+    }
+
+    #[test]
+    fn trait_object_dispatch_works() {
+        let d: &dyn SymbolDistance = &DistanceKind::Sed;
+        assert_eq!(d.dist(&seq("ab"), &seq("ba")), 2.0);
+    }
+}

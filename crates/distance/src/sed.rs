@@ -1,0 +1,83 @@
+//! String edit distance (Levenshtein) — the paper's SED metric, used as the
+//! default for the Trace classification task (§V-B2).
+
+use privshape_timeseries::Symbol;
+
+/// Unit-cost edit distance (insert / delete / substitute) between two symbol
+/// slices. `O(n·m)` time, `O(min(n, m))` memory.
+pub fn sed(a: &[Symbol], b: &[Symbol]) -> f64 {
+    // Keep the shorter sequence as the DP row.
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len() as f64;
+    }
+
+    let m = short.len();
+    let mut row: Vec<usize> = (0..=m).collect();
+    for (i, &x) in long.iter().enumerate() {
+        let mut diag = row[0]; // row[i-1][0]
+        row[0] = i + 1;
+        for j in 0..m {
+            let sub = diag + usize::from(x != short[j]);
+            let del = row[j] + 1; // deletion from `long`
+            let ins = row[j + 1] + 1; // insertion into `long`
+            diag = row[j + 1];
+            row[j + 1] = sub.min(del).min(ins);
+        }
+    }
+    row[m] as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privshape_timeseries::SymbolSeq;
+
+    fn d(a: &str, b: &str) -> f64 {
+        sed(
+            SymbolSeq::parse(a).unwrap().symbols(),
+            SymbolSeq::parse(b).unwrap().symbols(),
+        )
+    }
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(d("kitten", "sitting"), 3.0);
+        assert_eq!(d("abc", "abc"), 0.0);
+        assert_eq!(d("", "abc"), 3.0);
+        assert_eq!(d("abc", ""), 3.0);
+        assert_eq!(d("", ""), 0.0);
+        assert_eq!(d("ab", "ba"), 2.0);
+        assert_eq!(d("acba", "aba"), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(d("acbd", "bd"), d("bd", "acbd"));
+    }
+
+    #[test]
+    fn bounded_by_longer_length() {
+        assert!(d("abcde", "z") <= 5.0);
+        assert_eq!(d("aaaa", "bbbb"), 4.0);
+    }
+
+    #[test]
+    fn single_substitution_and_indel() {
+        assert_eq!(d("abc", "axc"), 1.0);
+        assert_eq!(d("abc", "abcd"), 1.0);
+        assert_eq!(d("abc", "bc"), 1.0);
+    }
+
+    #[test]
+    fn triangle_inequality_on_samples() {
+        let seqs = ["acba", "aba", "abca", "ca", "bacb"];
+        for x in seqs {
+            for y in seqs {
+                for z in seqs {
+                    assert!(d(x, z) <= d(x, y) + d(y, z) + 1e-12, "{x} {y} {z}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! KShape clustering (Paparrizos & Gravano, SIGMOD 2015).
+//!
+//! The paper uses KShape to extract ground-truth shape centers on the Trace
+//! dataset (Fig. 10) because its shape-based distance (SBD) — one minus the
+//! maximal normalized cross-correlation over all shifts — is insensitive to
+//! phase but sensitive to shape, "suitable to capture shapes from time
+//! series that are not warping".
+
+use crate::linalg::{dominant_eigenvector, l2_norm, z_normalize};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Shape-based distance between two z-normalizable sequences.
+///
+/// Returns `(distance, shift)` where `distance = 1 − max_s NCC_c(a, b; s)`
+/// lies in `[0, 2]` and `shift` is the argmax lag of `b` relative to `a`
+/// (positive ⇒ `b` delayed). Sequences are z-normalized internally.
+#[allow(clippy::needless_range_loop)] // the lag loop indexes a shifted window
+pub fn sbd(a: &[f64], b: &[f64]) -> (f64, isize) {
+    assert!(!a.is_empty() && !b.is_empty(), "SBD needs non-empty inputs");
+    let az = z_normalize(a);
+    let bz = z_normalize(b);
+    let denom = l2_norm(&az) * l2_norm(&bz);
+    if denom < 1e-30 {
+        // At least one side is constant: no shape information, maximal
+        // distance by convention.
+        return (1.0, 0);
+    }
+    let n = az.len();
+    let m = bz.len();
+    let mut best = f64::NEG_INFINITY;
+    let mut best_shift = 0isize;
+    // Cross-correlation over all lags, O(n·m) — series here are ≤ a few
+    // hundred points, so the direct sum beats FFT bookkeeping.
+    for shift in -(m as isize - 1)..(n as isize) {
+        let mut acc = 0.0;
+        for j in 0..m {
+            let i = shift + j as isize;
+            if i >= 0 && (i as usize) < n {
+                acc += az[i as usize] * bz[j];
+            }
+        }
+        let ncc = acc / denom;
+        if ncc > best {
+            best = ncc;
+            best_shift = shift;
+        }
+    }
+    (1.0 - best, best_shift)
+}
+
+/// Aligns `b` to `a` under the optimal SBD shift (zero-padding the gap).
+fn align_to(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let (_, shift) = sbd(a, b);
+    let n = a.len();
+    let mut out = vec![0.0; n];
+    for (j, &v) in b.iter().enumerate() {
+        let i = shift + j as isize;
+        if i >= 0 && (i as usize) < n {
+            out[i as usize] = v;
+        }
+    }
+    out
+}
+
+/// KShape's shape extraction: the centroid maximizing the summed squared
+/// NCC to the (aligned, z-normalized) members — the dominant eigenvector of
+/// `M = Q Sᵀ S Q` with `Q` the centering matrix.
+///
+/// `reference` fixes the alignment target and the sign of the result;
+/// the output is z-normalized. Empty `members` returns the reference.
+pub fn shape_extraction(members: &[&[f64]], reference: &[f64]) -> Vec<f64> {
+    let n = reference.len();
+    if members.is_empty() {
+        return z_normalize(reference);
+    }
+    // S = Σ yᵀy over aligned members.
+    let mut s = vec![vec![0.0; n]; n];
+    for member in members {
+        let aligned = z_normalize(&align_to(reference, member));
+        for i in 0..n {
+            if aligned[i] == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                s[i][j] += aligned[i] * aligned[j];
+            }
+        }
+    }
+    // M = Q S Q, Q = I − (1/n)·J; computed as S minus row/col means plus
+    // the grand mean.
+    let row_means: Vec<f64> = s.iter().map(|row| row.iter().sum::<f64>() / n as f64).collect();
+    let grand = row_means.iter().sum::<f64>() / n as f64;
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            m[i][j] = s[i][j] - row_means[i] - row_means[j] + grand;
+        }
+    }
+    let mut centroid = dominant_eigenvector(&m, 300, 1e-10);
+    // Eigenvectors have arbitrary sign: orient toward the reference.
+    let dot: f64 = centroid.iter().zip(reference).map(|(a, b)| a * b).sum();
+    if dot < 0.0 {
+        centroid.iter_mut().for_each(|x| *x = -*x);
+    }
+    z_normalize(&centroid)
+}
+
+/// KShape configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KShape {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum refinement iterations.
+    pub max_iter: usize,
+    /// Master seed for the initial random assignment.
+    pub seed: u64,
+}
+
+impl KShape {
+    /// Default configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        Self { k, max_iter: 20, seed: 0 }
+    }
+}
+
+/// A fitted KShape clustering.
+#[derive(Debug, Clone)]
+pub struct KShapeFit {
+    /// Per-series cluster assignment.
+    pub labels: Vec<usize>,
+    /// Z-normalized cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Refinement iterations used.
+    pub iterations: usize,
+}
+
+impl KShape {
+    /// Fits KShape to equal-length series.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty data, inconsistent lengths, or `k` outside `[1, n]`.
+    pub fn fit(&self, data: &[Vec<f64>]) -> KShapeFit {
+        assert!(!data.is_empty(), "KShape needs data");
+        let len = data[0].len();
+        assert!(data.iter().all(|row| row.len() == len), "series must share a length");
+        assert!(self.k >= 1 && self.k <= data.len(), "k must be in [1, n]");
+
+        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let mut labels: Vec<usize> = (0..data.len()).map(|i| {
+            // Balanced random initial assignment.
+            let _ = rng.random::<u32>();
+            i % self.k
+        }).collect();
+        let mut centroids: Vec<Vec<f64>> = vec![vec![0.0; len]; self.k];
+        let mut iterations = 0;
+
+        for iter in 0..self.max_iter {
+            iterations = iter + 1;
+            // Refinement: new centroid per cluster.
+            #[allow(clippy::needless_range_loop)] // c is also the label being matched
+            for c in 0..self.k {
+                let members: Vec<&[f64]> = data
+                    .iter()
+                    .zip(&labels)
+                    .filter(|(_, &l)| l == c)
+                    .map(|(row, _)| row.as_slice())
+                    .collect();
+                let reference = if l2_norm(&centroids[c]) < 1e-12 {
+                    members.first().copied().unwrap_or(&centroids[c]).to_vec()
+                } else {
+                    centroids[c].clone()
+                };
+                centroids[c] = shape_extraction(&members, &reference);
+            }
+            // Assignment: nearest centroid under SBD.
+            let mut changed = 0usize;
+            for (i, row) in data.iter().enumerate() {
+                let mut best = (labels[i], f64::INFINITY);
+                for (c, centroid) in centroids.iter().enumerate() {
+                    if l2_norm(centroid) < 1e-12 {
+                        continue;
+                    }
+                    let (d, _) = sbd(centroid, row);
+                    if d < best.1 {
+                        best = (c, d);
+                    }
+                }
+                if best.0 != labels[i] {
+                    labels[i] = best.0;
+                    changed += 1;
+                }
+            }
+            if changed == 0 {
+                break;
+            }
+        }
+        KShapeFit { labels, centroids, iterations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize, phase: f64) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * std::f64::consts::PI * i as f64 / n as f64 + phase).sin()).collect()
+    }
+
+    fn square(n: usize) -> Vec<f64> {
+        (0..n).map(|i| if (i / (n / 4)).is_multiple_of(2) { 1.0 } else { -1.0 }).collect()
+    }
+
+    #[test]
+    fn sbd_zero_on_identical_and_shift_invariant() {
+        let a = sine(64, 0.0);
+        let (d, shift) = sbd(&a, &a);
+        assert!(d < 1e-9);
+        assert_eq!(shift, 0);
+        // A circular phase shift is nearly free for SBD.
+        let shifted = sine(64, 0.5);
+        let (d2, _) = sbd(&a, &shifted);
+        assert!(d2 < 0.2, "d2={d2}");
+    }
+
+    #[test]
+    fn sbd_separates_different_shapes() {
+        let (d, _) = sbd(&sine(64, 0.0), &square(64));
+        let (d_same, _) = sbd(&sine(64, 0.0), &sine(64, 0.1));
+        assert!(d > d_same * 2.0, "d={d} d_same={d_same}");
+    }
+
+    #[test]
+    fn sbd_constant_input_is_maximal_by_convention() {
+        let (d, _) = sbd(&[1.0; 10], &sine(10, 0.0));
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn sbd_symmetricish_in_distance() {
+        // Distance is symmetric (shift flips sign).
+        let a = sine(48, 0.0);
+        let b = square(48);
+        let (dab, sab) = sbd(&a, &b);
+        let (dba, sba) = sbd(&b, &a);
+        assert!((dab - dba).abs() < 1e-9);
+        assert_eq!(sab, -sba);
+    }
+
+    #[test]
+    fn shape_extraction_recovers_common_shape() {
+        let members_owned: Vec<Vec<f64>> =
+            (0..8).map(|p| sine(48, p as f64 * 0.1)).collect();
+        let members: Vec<&[f64]> = members_owned.iter().map(|m| m.as_slice()).collect();
+        let centroid = shape_extraction(&members, &members_owned[0]);
+        let (d, _) = sbd(&centroid, &members_owned[0]);
+        assert!(d < 0.1, "centroid too far from members: {d}");
+    }
+
+    #[test]
+    fn kshape_separates_two_shape_classes() {
+        let mut data = Vec::new();
+        let mut truth = Vec::new();
+        for p in 0..10 {
+            data.push(sine(48, p as f64 * 0.15));
+            truth.push(0usize);
+        }
+        for _ in 0..10 {
+            data.push(square(48));
+            truth.push(1usize);
+        }
+        let fit = KShape::new(2).fit(&data);
+        let ari = crate::metrics::adjusted_rand_index(&fit.labels, &truth);
+        assert!(ari > 0.8, "ARI={ari}");
+    }
+
+    #[test]
+    fn kshape_deterministic() {
+        let data: Vec<Vec<f64>> = (0..8).map(|p| sine(32, p as f64 * 0.2)).collect();
+        let a = KShape { seed: 5, ..KShape::new(2) }.fit(&data);
+        let b = KShape { seed: 5, ..KShape::new(2) }.fit(&data);
+        assert_eq!(a.labels, b.labels);
+    }
+}

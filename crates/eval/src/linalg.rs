@@ -1,0 +1,106 @@
+//! Small dense linear-algebra helpers backing KShape's centroid extraction.
+
+/// Euclidean norm.
+pub fn l2_norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Z-score normalization of a vector (population std). Near-constant input
+/// maps to all zeros.
+pub fn z_normalize(v: &[f64]) -> Vec<f64> {
+    let n = v.len() as f64;
+    let mean = v.iter().sum::<f64>() / n;
+    let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let std = var.sqrt();
+    if std < 1e-12 {
+        vec![0.0; v.len()]
+    } else {
+        v.iter().map(|x| (x - mean) / std).collect()
+    }
+}
+
+/// Dominant eigenvector of a symmetric matrix (row-major, `n × n`) by power
+/// iteration with a deterministic start vector.
+///
+/// Returns a unit vector. Convergence is declared when successive iterates
+/// differ by less than `tol` in L2, or after `max_iter` rounds — for
+/// KShape's well-separated leading eigenvalues a few dozen rounds suffice.
+pub fn dominant_eigenvector(matrix: &[Vec<f64>], max_iter: usize, tol: f64) -> Vec<f64> {
+    let n = matrix.len();
+    assert!(n > 0, "matrix must be non-empty");
+    assert!(matrix.iter().all(|row| row.len() == n), "matrix must be square");
+
+    // Deterministic, not-axis-aligned start vector.
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).sin() * 0.01).collect();
+    let norm = l2_norm(&v);
+    v.iter_mut().for_each(|x| *x /= norm);
+
+    let mut next = vec![0.0; n];
+    for _ in 0..max_iter {
+        for (i, row) in matrix.iter().enumerate() {
+            next[i] = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+        }
+        let norm = l2_norm(&next);
+        if norm < 1e-30 {
+            // Matrix annihilated the iterate (zero matrix); bail out with
+            // the current unit vector.
+            return v;
+        }
+        next.iter_mut().for_each(|x| *x /= norm);
+        let delta: f64 =
+            next.iter().zip(&v).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        std::mem::swap(&mut v, &mut next);
+        if delta < tol {
+            break;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_and_znorm() {
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+        let z = z_normalize(&[1.0, 2.0, 3.0]);
+        assert!(z.iter().sum::<f64>().abs() < 1e-12);
+        assert!((l2_norm(&z) - (3.0f64).sqrt()).abs() < 1e-9);
+        assert_eq!(z_normalize(&[5.0, 5.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn recovers_known_eigenvector() {
+        // diag(5, 1): dominant eigenvector is e₀.
+        let m = vec![vec![5.0, 0.0], vec![0.0, 1.0]];
+        let v = dominant_eigenvector(&m, 200, 1e-12);
+        assert!((v[0].abs() - 1.0).abs() < 1e-6, "{v:?}");
+        assert!(v[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn recovers_rank_one_direction() {
+        // u uᵀ has dominant eigenvector u/‖u‖.
+        let u = [1.0, 2.0, -2.0];
+        let m: Vec<Vec<f64>> =
+            (0..3).map(|i| (0..3).map(|j| u[i] * u[j]).collect()).collect();
+        let v = dominant_eigenvector(&m, 200, 1e-12);
+        let unit: Vec<f64> = u.iter().map(|x| x / 3.0).collect();
+        let dot: f64 = v.iter().zip(&unit).map(|(a, b)| a * b).sum();
+        assert!((dot.abs() - 1.0).abs() < 1e-6, "v={v:?}");
+    }
+
+    #[test]
+    fn zero_matrix_returns_unit_vector() {
+        let m = vec![vec![0.0; 3]; 3];
+        let v = dominant_eigenvector(&m, 50, 1e-10);
+        assert!((l2_norm(&v) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square() {
+        dominant_eigenvector(&[vec![1.0, 2.0]], 10, 1e-6);
+    }
+}

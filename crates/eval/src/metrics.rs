@@ -1,0 +1,188 @@
+//! Evaluation metrics: Adjusted Rand Index for clustering (§V-C) and
+//! accuracy / confusion matrices for classification (§V-E).
+
+/// Adjusted Rand Index between two labelings of the same points
+/// (Hubert & Arabie 1985). Ranges over `[−1, 1]`; 1 ⇔ identical
+/// partitions, ≈ 0 for independent random partitions.
+///
+/// # Panics
+///
+/// Panics if the labelings differ in length or are empty.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must align");
+    assert!(!a.is_empty(), "labelings must be non-empty");
+    let ka = a.iter().copied().max().expect("non-empty") + 1;
+    let kb = b.iter().copied().max().expect("non-empty") + 1;
+
+    // Contingency table.
+    let mut table = vec![vec![0u64; kb]; ka];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x][y] += 1;
+    }
+    let row_sums: Vec<u64> = table.iter().map(|row| row.iter().sum()).collect();
+    let col_sums: Vec<u64> =
+        (0..kb).map(|j| table.iter().map(|row| row[j]).sum()).collect();
+
+    let choose2 = |x: u64| (x * x.saturating_sub(1)) as f64 / 2.0;
+    let sum_cells: f64 = table.iter().flatten().map(|&c| choose2(c)).sum();
+    let sum_rows: f64 = row_sums.iter().map(|&c| choose2(c)).sum();
+    let sum_cols: f64 = col_sums.iter().map(|&c| choose2(c)).sum();
+    let total = choose2(a.len() as u64);
+
+    let expected = sum_rows * sum_cols / total;
+    let max_index = (sum_rows + sum_cols) / 2.0;
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate partitions (e.g. both all-in-one-cluster): identical
+        // partitions score 1, anything else 0.
+        return if sum_cells == max_index { 1.0 } else { 0.0 };
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+/// Fraction of predictions equal to the ground truth.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "prediction/truth mismatch");
+    assert!(!predicted.is_empty(), "need at least one prediction");
+    let hits = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / predicted.len() as f64
+}
+
+/// A confusion matrix over `n_classes` labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    /// `cells[truth][predicted]`.
+    cells: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from aligned predictions and truths.
+    pub fn new(predicted: &[usize], truth: &[usize]) -> Self {
+        assert_eq!(predicted.len(), truth.len(), "prediction/truth mismatch");
+        let n_classes = predicted
+            .iter()
+            .chain(truth)
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut cells = vec![0u64; n_classes * n_classes];
+        for (&p, &t) in predicted.iter().zip(truth) {
+            cells[t * n_classes + p] += 1;
+        }
+        Self { n_classes, cells }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Count of points with true class `truth` predicted as `predicted`.
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        self.cells[truth * self.n_classes + predicted]
+    }
+
+    /// Per-class recall (`None` when a class has no true instances).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let total: u64 = (0..self.n_classes).map(|p| self.count(class, p)).sum();
+        if total == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / total as f64)
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.n_classes).map(|c| self.count(c, c)).sum();
+        let total: u64 = self.cells.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ari_is_one_on_identical_partitions() {
+        let a = [0, 0, 1, 1, 2, 2];
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+        // Label permutation does not matter.
+        let b = [2, 2, 0, 0, 1, 1];
+        assert_eq!(adjusted_rand_index(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn ari_is_low_for_unrelated_partitions() {
+        // A partition vs. an interleaved one.
+        let a = [0, 0, 0, 0, 1, 1, 1, 1];
+        let b = [0, 1, 0, 1, 0, 1, 0, 1];
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari < 0.1, "ari={ari}");
+    }
+
+    #[test]
+    fn ari_degenerate_partitions() {
+        let all_one = [0, 0, 0, 0];
+        assert_eq!(adjusted_rand_index(&all_one, &all_one), 1.0);
+        let split = [0, 0, 1, 1];
+        assert_eq!(adjusted_rand_index(&all_one, &split), 0.0);
+    }
+
+    #[test]
+    fn ari_known_values() {
+        // Hand-checked: contingency [[2,0],[1,2]] ⇒ ARI = 1/6.
+        let a = [0, 0, 1, 1, 1];
+        let b = [0, 0, 1, 1, 0];
+        let ari = adjusted_rand_index(&a, &b);
+        assert!((ari - 1.0 / 6.0).abs() < 1e-9, "ari={ari}");
+        // Hand-checked: index equals expected index ⇒ ARI = 0 exactly.
+        let c = [0, 0, 1, 1];
+        let d = [0, 0, 0, 1];
+        assert_eq!(adjusted_rand_index(&c, &d), 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_hits() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_cells_and_recall() {
+        let pred = [0, 0, 1, 1, 1];
+        let truth = [0, 1, 1, 1, 0];
+        let cm = ConfusionMatrix::new(&pred, &truth);
+        assert_eq!(cm.n_classes(), 2);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.count(1, 1), 2);
+        assert_eq!(cm.recall(0), Some(0.5));
+        assert_eq!(cm.recall(1), Some(2.0 / 3.0));
+        assert!((cm.accuracy() - 0.6).abs() < 1e-12);
+        assert_eq!(cm.accuracy(), accuracy(&pred, &truth));
+    }
+
+    #[test]
+    fn confusion_matrix_missing_class_recall_is_none() {
+        let cm = ConfusionMatrix::new(&[0, 2], &[0, 0]);
+        assert_eq!(cm.recall(1), None);
+        assert_eq!(cm.recall(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn ari_rejects_mismatched_lengths() {
+        adjusted_rand_index(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Nearest-shape assignment: how extracted shapes become cluster centroids
+//! (§V-D) or classification criteria (§V-E), plus DTW-based matching of
+//! extracted shapes to ground-truth centers (Figs. 8/10).
+
+use privshape_distance::{dtw, DistanceKind};
+use privshape_timeseries::SymbolSeq;
+
+/// A 1-NN classifier whose prototypes are extracted shapes.
+#[derive(Debug, Clone)]
+pub struct NearestShape {
+    shapes: Vec<(SymbolSeq, usize)>,
+    distance: DistanceKind,
+}
+
+impl NearestShape {
+    /// Builds the classifier from `(shape, label)` prototypes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no prototype is given.
+    pub fn new(shapes: Vec<(SymbolSeq, usize)>, distance: DistanceKind) -> Self {
+        assert!(!shapes.is_empty(), "need at least one prototype shape");
+        Self { shapes, distance }
+    }
+
+    /// Builds an *unlabeled* variant where each shape is its own class —
+    /// the clustering use-case (shape index = cluster id).
+    pub fn from_centroids(shapes: Vec<SymbolSeq>, distance: DistanceKind) -> Self {
+        let labeled = shapes.into_iter().enumerate().map(|(i, s)| (s, i)).collect();
+        Self::new(labeled, distance)
+    }
+
+    /// Prototypes.
+    pub fn shapes(&self) -> &[(SymbolSeq, usize)] {
+        &self.shapes
+    }
+
+    /// The label of the nearest prototype (ties toward the earlier
+    /// prototype, keeping assignment deterministic).
+    pub fn classify(&self, query: &SymbolSeq) -> usize {
+        self.nearest(query).1
+    }
+
+    /// `(prototype index, label, distance)` of the nearest prototype.
+    pub fn nearest(&self, query: &SymbolSeq) -> (usize, usize, f64) {
+        let mut best = (0usize, self.shapes[0].1, f64::INFINITY);
+        for (i, (shape, label)) in self.shapes.iter().enumerate() {
+            let d = self.distance.dist(query, shape);
+            if d < best.2 {
+                best = (i, *label, d);
+            }
+        }
+        best
+    }
+
+    /// Classifies a batch.
+    pub fn classify_batch(&self, queries: &[SymbolSeq]) -> Vec<usize> {
+        queries.iter().map(|q| self.classify(q)).collect()
+    }
+}
+
+/// Greedily matches extracted centers to ground-truth centers by ascending
+/// DTW distance (the center-matching step of Figs. 8 and 10). Returns
+/// `matches[i] = Some(j)`: extracted center `i` ↔ truth center `j`; extras
+/// on either side stay unmatched.
+pub fn match_centers(extracted: &[Vec<f64>], truth: &[Vec<f64>]) -> Vec<Option<usize>> {
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, e) in extracted.iter().enumerate() {
+        for (j, t) in truth.iter().enumerate() {
+            pairs.push((dtw(e, t), i, j));
+        }
+    }
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then((a.1, a.2).cmp(&(b.1, b.2))));
+    let mut matches = vec![None; extracted.len()];
+    let mut used_truth = vec![false; truth.len()];
+    for (_, i, j) in pairs {
+        if matches[i].is_none() && !used_truth[j] {
+            matches[i] = Some(j);
+            used_truth[j] = true;
+        }
+    }
+    matches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> SymbolSeq {
+        SymbolSeq::parse(s).unwrap()
+    }
+
+    #[test]
+    fn classify_picks_nearest_prototype() {
+        let clf = NearestShape::new(
+            vec![(seq("abab"), 0), (seq("cdcd"), 1)],
+            DistanceKind::Sed,
+        );
+        assert_eq!(clf.classify(&seq("abab")), 0);
+        assert_eq!(clf.classify(&seq("abad")), 0);
+        assert_eq!(clf.classify(&seq("cdce")), 1);
+    }
+
+    #[test]
+    fn from_centroids_uses_indices_as_labels() {
+        let clf = NearestShape::from_centroids(vec![seq("ab"), seq("ba")], DistanceKind::Dtw);
+        assert_eq!(clf.classify(&seq("ab")), 0);
+        assert_eq!(clf.classify(&seq("ba")), 1);
+        assert_eq!(clf.shapes().len(), 2);
+    }
+
+    #[test]
+    fn nearest_reports_distance() {
+        let clf = NearestShape::new(vec![(seq("abc"), 7)], DistanceKind::Sed);
+        let (idx, label, d) = clf.nearest(&seq("abd"));
+        assert_eq!((idx, label), (0, 7));
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let clf = NearestShape::new(
+            vec![(seq("aaab"), 0), (seq("bbba"), 1)],
+            DistanceKind::Euclidean,
+        );
+        let queries = vec![seq("aaab"), seq("bbba"), seq("aab")];
+        let batch = clf.classify_batch(&queries);
+        let single: Vec<usize> = queries.iter().map(|q| clf.classify(q)).collect();
+        assert_eq!(batch, single);
+    }
+
+    #[test]
+    fn center_matching_is_a_partial_bijection() {
+        let truth = vec![vec![0.0, 0.0, 0.0], vec![1.0, 1.0, 1.0], vec![-1.0, -1.0, -1.0]];
+        let extracted = vec![vec![0.9, 1.1, 1.0], vec![0.1, -0.1, 0.0]];
+        let m = match_centers(&extracted, &truth);
+        assert_eq!(m, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn extra_extracted_centers_stay_unmatched() {
+        let truth = vec![vec![0.0, 0.0]];
+        let extracted = vec![vec![0.0, 0.1], vec![5.0, 5.0]];
+        let m = match_centers(&extracted, &truth);
+        assert_eq!(m[0], Some(0));
+        assert_eq!(m[1], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one prototype")]
+    fn rejects_empty_prototypes() {
+        NearestShape::new(vec![], DistanceKind::Dtw);
+    }
+}

@@ -1,0 +1,58 @@
+//! Laplace sampling — the classic value-perturbation primitive, provided for
+//! ablations against the Piecewise Mechanism.
+
+use rand::{Rng, RngExt};
+
+/// Draws one sample from `Laplace(0, scale)` via inverse-CDF sampling.
+///
+/// For a query of sensitivity `Δ`, adding `laplace_noise(rng, Δ/ε)` gives
+/// ε-DP.
+///
+/// # Panics
+///
+/// Panics if `scale` is not finite and positive.
+pub fn laplace_noise<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> f64 {
+    assert!(scale.is_finite() && scale > 0.0, "Laplace scale must be > 0, got {scale}");
+    // u uniform on (-1/2, 1/2]; inverse CDF: -b·sgn(u)·ln(1 − 2|u|).
+    let u: f64 = rng.random::<f64>() - 0.5;
+    let sign = if u >= 0.0 { 1.0 } else { -1.0 };
+    let inner = (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE);
+    -scale * sign * inner.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn mean_is_zero_and_spread_scales() {
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let n = 100_000;
+        let b = 2.0;
+        let samples: Vec<f64> = (0..n).map(|_| laplace_noise(&mut rng, b)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        // Var of Laplace(b) is 2b².
+        let var = samples.iter().map(|x| x * x).sum::<f64>() / n as f64;
+        assert!((var - 2.0 * b * b).abs() < 0.3, "var={var}");
+    }
+
+    #[test]
+    fn median_absolute_deviation_matches_ln2_times_scale() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let b = 1.0;
+        let mut abs: Vec<f64> = (0..50_000).map(|_| laplace_noise(&mut rng, b).abs()).collect();
+        abs.sort_by(|a, c| a.partial_cmp(c).unwrap());
+        let median = abs[abs.len() / 2];
+        assert!((median - b * std::f64::consts::LN_2).abs() < 0.02, "median={median}");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be > 0")]
+    fn rejects_bad_scale() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        laplace_noise(&mut rng, 0.0);
+    }
+}

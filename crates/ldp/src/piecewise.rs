@@ -1,0 +1,147 @@
+//! The Piecewise Mechanism for one-dimensional numeric values
+//! (Wang et al., "Collecting and Analyzing Data from Smart Device Users with
+//! Local Differential Privacy", 2019).
+//!
+//! Used by the PatternLDP baseline to perturb sampled series values: for an
+//! input `t ∈ [−1, 1]` the output lands in `[−C, C]` with a high-probability
+//! plateau `[l(t), r(t)]` around the truth, and the estimator is unbiased.
+
+use crate::budget::{Epsilon, LdpError, Result};
+use rand::{Rng, RngExt};
+
+/// Piecewise Mechanism over the input range `[−1, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct PiecewiseMechanism {
+    eps: Epsilon,
+    /// Output range half-width `C = (e^{ε/2} + 1) / (e^{ε/2} − 1)`.
+    c: f64,
+    /// Probability mass of the central plateau.
+    p_center: f64,
+}
+
+impl PiecewiseMechanism {
+    /// Creates the mechanism for budget ε.
+    pub fn new(eps: Epsilon) -> Self {
+        let half = (eps.value() / 2.0).exp();
+        Self { eps, c: (half + 1.0) / (half - 1.0), p_center: half / (half + 1.0) }
+    }
+
+    /// Budget this instance satisfies.
+    pub fn epsilon(&self) -> Epsilon {
+        self.eps
+    }
+
+    /// Output range half-width `C`.
+    pub fn output_bound(&self) -> f64 {
+        self.c
+    }
+
+    /// Left edge of the high-probability plateau for input `t`.
+    fn l(&self, t: f64) -> f64 {
+        (self.c + 1.0) / 2.0 * t - (self.c - 1.0) / 2.0
+    }
+
+    /// Perturbs `t ∈ [−1, 1]`, returning a value in `[−C, C]`.
+    pub fn try_perturb<R: Rng + ?Sized>(&self, rng: &mut R, t: f64) -> Result<f64> {
+        if !(-1.0..=1.0).contains(&t) || !t.is_finite() {
+            return Err(LdpError::ValueOutOfRange { value: t, lo: -1.0, hi: 1.0 });
+        }
+        let l = self.l(t);
+        let r = l + self.c - 1.0;
+        let out = if rng.random_bool(self.p_center) {
+            // Uniform on the plateau [l, r] (width C − 1).
+            l + rng.random::<f64>() * (self.c - 1.0)
+        } else {
+            // Uniform on the side intervals [−C, l) ∪ (r, C], whose total
+            // width is C + 1.
+            let left_width = l + self.c;
+            let u = rng.random::<f64>() * (self.c + 1.0);
+            if u < left_width {
+                -self.c + u
+            } else {
+                r + (u - left_width)
+            }
+        };
+        Ok(out)
+    }
+
+    /// Panicking variant for validated inner loops; clamps tiny numeric
+    /// overshoot (±1e-12) before checking.
+    pub fn perturb<R: Rng + ?Sized>(&self, rng: &mut R, t: f64) -> f64 {
+        let clamped = t.clamp(-1.0, 1.0);
+        self.try_perturb(rng, clamped).expect("clamped input is in range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn pm(e: f64) -> PiecewiseMechanism {
+        PiecewiseMechanism::new(Epsilon::new(e).unwrap())
+    }
+
+    #[test]
+    fn output_stays_in_declared_range() {
+        let m = pm(1.0);
+        let c = m.output_bound();
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        for i in 0..5000 {
+            let t = -1.0 + 2.0 * (i as f64 / 4999.0);
+            let y = m.perturb(&mut rng, t);
+            assert!((-c..=c).contains(&y), "t={t} y={y} C={c}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_inputs() {
+        let m = pm(1.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        assert!(m.try_perturb(&mut rng, 1.5).is_err());
+        assert!(m.try_perturb(&mut rng, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn estimator_is_unbiased() {
+        let m = pm(2.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        for &t in &[-0.8, 0.0, 0.3, 1.0] {
+            let n = 60_000;
+            let mean: f64 = (0..n).map(|_| m.perturb(&mut rng, t)).sum::<f64>() / n as f64;
+            assert!((mean - t).abs() < 0.05, "t={t} mean={mean}");
+        }
+    }
+
+    #[test]
+    fn plateau_receives_expected_mass() {
+        let m = pm(1.5);
+        let t = 0.25;
+        let l = m.l(t);
+        let r = l + m.output_bound() - 1.0;
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let n = 40_000;
+        let inside = (0..n).filter(|_| {
+            let y = m.perturb(&mut rng, t);
+            (l..=r).contains(&y)
+        }).count();
+        let frac = inside as f64 / n as f64;
+        assert!((frac - m.p_center).abs() < 0.01, "frac={frac} want={}", m.p_center);
+    }
+
+    #[test]
+    fn larger_budget_shrinks_output_bound() {
+        assert!(pm(4.0).output_bound() < pm(1.0).output_bound());
+        assert!(pm(0.1).output_bound() > 10.0);
+    }
+
+    #[test]
+    fn perturb_clamps_numeric_overshoot() {
+        let m = pm(1.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        // Exactly representable overshoot from upstream arithmetic.
+        let y = m.perturb(&mut rng, 1.0 + 1e-13);
+        assert!(y.is_finite());
+    }
+}

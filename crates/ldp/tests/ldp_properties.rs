@@ -1,0 +1,127 @@
+//! Property tests for the LDP primitives: the ε-LDP probability bounds and
+//! estimator identities must hold for arbitrary parameters, not just the
+//! handful in the unit tests.
+
+use privshape_ldp::{Epsilon, ExpMech, Grr, Oue, PiecewiseMechanism};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn grr_probabilities_are_a_distribution_with_exact_ratio(
+        d in 2usize..200,
+        eps in 0.05f64..8.0,
+    ) {
+        let grr = Grr::new(d, Epsilon::new(eps).unwrap()).unwrap();
+        let total = grr.p() + (d as f64 - 1.0) * grr.q();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!((grr.p() / grr.q() - eps.exp()).abs() / eps.exp() < 1e-9);
+        prop_assert!(grr.p() > grr.q());
+    }
+
+    #[test]
+    fn grr_reports_stay_in_domain(
+        d in 2usize..50,
+        eps in 0.1f64..6.0,
+        value_frac in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let grr = Grr::new(d, Epsilon::new(eps).unwrap()).unwrap();
+        let value = ((value_frac * d as f64) as usize).min(d - 1);
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        for _ in 0..20 {
+            prop_assert!(grr.perturb(&mut rng, value) < d);
+        }
+    }
+
+    #[test]
+    fn oue_flip_probabilities_satisfy_eps(
+        d in 2usize..100,
+        eps in 0.05f64..8.0,
+    ) {
+        let oue = Oue::new(d, Epsilon::new(eps).unwrap()).unwrap();
+        // OUE's privacy bound: (p(1−q)) / (q(1−p)) = e^ε with p = 1/2.
+        let p = Oue::P;
+        let q = oue.q();
+        let ratio = (p * (1.0 - q)) / (q * (1.0 - p));
+        prop_assert!((ratio - eps.exp()).abs() / eps.exp() < 1e-9);
+    }
+
+    #[test]
+    fn em_probabilities_form_distribution_and_bound_ratio(
+        scores in prop::collection::vec(0.0f64..1.0, 1..20),
+        eps in 0.05f64..8.0,
+    ) {
+        let em = ExpMech::new(Epsilon::new(eps).unwrap());
+        let probs = em.probabilities(&scores);
+        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let max = probs.iter().copied().fold(0.0f64, f64::max);
+        let min = probs.iter().copied().fold(1.0f64, f64::min);
+        // Scores live in [0,1] with Δ=1 ⇒ ratio bounded by e^{ε/2}.
+        prop_assert!(max / min <= (eps / 2.0).exp() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn em_select_returns_valid_index(
+        scores in prop::collection::vec(0.0f64..1.0, 1..20),
+        eps in 0.1f64..8.0,
+        seed in 0u64..500,
+    ) {
+        let em = ExpMech::new(Epsilon::new(eps).unwrap());
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let idx = em.select(&mut rng, &scores).unwrap();
+        prop_assert!(idx < scores.len());
+    }
+
+    #[test]
+    fn piecewise_output_always_within_bound(
+        eps in 0.1f64..8.0,
+        t in -1.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let pm = PiecewiseMechanism::new(Epsilon::new(eps).unwrap());
+        let c = pm.output_bound();
+        prop_assert!(c > 1.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let y = pm.perturb(&mut rng, t);
+            prop_assert!((-c..=c).contains(&y));
+        }
+    }
+
+    #[test]
+    fn epsilon_composition_laws(a in 0.01f64..10.0, b in 0.01f64..10.0) {
+        let ea = Epsilon::new(a).unwrap();
+        let eb = Epsilon::new(b).unwrap();
+        prop_assert!((ea.sequential(eb).value() - (a + b)).abs() < 1e-12);
+        prop_assert!((ea.parallel(eb).value() - a.max(b)).abs() < 1e-12);
+        // Parallel never exceeds sequential.
+        prop_assert!(ea.parallel(eb).value() <= ea.sequential(eb).value());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// GRR's estimator identity Σ_v ĉ(v) = n holds for every report set.
+    #[test]
+    fn grr_estimates_sum_to_population(
+        d in 2usize..12,
+        eps in 0.2f64..4.0,
+        n in 1usize..400,
+        seed in 0u64..100,
+    ) {
+        use privshape_ldp::GrrAggregator;
+        let grr = Grr::new(d, Epsilon::new(eps).unwrap()).unwrap();
+        let mut agg = GrrAggregator::new(&grr);
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        for i in 0..n {
+            agg.add(grr.perturb(&mut rng, i % d));
+        }
+        let sum: f64 = agg.estimates().iter().sum();
+        prop_assert!((sum - n as f64).abs() < 1e-6 * n as f64 + 1e-6);
+    }
+}

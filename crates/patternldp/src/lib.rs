@@ -1,0 +1,44 @@
+//! PatternLDP (Wang et al., INFOCOM 2020), extended to user-level offline
+//! use exactly as the paper's comparison requires (§V-B1).
+//!
+//! PatternLDP is a *value-perturbation* mechanism: each user samples the
+//! "remarkable" points of their series with a PID-controller importance
+//! score, allocates privacy budget among the sampled points proportionally
+//! to that score, perturbs the sampled values, and reconstructs the series.
+//! In its original form it guarantees ω-event privacy over a sliding window;
+//! the paper's extension processes the entire series against a single
+//! user-level budget ε — which is why its utility collapses: the more points
+//! a series needs to describe its shape, the thinner each point's budget
+//! slice becomes.
+//!
+//! Pipeline per user (offline):
+//!
+//! 1. PID importance scoring of every point against a linear extrapolation
+//!    of the last two sampled points ([`pid_importance`]);
+//! 2. remarkable-point sampling where importance exceeds a threshold
+//!    (endpoints always kept);
+//! 3. budget allocation `ε_i = ε · w_i / Σ w` over the sampled points;
+//! 4. value perturbation with the Piecewise Mechanism after clipping to
+//!    `[−clip, clip]` (z-scored data) and rescaling to `[−1, 1]`;
+//! 5. linear interpolation back to the original length.
+//!
+//! # Example
+//!
+//! ```
+//! use privshape_patternldp::{PatternLdp, PatternLdpConfig};
+//! use privshape_ldp::Epsilon;
+//! use privshape_timeseries::TimeSeries;
+//!
+//! let mech = PatternLdp::new(PatternLdpConfig::default());
+//! let series = TimeSeries::new((0..100).map(|i| (i as f64 * 0.1).sin()).collect())
+//!     .unwrap()
+//!     .z_normalized();
+//! let noisy = mech.perturb_series(&series, Epsilon::new(4.0).unwrap(), 7);
+//! assert_eq!(noisy.len(), series.len());
+//! ```
+
+mod mechanism;
+mod pid;
+
+pub use mechanism::{PatternLdp, PatternLdpConfig};
+pub use pid::{pid_importance, PidParams};

@@ -1,0 +1,149 @@
+//! PID-control importance scoring (PatternLDP §IV; parameters from the
+//! original paper).
+//!
+//! PatternLDP predicts each point by linearly extrapolating the two most
+//! recently *sampled* points (a piecewise-linear approximation of the
+//! stream) and treats the prediction error as the control error of a PID
+//! loop. Points where the PID output is large mark pattern changes — they
+//! are the "remarkable points" worth spending budget on.
+
+/// PID gains. Defaults follow the original paper's configuration:
+/// proportional-dominant with a small integral term over a short error
+/// window and a modest derivative term.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PidParams {
+    /// Proportional gain `K_p`.
+    pub kp: f64,
+    /// Integral gain `K_i` (applied to the mean error over `window`).
+    pub ki: f64,
+    /// Derivative gain `K_d`.
+    pub kd: f64,
+    /// Number of recent errors entering the integral term.
+    pub window: usize,
+}
+
+impl Default for PidParams {
+    fn default() -> Self {
+        Self { kp: 0.9, ki: 0.1, kd: 0.05, window: 5 }
+    }
+}
+
+/// Computes the per-point PID importance of a series and the implied sample
+/// decisions.
+///
+/// Returns `(importance, sampled)` of the series' length. `sampled[i]` is
+/// true when the importance exceeds `threshold`; the first and last points
+/// are always sampled so reconstruction can interpolate the full range.
+pub fn pid_importance(
+    values: &[f64],
+    params: &PidParams,
+    threshold: f64,
+) -> (Vec<f64>, Vec<bool>) {
+    let n = values.len();
+    let mut importance = vec![0.0; n];
+    let mut sampled = vec![false; n];
+    if n == 0 {
+        return (importance, sampled);
+    }
+    sampled[0] = true;
+    if n == 1 {
+        return (importance, sampled);
+    }
+
+    // The two most recent sampled points (index, value) for extrapolation.
+    let mut prev2: Option<(usize, f64)> = None;
+    let mut prev1 = (0usize, values[0]);
+    let mut errors: Vec<f64> = Vec::with_capacity(params.window);
+    let mut last_error = 0.0;
+
+    for i in 1..n {
+        let predicted = match prev2 {
+            Some((i2, v2)) => {
+                let dt = (prev1.0 - i2) as f64;
+                let slope = if dt > 0.0 { (prev1.1 - v2) / dt } else { 0.0 };
+                prev1.1 + slope * (i - prev1.0) as f64
+            }
+            // With a single sampled point, predict persistence.
+            None => prev1.1,
+        };
+        let error = (values[i] - predicted).abs();
+        errors.push(error);
+        if errors.len() > params.window {
+            errors.remove(0);
+        }
+        let integral = errors.iter().sum::<f64>() / errors.len() as f64;
+        let derivative = error - last_error;
+        last_error = error;
+        let w = params.kp * error + params.ki * integral + params.kd * derivative;
+        importance[i] = w.max(0.0);
+
+        if importance[i] > threshold || i == n - 1 {
+            sampled[i] = true;
+            prev2 = Some(prev1);
+            prev1 = (i, values[i]);
+        }
+    }
+    (importance, sampled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_always_sampled() {
+        let v = vec![0.0; 50];
+        let (_, sampled) = pid_importance(&v, &PidParams::default(), 0.5);
+        assert!(sampled[0]);
+        assert!(sampled[49]);
+    }
+
+    #[test]
+    fn constant_series_samples_only_endpoints() {
+        let v = vec![1.0; 100];
+        let (imp, sampled) = pid_importance(&v, &PidParams::default(), 0.1);
+        assert_eq!(sampled.iter().filter(|&&s| s).count(), 2);
+        assert!(imp.iter().all(|&w| w.abs() < 1e-12));
+    }
+
+    #[test]
+    fn step_change_is_remarkable() {
+        let mut v = vec![0.0; 40];
+        v.extend(vec![3.0; 40]);
+        let (imp, sampled) = pid_importance(&v, &PidParams::default(), 0.5);
+        // The step at index 40 must be detected.
+        assert!(sampled[40], "step not sampled: imp[40]={}", imp[40]);
+        assert!(imp[40] > 1.0);
+        // Flat interior away from the step stays unsampled.
+        assert!(!sampled[20]);
+        assert!(!sampled[60]);
+    }
+
+    #[test]
+    fn linear_ramp_is_well_predicted() {
+        // After locking onto the slope, extrapolation is exact, so interior
+        // importance collapses to ~0.
+        let v: Vec<f64> = (0..100).map(|i| 0.5 * i as f64).collect();
+        let (imp, _) = pid_importance(&v, &PidParams::default(), 0.4);
+        let tail_max = imp[10..99].iter().fold(0.0f64, |m, &w| m.max(w));
+        assert!(tail_max < 0.4, "tail_max={tail_max}");
+    }
+
+    #[test]
+    fn lower_threshold_samples_more_points() {
+        let v: Vec<f64> = (0..200).map(|i| (i as f64 * 0.2).sin()).collect();
+        let p = PidParams::default();
+        let dense = pid_importance(&v, &p, 0.01).1.iter().filter(|&&s| s).count();
+        let sparse = pid_importance(&v, &p, 0.5).1.iter().filter(|&&s| s).count();
+        assert!(dense > sparse, "dense={dense} sparse={sparse}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (imp, sampled) = pid_importance(&[], &PidParams::default(), 0.1);
+        assert!(imp.is_empty() && sampled.is_empty());
+        let (imp, sampled) = pid_importance(&[4.2], &PidParams::default(), 0.1);
+        assert_eq!(imp, vec![0.0]);
+        assert_eq!(sampled, vec![true]);
+    }
+}

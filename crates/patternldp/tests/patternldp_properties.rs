@@ -1,0 +1,88 @@
+//! Property tests for the PatternLDP baseline: structural guarantees that
+//! must hold for arbitrary series, budgets, and seeds.
+
+use privshape_ldp::Epsilon;
+use privshape_patternldp::{pid_importance, PatternLdp, PatternLdpConfig, PidParams};
+use privshape_timeseries::TimeSeries;
+use proptest::prelude::*;
+
+fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-5.0f64..5.0, 2..150)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn perturbed_series_has_same_length_and_is_finite(
+        values in series_strategy(),
+        eps in 0.1f64..8.0,
+        seed in 0u64..200,
+    ) {
+        let mech = PatternLdp::new(PatternLdpConfig::default());
+        let s = TimeSeries::new(values).unwrap().z_normalized();
+        let out = mech.perturb_series(&s, Epsilon::new(eps).unwrap(), seed);
+        prop_assert_eq!(out.len(), s.len());
+        prop_assert!(out.values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_in_seed(
+        values in series_strategy(),
+        eps in 0.1f64..4.0,
+        seed in 0u64..200,
+    ) {
+        let mech = PatternLdp::new(PatternLdpConfig::default());
+        let s = TimeSeries::new(values).unwrap().z_normalized();
+        let e = Epsilon::new(eps).unwrap();
+        prop_assert_eq!(mech.perturb_series(&s, e, seed), mech.perturb_series(&s, e, seed));
+    }
+
+    #[test]
+    fn pid_importance_is_nonnegative_and_endpoints_sampled(
+        values in series_strategy(),
+        threshold in 0.0f64..2.0,
+    ) {
+        let (imp, sampled) = pid_importance(&values, &PidParams::default(), threshold);
+        prop_assert_eq!(imp.len(), values.len());
+        prop_assert_eq!(sampled.len(), values.len());
+        prop_assert!(imp.iter().all(|&w| w >= 0.0));
+        prop_assert!(sampled[0]);
+        prop_assert!(sampled[values.len() - 1]);
+    }
+
+    #[test]
+    fn sample_count_monotone_in_threshold(
+        values in series_strategy(),
+        t_low in 0.01f64..0.5,
+        t_gap in 0.01f64..2.0,
+    ) {
+        let p = PidParams::default();
+        let low = pid_importance(&values, &p, t_low).1.iter().filter(|&&s| s).count();
+        let high =
+            pid_importance(&values, &p, t_low + t_gap).1.iter().filter(|&&s| s).count();
+        prop_assert!(high <= low, "higher threshold sampled more points");
+    }
+
+    #[test]
+    fn sampled_anchor_count_bounds_output_extremes(
+        values in series_strategy(),
+        eps in 0.5f64..8.0,
+        seed in 0u64..100,
+    ) {
+        // Linear reconstruction: the number of local extrema of the output
+        // is bounded by the number of anchors.
+        let mech = PatternLdp::new(PatternLdpConfig::default());
+        let s = TimeSeries::new(values).unwrap().z_normalized();
+        let out = mech.perturb_series(&s, Epsilon::new(eps).unwrap(), seed);
+        let anchors = mech.sample_count(&s);
+        let mut extrema = 0usize;
+        let v = out.values();
+        for i in 1..v.len().saturating_sub(1) {
+            if (v[i] > v[i - 1] && v[i] > v[i + 1]) || (v[i] < v[i - 1] && v[i] < v[i + 1]) {
+                extrema += 1;
+            }
+        }
+        prop_assert!(extrema <= anchors, "{extrema} extrema from {anchors} anchors");
+    }
+}

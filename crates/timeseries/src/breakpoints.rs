@@ -1,0 +1,173 @@
+//! SAX breakpoint tables derived from the standard normal distribution.
+//!
+//! SAX assigns symbols by splitting the real line into `t` regions of equal
+//! probability under `N(0, 1)`. The published lookup tables only go up to
+//! small alphabet sizes; we generalize with a high-precision inverse normal
+//! CDF so any `t ∈ [2, 26]` works.
+
+use crate::error::{Result, TsError};
+use crate::symbol::MAX_ALPHABET;
+
+/// Inverse CDF (quantile function) of the standard normal distribution.
+///
+/// Peter Acklam's rational approximation; absolute error is below `1.2e-9`
+/// over `(0, 1)`, far tighter than anything the SAX discretization can
+/// observe, exactly zero at `p = 0.5`, and anti-symmetric about it.
+///
+/// # Panics
+///
+/// Panics if `p` is outside the open interval `(0, 1)`.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1), got {p}");
+
+    // Coefficients of Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Standard normal CDF via the complementary error function (test oracle).
+#[cfg(test)]
+fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (Numerical Recipes' Chebyshev fit; relative
+/// error below `1.2e-7` — used only to cross-check the quantiles in tests).
+#[cfg(test)]
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// The `t - 1` SAX breakpoints for alphabet size `t`: the quantiles
+/// `Φ⁻¹(i/t)` for `i = 1, …, t-1`, sorted ascending.
+///
+/// For `t = 3` this reproduces the paper's lookup table `±0.43`.
+pub fn gaussian_breakpoints(alphabet: usize) -> Result<Vec<f64>> {
+    if !(2..=MAX_ALPHABET).contains(&alphabet) {
+        return Err(TsError::InvalidAlphabet(alphabet));
+    }
+    Ok((1..alphabet)
+        .map(|i| inverse_normal_cdf(i as f64 / alphabet as f64))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_match_published_values() {
+        // Classic SAX lookup table entries.
+        let t3 = gaussian_breakpoints(3).unwrap();
+        assert!((t3[0] + 0.430_727_3).abs() < 1e-6, "{t3:?}");
+        assert!((t3[1] - 0.430_727_3).abs() < 1e-6);
+
+        let t4 = gaussian_breakpoints(4).unwrap();
+        assert!((t4[0] + 0.674_489_8).abs() < 1e-6);
+        assert!(t4[1].abs() < 1e-12);
+        assert!((t4[2] - 0.674_489_8).abs() < 1e-6);
+
+        let t5 = gaussian_breakpoints(5).unwrap();
+        for (got, want) in t5.iter().zip([-0.841_621_2, -0.253_347_1, 0.253_347_1, 0.841_621_2]) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn breakpoints_are_sorted_and_symmetric() {
+        for t in 2..=26 {
+            let bp = gaussian_breakpoints(t).unwrap();
+            assert_eq!(bp.len(), t - 1);
+            for w in bp.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            for i in 0..bp.len() {
+                let mirror = bp[bp.len() - 1 - i];
+                assert!((bp[i] + mirror).abs() < 1e-9, "t={t}: {bp:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_alphabets_rejected() {
+        assert!(gaussian_breakpoints(1).is_err());
+        assert!(gaussian_breakpoints(0).is_err());
+        assert!(gaussian_breakpoints(27).is_err());
+    }
+
+    #[test]
+    fn inverse_cdf_inverts_cdf() {
+        // Tolerance limited by the test-oracle erfc (~1.2e-7 relative).
+        for &p in &[0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = inverse_normal_cdf(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-6, "p={p}");
+        }
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile requires")]
+    fn inverse_cdf_rejects_zero() {
+        inverse_normal_cdf(0.0);
+    }
+}

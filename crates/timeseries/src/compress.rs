@@ -1,0 +1,65 @@
+//! The compression step of Compressive SAX (§III-B): merge runs of repeated
+//! symbols, keeping one representative per run. Repetition carries no shape
+//! information (it encodes dwell time, which the paper deliberately
+//! discards to handle time-axis scaling), so `"aaaccccccbbbbaaa"` becomes
+//! `"acba"`.
+
+use crate::symbol::SymbolSeq;
+
+/// Removes consecutive duplicate symbols.
+pub fn compress(seq: &SymbolSeq) -> SymbolSeq {
+    let mut out = SymbolSeq::new();
+    for &s in seq.symbols() {
+        if out.last() != Some(s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Whether a sequence contains no adjacent duplicates (i.e. is a fixed point
+/// of [`compress`]). All sequences inside the trie must satisfy this.
+pub fn is_compressed(seq: &SymbolSeq) -> bool {
+    seq.bigrams().all(|(a, b)| a != b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> String {
+        compress(&SymbolSeq::parse(s).unwrap()).to_string()
+    }
+
+    #[test]
+    fn merges_runs() {
+        assert_eq!(c("aaaccccccbbbbaaa"), "acba");
+        assert_eq!(c("abc"), "abc");
+        assert_eq!(c("aaaa"), "a");
+        assert_eq!(c("abab"), "abab");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(c(""), "");
+        assert_eq!(c("z"), "z");
+    }
+
+    #[test]
+    fn compress_is_idempotent() {
+        for s in ["", "a", "aab", "aaaccccccbbbbaaa", "zyzzy"] {
+            let once = compress(&SymbolSeq::parse(s).unwrap());
+            let twice = compress(&once);
+            assert_eq!(once, twice, "input {s:?}");
+        }
+    }
+
+    #[test]
+    fn output_is_always_compressed() {
+        for s in ["aabbcc", "abccba", "aaa"] {
+            assert!(is_compressed(&compress(&SymbolSeq::parse(s).unwrap())));
+        }
+        assert!(!is_compressed(&SymbolSeq::parse("aab").unwrap()));
+        assert!(is_compressed(&SymbolSeq::parse("aba").unwrap()));
+    }
+}

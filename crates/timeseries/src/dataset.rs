@@ -1,0 +1,205 @@
+use crate::error::{Result, TsError};
+use crate::series::TimeSeries;
+
+/// A collection of time series, optionally labeled — the paper's
+/// `T = {R_1, …, R_n}` with class labels for the classification task.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    series: Vec<TimeSeries>,
+    labels: Option<Vec<usize>>,
+}
+
+impl Dataset {
+    /// An unlabeled dataset.
+    pub fn unlabeled(series: Vec<TimeSeries>) -> Self {
+        Self { series, labels: None }
+    }
+
+    /// A labeled dataset; label count must match the series count.
+    pub fn labeled(series: Vec<TimeSeries>, labels: Vec<usize>) -> Result<Self> {
+        if series.len() != labels.len() {
+            return Err(TsError::LabelMismatch { series: series.len(), labels: labels.len() });
+        }
+        Ok(Self { series, labels: Some(labels) })
+    }
+
+    /// Number of series `n`.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the dataset holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// All series.
+    pub fn series(&self) -> &[TimeSeries] {
+        &self.series
+    }
+
+    /// Labels, if present.
+    pub fn labels(&self) -> Option<&[usize]> {
+        self.labels.as_deref()
+    }
+
+    /// Number of distinct classes (labeled datasets only).
+    pub fn n_classes(&self) -> Option<usize> {
+        self.labels.as_ref().map(|ls| {
+            let mut seen: Vec<usize> = ls.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            seen.len()
+        })
+    }
+
+    /// Appends one series (with a label iff the dataset is labeled).
+    pub fn push(&mut self, series: TimeSeries, label: Option<usize>) -> Result<()> {
+        match (&mut self.labels, label) {
+            (Some(labels), Some(l)) => {
+                labels.push(l);
+                self.series.push(series);
+                Ok(())
+            }
+            (None, None) => {
+                self.series.push(series);
+                Ok(())
+            }
+            (Some(labels), None) => {
+                Err(TsError::LabelMismatch { series: self.series.len() + 1, labels: labels.len() })
+            }
+            (None, Some(_)) => {
+                Err(TsError::LabelMismatch { series: self.series.len() + 1, labels: 0 })
+            }
+        }
+    }
+
+    /// Indices of all series carrying `label`.
+    pub fn class_indices(&self, label: usize) -> Vec<usize> {
+        match &self.labels {
+            Some(ls) => {
+                ls.iter().enumerate().filter(|(_, &l)| l == label).map(|(i, _)| i).collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Splits into `(train, test)` by taking every series whose position in a
+    /// deterministic permutation falls below `train_frac`.
+    ///
+    /// The permutation is derived from `seed` with a SplitMix64-driven
+    /// Fisher–Yates shuffle so splits reproduce across runs and platforms.
+    pub fn split(&self, train_frac: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0,1]");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut state = seed;
+        for i in (1..order.len()).rev() {
+            let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let n_train = ((self.len() as f64) * train_frac).round() as usize;
+        let (train_idx, test_idx) = order.split_at(n_train.min(order.len()));
+        (self.subset(train_idx), self.subset(test_idx))
+    }
+
+    /// A new dataset containing the given indices, in order.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            series: indices.iter().map(|&i| self.series[i].clone()).collect(),
+            labels: self
+                .labels
+                .as_ref()
+                .map(|ls| indices.iter().map(|&i| ls[i]).collect()),
+        }
+    }
+
+    /// Iterates over `(series, label)` pairs; label is `usize::MAX` when the
+    /// dataset is unlabeled.
+    pub fn iter(&self) -> impl Iterator<Item = (&TimeSeries, usize)> + '_ {
+        self.series.iter().enumerate().map(move |(i, s)| {
+            (s, self.labels.as_ref().map_or(usize::MAX, |ls| ls[i]))
+        })
+    }
+}
+
+/// SplitMix64 step: tiny, high-quality, and dependency-free; used only for
+/// deterministic shuffling where the statistical demands are mild.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    fn toy() -> Dataset {
+        Dataset::labeled(
+            vec![ts(&[1.0]), ts(&[2.0]), ts(&[3.0]), ts(&[4.0])],
+            vec![0, 1, 0, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn labeled_requires_matching_lengths() {
+        assert!(Dataset::labeled(vec![ts(&[1.0])], vec![0, 1]).is_err());
+    }
+
+    #[test]
+    fn class_indices_filters_by_label() {
+        let d = toy();
+        assert_eq!(d.class_indices(0), vec![0, 2]);
+        assert_eq!(d.class_indices(1), vec![1, 3]);
+        assert_eq!(d.class_indices(7), Vec::<usize>::new());
+        assert_eq!(d.n_classes(), Some(2));
+    }
+
+    #[test]
+    fn push_enforces_label_consistency() {
+        let mut d = toy();
+        assert!(d.push(ts(&[5.0]), Some(0)).is_ok());
+        assert!(d.push(ts(&[6.0]), None).is_err());
+        let mut u = Dataset::unlabeled(vec![ts(&[1.0])]);
+        assert!(u.push(ts(&[2.0]), None).is_ok());
+        assert!(u.push(ts(&[3.0]), Some(1)).is_err());
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitions() {
+        let d = toy();
+        let (tr1, te1) = d.split(0.5, 42);
+        let (tr2, te2) = d.split(0.5, 42);
+        assert_eq!(tr1.len(), 2);
+        assert_eq!(te1.len(), 2);
+        assert_eq!(tr1.series()[0], tr2.series()[0]);
+        assert_eq!(te1.series()[1], te2.series()[1]);
+        // Different seed gives a different (but still valid) partition.
+        let (tr3, _) = d.split(0.5, 43);
+        assert_eq!(tr3.len(), 2);
+    }
+
+    #[test]
+    fn subset_preserves_labels() {
+        let d = toy();
+        let s = d.subset(&[3, 0]);
+        assert_eq!(s.labels().unwrap(), &[1, 0]);
+        assert_eq!(s.series()[0].values(), &[4.0]);
+    }
+
+    #[test]
+    fn iter_pairs_series_with_labels() {
+        let d = toy();
+        let labels: Vec<usize> = d.iter().map(|(_, l)| l).collect();
+        assert_eq!(labels, vec![0, 1, 0, 1]);
+        let u = Dataset::unlabeled(vec![ts(&[1.0])]);
+        assert_eq!(u.iter().next().unwrap().1, usize::MAX);
+    }
+}

@@ -1,0 +1,92 @@
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TsError>;
+
+/// Errors produced by the time-series substrate.
+#[derive(Debug)]
+pub enum TsError {
+    /// A time series must contain at least one sample.
+    EmptySeries,
+    /// A sample was NaN or infinite.
+    NonFiniteSample { index: usize, value: f64 },
+    /// The PAA segment length must be at least 1.
+    InvalidSegmentLength(usize),
+    /// The SAX alphabet size must lie in `[2, MAX_ALPHABET]`.
+    InvalidAlphabet(usize),
+    /// A symbol index was outside the alphabet it was used with.
+    SymbolOutOfRange { symbol: usize, alphabet: usize },
+    /// A character could not be parsed as a symbol.
+    InvalidSymbolChar(char),
+    /// The number of labels does not match the number of series.
+    LabelMismatch { series: usize, labels: usize },
+    /// A line of a UCR-format file could not be parsed.
+    Parse { line: usize, message: String },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsError::EmptySeries => write!(f, "time series must be non-empty"),
+            TsError::NonFiniteSample { index, value } => {
+                write!(f, "sample {index} is not finite: {value}")
+            }
+            TsError::InvalidSegmentLength(w) => {
+                write!(f, "PAA segment length must be >= 1, got {w}")
+            }
+            TsError::InvalidAlphabet(t) => {
+                write!(
+                    f,
+                    "SAX alphabet size must be in [2, {}], got {t}",
+                    crate::symbol::MAX_ALPHABET
+                )
+            }
+            TsError::SymbolOutOfRange { symbol, alphabet } => {
+                write!(f, "symbol index {symbol} out of range for alphabet {alphabet}")
+            }
+            TsError::InvalidSymbolChar(c) => write!(f, "invalid symbol character {c:?}"),
+            TsError::LabelMismatch { series, labels } => {
+                write!(f, "{labels} labels provided for {series} series")
+            }
+            TsError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            TsError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TsError {
+    fn from(e: std::io::Error) -> Self {
+        TsError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TsError::InvalidSegmentLength(0);
+        assert!(e.to_string().contains("segment length"));
+        let e = TsError::Parse { line: 3, message: "bad float".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e = TsError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,93 @@
+//! Piecewise Aggregate Approximation.
+//!
+//! The paper segments an `m`-length series into `⌈m/w⌉` pieces of segment
+//! length `w` and averages each piece (§II-A). Note this parameterization is
+//! by *segment length*, not by segment count as in some SAX formulations; the
+//! final segment may be shorter than `w` and is averaged over its actual
+//! length.
+
+/// Number of PAA segments produced for a series of `len` samples with
+/// segment length `w`: `⌈len/w⌉`.
+pub fn num_segments(len: usize, w: usize) -> usize {
+    len.div_ceil(w)
+}
+
+/// Computes the PAA of `values` with segment length `w`.
+///
+/// # Panics
+///
+/// Panics if `w == 0` or `values` is empty; callers go through
+/// [`crate::SaxParams`], which validates both.
+pub fn paa(values: &[f64], w: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(num_segments(values.len(), w));
+    paa_into(values, w, &mut out);
+    out
+}
+
+/// PAA variant that reuses the caller's output buffer, clearing it first.
+/// Useful in hot loops over large populations of series.
+pub fn paa_into(values: &[f64], w: usize, out: &mut Vec<f64>) {
+    assert!(w >= 1, "PAA segment length must be >= 1");
+    assert!(!values.is_empty(), "PAA input must be non-empty");
+    out.clear();
+    for chunk in values.chunks(w) {
+        out.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division_averages_each_segment() {
+        let v = [1.0, 3.0, 2.0, 4.0, 10.0, 20.0];
+        assert_eq!(paa(&v, 2), vec![2.0, 3.0, 15.0]);
+    }
+
+    #[test]
+    fn trailing_partial_segment_uses_actual_length() {
+        let v = [1.0, 3.0, 5.0, 7.0, 100.0];
+        // ⌈5/2⌉ = 3 segments; the last holds one sample.
+        assert_eq!(paa(&v, 2), vec![2.0, 6.0, 100.0]);
+    }
+
+    #[test]
+    fn segment_length_one_is_identity() {
+        let v = [4.0, -1.0, 0.5];
+        assert_eq!(paa(&v, 1), v.to_vec());
+    }
+
+    #[test]
+    fn segment_length_longer_than_series_gives_global_mean() {
+        let v = [2.0, 4.0];
+        assert_eq!(paa(&v, 10), vec![3.0]);
+    }
+
+    #[test]
+    fn num_segments_matches_output_len() {
+        for len in 1..40 {
+            for w in 1..10 {
+                let v = vec![0.0; len];
+                assert_eq!(paa(&v, w).len(), num_segments(len, w), "len={len} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn paa_into_reuses_buffer() {
+        let mut buf = vec![9.0; 100];
+        paa_into(&[1.0, 2.0], 1, &mut buf);
+        assert_eq!(buf, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn paa_preserves_mean() {
+        // With exact division the mean of PAA equals the mean of the input.
+        let v: Vec<f64> = (0..32).map(|i| (i as f64).sin()).collect();
+        let p = paa(&v, 4);
+        let m1 = v.iter().sum::<f64>() / v.len() as f64;
+        let m2 = p.iter().sum::<f64>() / p.len() as f64;
+        assert!((m1 - m2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! The SAX transform (§II-A) and Compressive SAX (§III-B).
+
+use crate::breakpoints::gaussian_breakpoints;
+use crate::compress::compress;
+use crate::error::{Result, TsError};
+use crate::paa::paa;
+use crate::symbol::{Symbol, SymbolSeq};
+
+/// Validated SAX parameters: segment length `w` and alphabet size `t`,
+/// with the Gaussian breakpoint table precomputed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaxParams {
+    segment_len: usize,
+    alphabet: usize,
+    breakpoints: Vec<f64>,
+}
+
+impl SaxParams {
+    /// Creates parameters, validating `w ≥ 1` and `t ∈ [2, 26]`.
+    pub fn new(segment_len: usize, alphabet: usize) -> Result<Self> {
+        if segment_len == 0 {
+            return Err(TsError::InvalidSegmentLength(segment_len));
+        }
+        let breakpoints = gaussian_breakpoints(alphabet)?;
+        Ok(Self { segment_len, alphabet, breakpoints })
+    }
+
+    /// Segment length `w`.
+    pub fn segment_len(&self) -> usize {
+        self.segment_len
+    }
+
+    /// Alphabet size `t`.
+    pub fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// The `t - 1` breakpoints splitting `N(0,1)` into equiprobable regions.
+    pub fn breakpoints(&self) -> &[f64] {
+        &self.breakpoints
+    }
+}
+
+/// Maps one (z-normalized) value to its SAX symbol by binary search over the
+/// breakpoint table: region `i` covers `[β_{i-1}, β_i)`.
+pub fn symbolize(value: f64, breakpoints: &[f64]) -> Symbol {
+    let idx = breakpoints.partition_point(|&b| b <= value);
+    Symbol::from_index(idx as u8)
+}
+
+/// The SAX transform of a **z-normalized** series: PAA with segment length
+/// `w`, then symbol assignment against the Gaussian breakpoints.
+///
+/// The input is not re-normalized here so that callers controlling the
+/// normalization policy (e.g. the ablation in §V-J that skips SAX) can reuse
+/// the symbolization machinery.
+pub fn sax(values: &[f64], params: &SaxParams) -> SymbolSeq {
+    paa(values, params.segment_len)
+        .into_iter()
+        .map(|v| symbolize(v, &params.breakpoints))
+        .collect()
+}
+
+/// Compressive SAX: SAX followed by merging runs of repeated symbols
+/// (the paper's `"aaaccccccbbbbaaa" → "acba"` reduction).
+pub fn compressive_sax(values: &[f64], params: &SaxParams) -> SymbolSeq {
+    compress(&sax(values, params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_validate_inputs() {
+        assert!(SaxParams::new(0, 3).is_err());
+        assert!(SaxParams::new(8, 1).is_err());
+        assert!(SaxParams::new(8, 27).is_err());
+        let p = SaxParams::new(8, 3).unwrap();
+        assert_eq!(p.segment_len(), 8);
+        assert_eq!(p.alphabet(), 3);
+        assert_eq!(p.breakpoints().len(), 2);
+    }
+
+    #[test]
+    fn symbolize_respects_half_open_regions() {
+        let bp = [-0.43, 0.43];
+        assert_eq!(symbolize(-1.0, &bp).as_char(), 'a');
+        // Boundary values belong to the upper region: [β, …).
+        assert_eq!(symbolize(-0.43, &bp).as_char(), 'b');
+        assert_eq!(symbolize(0.0, &bp).as_char(), 'b');
+        assert_eq!(symbolize(0.43, &bp).as_char(), 'c');
+        assert_eq!(symbolize(5.0, &bp).as_char(), 'c');
+    }
+
+    #[test]
+    fn sax_matches_paper_fig3_shape() {
+        // Reconstruct the qualitative series of Fig. 3: low for 3 segments,
+        // high for 6, middle for 4, low for 3 — with w = 8, t = 3 it must
+        // produce "aaaccccccbbbbaaa", compressing to "acba".
+        let mut v = Vec::new();
+        for seg in 0..16 {
+            let level = match seg {
+                0..=2 => -1.2,
+                3..=8 => 1.3,
+                9..=12 => 0.0,
+                _ => -1.2,
+            };
+            for i in 0..8 {
+                v.push(level + 0.02 * (i as f64 % 2.0));
+            }
+        }
+        let series = crate::TimeSeries::new(v).unwrap().z_normalized();
+        let p = SaxParams::new(8, 3).unwrap();
+        let seq = sax(series.values(), &p);
+        assert_eq!(seq.to_string(), "aaaccccccbbbbaaa");
+        assert_eq!(compressive_sax(series.values(), &p).to_string(), "acba");
+    }
+
+    #[test]
+    fn sax_output_length_is_segment_count() {
+        let p = SaxParams::new(3, 4).unwrap();
+        let v = vec![0.0; 10];
+        assert_eq!(sax(&v, &p).len(), 4); // ⌈10/3⌉
+    }
+
+    #[test]
+    fn symbols_stay_within_alphabet() {
+        let p = SaxParams::new(2, 5).unwrap();
+        let v: Vec<f64> = (0..100).map(|i| ((i as f64) * 0.37).sin() * 3.0).collect();
+        let seq = sax(&v, &p);
+        assert!(seq.max_index().unwrap() < 5);
+    }
+}

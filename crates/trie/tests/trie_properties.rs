@@ -1,0 +1,131 @@
+//! Property tests for the shape trie: structural invariants that must hold
+//! for arbitrary expansion/pruning schedules.
+
+use privshape_timeseries::is_compressed;
+use privshape_trie::{BigramSet, ShapeTrie};
+use proptest::prelude::*;
+
+/// A random schedule of expansion rounds with optional pruning.
+#[derive(Debug, Clone)]
+struct Round {
+    /// Prune to this many nodes after counting (None = no pruning).
+    keep: Option<usize>,
+}
+
+fn rounds_strategy() -> impl Strategy<Value = Vec<Round>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(Round { keep: None }),
+            (1usize..10).prop_map(|keep| Round { keep: Some(keep) }),
+        ],
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_candidates_are_compressed_and_prefix_closed(
+        t in 2usize..7,
+        rounds in rounds_strategy(),
+    ) {
+        let mut trie = ShapeTrie::new(t).unwrap();
+        for (i, round) in rounds.iter().enumerate() {
+            let level = i + 1;
+            let created = trie.expand_next_level(None);
+            // Deterministic pseudo-frequencies.
+            for (j, &id) in created.iter().enumerate() {
+                trie.set_freq(id, ((j * 37 + level * 11) % 23) as f64);
+            }
+            if let Some(keep) = round.keep {
+                trie.prune_top_m(level, keep).unwrap();
+            }
+            let candidates = trie.candidates(level).unwrap();
+            for (_, shape) in &candidates {
+                prop_assert_eq!(shape.len(), level);
+                prop_assert!(is_compressed(shape));
+                prop_assert!(shape.max_index().unwrap() < t);
+            }
+            // Prefix closure: every level-ℓ candidate's (ℓ−1)-prefix is a
+            // path of the trie (its parent), though possibly pruned dead.
+            if level >= 2 {
+                if let Some(keep) = round.keep {
+                    prop_assert!(candidates.len() <= keep.max(1) * (t - 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unconstrained_expansion_counts_match_formula(t in 2usize..6, depth in 1usize..4) {
+        let mut trie = ShapeTrie::new(t).unwrap();
+        for level in 1..=depth {
+            let created = trie.expand_next_level(None);
+            // Closed form: t·(t−1)^{level−1} nodes at each level.
+            let formula = t * (t - 1).pow(level as u32 - 1);
+            prop_assert_eq!(created.len(), formula, "level {}", level);
+            prop_assert_eq!(trie.live_nodes(level).unwrap().len(), formula);
+        }
+    }
+
+    #[test]
+    fn pruning_keeps_exactly_the_top_m_by_frequency(
+        t in 3usize..7,
+        m in 1usize..8,
+        freqs_seed in 0u64..1000,
+    ) {
+        let mut trie = ShapeTrie::new(t).unwrap();
+        let created = trie.expand_next_level(None);
+        let mut state = freqs_seed;
+        let mut freqs: Vec<(usize, f64)> = Vec::new();
+        for &id in &created {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let f = (state >> 33) as f64;
+            trie.set_freq(id, f);
+            freqs.push((id, f));
+        }
+        trie.prune_top_m(1, m).unwrap();
+        let live = trie.live_nodes(1).unwrap();
+        prop_assert_eq!(live.len(), m.min(t));
+        // The minimum surviving frequency is >= the maximum pruned one.
+        let live_min = live.iter().map(|&id| trie.freq(id)).fold(f64::INFINITY, f64::min);
+        let dead_max = freqs
+            .iter()
+            .filter(|(id, _)| !live.contains(id))
+            .map(|&(_, f)| f)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if m < t {
+            prop_assert!(live_min >= dead_max);
+        }
+    }
+
+    #[test]
+    fn bigram_constrained_expansion_is_a_subset(
+        t in 3usize..6,
+        allowed_bits in prop::collection::vec(any::<bool>(), 36),
+    ) {
+        let mut allowed = BigramSet::new(t);
+        let mut idx = 0;
+        for x in 0..t {
+            for y in 0..t {
+                if x != y && allowed_bits[idx % allowed_bits.len()] {
+                    allowed.insert(
+                        privshape_timeseries::Symbol::from_index(x as u8),
+                        privshape_timeseries::Symbol::from_index(y as u8),
+                    );
+                }
+                idx += 1;
+            }
+        }
+        let mut constrained = ShapeTrie::new(t).unwrap();
+        constrained.expand_next_level(None);
+        let created = constrained.expand_next_level(Some(&allowed));
+        prop_assert_eq!(created.len(), allowed.len());
+        for id in created {
+            let shape = constrained.path(id);
+            let pair = (shape.get(0).unwrap(), shape.get(1).unwrap());
+            prop_assert!(allowed.contains(pair.0, pair.1));
+        }
+    }
+}

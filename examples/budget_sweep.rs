@@ -1,0 +1,56 @@
+//! Privacy/utility trade-off: sweep the user-level budget ε and watch the
+//! classification accuracy of PrivShape on sensor data (Trace-like) climb
+//! from chance to near-clean quality. A compact, runnable version of the
+//! paper's Fig. 11 for budget selection in deployments.
+//!
+//! Run with: `cargo run --release --example budget_sweep`
+
+use privshape::{transform_series, Preprocessing, PrivShape, PrivShapeConfig};
+use privshape_datasets::{generate_trace_like, TraceLikeConfig};
+use privshape_distance::DistanceKind;
+use privshape_eval::{accuracy, NearestShape};
+use privshape_ldp::Epsilon;
+use privshape_timeseries::SaxParams;
+
+fn main() {
+    let data = generate_trace_like(&TraceLikeConfig {
+        n_per_class: 1200,
+        seed: 2023,
+        ..Default::default()
+    });
+    let (train, test) = data.split(0.8, 2023);
+    println!(
+        "Sensor dataset: {} training / {} test series, 3 classes.\n",
+        train.len(),
+        test.len()
+    );
+    println!("{:>6}  {:>9}  per-class prototypes", "eps", "accuracy");
+
+    let sax = SaxParams::new(10, 4).expect("valid SAX parameters");
+    for eps in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let mut config =
+            PrivShapeConfig::new(Epsilon::new(eps).expect("positive"), 3, sax.clone());
+        config.distance = DistanceKind::Sed;
+        config.length_range = (1, 10);
+        config.seed = 2023;
+
+        let extraction = PrivShape::new(config)
+            .expect("valid configuration")
+            .run_labeled(train.series(), train.labels().expect("labeled"))
+            .expect("mechanism succeeds");
+        let prototypes = extraction.top_prototype_per_class();
+        let shapes: Vec<String> =
+            prototypes.iter().map(|(s, l)| format!("{l}:\"{s}\"")).collect();
+
+        let clf = NearestShape::new(prototypes, DistanceKind::Sed);
+        let predicted: Vec<usize> = test
+            .series()
+            .iter()
+            .map(|s| clf.classify(&transform_series(s, &sax, &Preprocessing::default())))
+            .collect();
+        let acc = accuracy(&predicted, test.labels().expect("labeled"));
+        println!("{eps:>6}  {acc:>9.3}  {}", shapes.join("  "));
+    }
+
+    println!("\nEven ε ≤ 2 preserves most utility — the paper's headline claim.");
+}

@@ -1,0 +1,52 @@
+//! Motion-gesture clustering (the paper's Example I): hand-motion
+//! trajectories from six gesture classes are collected under user-level
+//! LDP, PrivShape extracts one essential shape per gesture, and the shapes
+//! then act as cluster centroids.
+//!
+//! Run with: `cargo run --release --example gesture_clustering`
+
+use privshape::{transform_series, Preprocessing, PrivShape, PrivShapeConfig};
+use privshape_datasets::{generate_symbols_like, SymbolsLikeConfig};
+use privshape_distance::DistanceKind;
+use privshape_eval::{adjusted_rand_index, NearestShape};
+use privshape_ldp::Epsilon;
+use privshape_timeseries::SaxParams;
+
+fn main() {
+    // Six gesture classes, 500 users each (Symbols-like: length 398).
+    let data = generate_symbols_like(&SymbolsLikeConfig {
+        n_per_class: 500,
+        seed: 42,
+        ..Default::default()
+    });
+    println!("Collected {} gesture trajectories ({} classes).", data.len(), 6);
+
+    // The paper's Symbols parameters: w = 25, t = 6, k = 6, DTW distance.
+    let sax = SaxParams::new(25, 6).expect("valid SAX parameters");
+    let mut config = PrivShapeConfig::new(Epsilon::new(4.0).expect("positive"), 6, sax.clone());
+    config.distance = DistanceKind::Dtw;
+    config.seed = 42;
+
+    let result = PrivShape::new(config)
+        .expect("valid configuration")
+        .run(data.series())
+        .expect("mechanism succeeds");
+
+    println!("\nExtracted gesture shapes (ε = 4):");
+    for s in &result.shapes {
+        println!("  \"{}\" (frequency {:.0})", s.shape, s.frequency);
+    }
+
+    // Use the extracted shapes as cluster centroids: every trajectory is
+    // assigned to its nearest shape, and we score against the true gesture
+    // labels with the Adjusted Rand Index.
+    let clf = NearestShape::from_centroids(result.sequences(), DistanceKind::Dtw);
+    let assigned: Vec<usize> = data
+        .series()
+        .iter()
+        .map(|s| clf.classify(&transform_series(s, &sax, &Preprocessing::default())))
+        .collect();
+    let ari = adjusted_rand_index(&assigned, data.labels().expect("labeled"));
+    println!("\nClustering ARI against true gesture classes: {ari:.3}");
+    println!("(1.0 = perfect recovery; PatternLDP scores ≈ 0.0 here, see Fig. 9.)");
+}

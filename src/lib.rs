@@ -1,0 +1,24 @@
+//! Umbrella crate for the PrivShape reproduction workspace.
+//!
+//! This package exists to host the runnable examples (`examples/`) and the
+//! workspace-spanning integration tests (`tests/`); the library surface
+//! simply re-exports every member crate so examples and tests can use one
+//! dependency:
+//!
+//! * [`privshape`] — the mechanisms (Algorithm 1 and Algorithm 2);
+//! * [`privshape_timeseries`] — series, SAX, Compressive SAX, datasets I/O;
+//! * [`privshape_distance`] — DTW / SED / Euclidean / Hausdorff;
+//! * [`privshape_ldp`] — GRR / OUE / EM / Piecewise Mechanism;
+//! * [`privshape_trie`] — the candidate shape trie;
+//! * [`privshape_datasets`] — synthetic Symbols/Trace/trigonometric data;
+//! * [`privshape_patternldp`] — the PatternLDP comparison baseline;
+//! * [`privshape_eval`] — KMeans, KShape, random forest, ARI, accuracy.
+
+pub use privshape;
+pub use privshape_datasets;
+pub use privshape_distance;
+pub use privshape_eval;
+pub use privshape_ldp;
+pub use privshape_patternldp;
+pub use privshape_timeseries;
+pub use privshape_trie;

@@ -1,0 +1,158 @@
+//! End-to-end integration tests: the full PrivShape pipeline over the
+//! synthetic datasets, spanning every workspace crate.
+
+use privshape::{Baseline, BaselineConfig, PrivShape, PrivShapeConfig};
+use privshape_bench_free::*;
+use privshape_datasets::{generate_trace_like, Augment, TraceLikeConfig};
+use privshape_distance::DistanceKind;
+use privshape_ldp::Epsilon;
+use privshape_timeseries::{is_compressed, SaxParams};
+
+/// Test-local helpers (kept in a module so the test file reads top-down).
+mod privshape_bench_free {
+    use privshape_datasets::{generate_symbols_like, SymbolsLikeConfig};
+    use privshape_timeseries::Dataset;
+
+    pub fn symbols(n_per_class: usize, seed: u64) -> Dataset {
+        generate_symbols_like(&SymbolsLikeConfig { n_per_class, seed, ..Default::default() })
+    }
+}
+
+fn trace(n_per_class: usize, seed: u64) -> privshape_timeseries::Dataset {
+    generate_trace_like(&TraceLikeConfig {
+        n_per_class,
+        seed,
+        augment: Augment::default(),
+        ..Default::default()
+    })
+}
+
+fn privshape_cfg(eps: f64, k: usize, w: usize, t: usize) -> PrivShapeConfig {
+    let mut cfg =
+        PrivShapeConfig::new(Epsilon::new(eps).unwrap(), k, SaxParams::new(w, t).unwrap());
+    cfg.distance = DistanceKind::Sed;
+    cfg.length_range = (1, 10);
+    cfg.seed = 2023;
+    cfg
+}
+
+#[test]
+fn privshape_extracts_k_valid_shapes_from_trace() {
+    let data = trace(500, 1);
+    let out = PrivShape::new(privshape_cfg(6.0, 3, 10, 4))
+        .unwrap()
+        .run(data.series())
+        .unwrap();
+    assert!(!out.shapes.is_empty() && out.shapes.len() <= 3);
+    for s in &out.shapes {
+        // Every extracted shape respects the Compressive SAX invariant and
+        // the alphabet.
+        assert!(is_compressed(&s.shape), "shape {} not compressed", s.shape);
+        assert!(s.shape.max_index().unwrap() < 4);
+        assert!(s.shape.len() <= 10, "shape longer than ℓ_high");
+    }
+    // Frequencies are sorted descending.
+    for w in out.shapes.windows(2) {
+        assert!(w[0].frequency >= w[1].frequency);
+    }
+}
+
+#[test]
+fn privshape_recovers_trace_class_shapes_at_high_eps() {
+    let data = trace(1200, 2);
+    let out = PrivShape::new(privshape_cfg(8.0, 3, 10, 4))
+        .unwrap()
+        .run_labeled(data.series(), data.labels().unwrap())
+        .unwrap();
+    assert_eq!(out.classes.len(), 3);
+    // Each class must extract at least one shape, and the per-class top
+    // shapes must be pairwise distinct (the three Trace classes are).
+    let tops: Vec<String> = out
+        .classes
+        .iter()
+        .map(|c| c.shapes.first().expect("non-empty class").shape.to_string())
+        .collect();
+    assert_eq!(tops.len(), 3);
+    assert_ne!(tops[0], tops[1]);
+    assert_ne!(tops[1], tops[2]);
+    assert_ne!(tops[0], tops[2]);
+}
+
+#[test]
+fn full_pipeline_is_deterministic_across_runs_and_threads() {
+    let data = symbols(80, 3);
+    let mut cfg = privshape_cfg(4.0, 6, 25, 6);
+    cfg.length_range = (1, 15);
+    cfg.threads = 1;
+    let a = PrivShape::new(cfg.clone()).unwrap().run(data.series()).unwrap();
+    cfg.threads = 4;
+    let b = PrivShape::new(cfg).unwrap().run(data.series()).unwrap();
+    assert_eq!(a.shapes, b.shapes);
+    assert_eq!(a.diagnostics.ell_s, b.diagnostics.ell_s);
+}
+
+#[test]
+fn baseline_and_privshape_agree_on_trie_height_for_unimodal_lengths() {
+    // A single planted shape ⇒ every user's compressed length is 3, so the
+    // GRR mode is unambiguous and both mechanisms must recover it despite
+    // their independent population shuffles.
+    let series: Vec<privshape_timeseries::TimeSeries> = (0..3000)
+        .map(|i| {
+            let jitter = (i % 9) as f64 * 1e-3;
+            let mut v = vec![-1.0 + jitter; 20];
+            v.extend(vec![1.5 + jitter; 20]);
+            v.extend(vec![0.0 + jitter; 20]);
+            privshape_timeseries::TimeSeries::new(v).unwrap()
+        })
+        .collect();
+    let ps = PrivShape::new(privshape_cfg(4.0, 3, 10, 4)).unwrap().run(&series).unwrap();
+    let mut bcfg =
+        BaselineConfig::new(Epsilon::new(4.0).unwrap(), 3, SaxParams::new(10, 4).unwrap());
+    bcfg.distance = DistanceKind::Sed;
+    bcfg.length_range = (1, 10);
+    bcfg.seed = 2023;
+    bcfg.prune_threshold = 5.0;
+    let bl = Baseline::new(bcfg).unwrap().run(&series).unwrap();
+    assert_eq!(ps.diagnostics.ell_s, 3);
+    assert_eq!(bl.diagnostics.ell_s, 3);
+}
+
+#[test]
+fn privshape_prunes_far_more_aggressively_than_baseline() {
+    let data = symbols(150, 5);
+    let mut pcfg = privshape_cfg(4.0, 6, 25, 6);
+    pcfg.length_range = (1, 15);
+    let ps = PrivShape::new(pcfg).unwrap().run(data.series()).unwrap();
+
+    let mut bcfg =
+        BaselineConfig::new(Epsilon::new(4.0).unwrap(), 6, SaxParams::new(25, 6).unwrap());
+    bcfg.distance = DistanceKind::Dtw;
+    bcfg.length_range = (1, 15);
+    bcfg.seed = 2023;
+    bcfg.prune_threshold = 2.0; // weak threshold: baseline barely prunes
+    let bl = Baseline::new(bcfg).unwrap().run(data.series()).unwrap();
+
+    // §IV-E: PrivShape's expansion domain is capped at c·k per level while
+    // the baseline's grows like t(t−1)^{ℓ−1}.
+    assert!(
+        ps.diagnostics.trie_nodes < bl.diagnostics.trie_nodes,
+        "PrivShape trie {} nodes vs baseline {}",
+        ps.diagnostics.trie_nodes,
+        bl.diagnostics.trie_nodes
+    );
+    assert!(ps.diagnostics.candidates_per_level.iter().all(|&c| c <= 18));
+}
+
+#[test]
+fn labeled_and_unlabeled_share_expansion_diagnostics() {
+    let data = trace(400, 6);
+    let mech = PrivShape::new(privshape_cfg(4.0, 3, 10, 4)).unwrap();
+    let unlabeled = mech.run(data.series()).unwrap();
+    let labeled = mech.run_labeled(data.series(), data.labels().unwrap()).unwrap();
+    // Expansion stages are identical; only the refinement differs.
+    assert_eq!(unlabeled.diagnostics.ell_s, labeled.diagnostics.ell_s);
+    assert_eq!(
+        unlabeled.diagnostics.candidates_per_level,
+        labeled.diagnostics.candidates_per_level
+    );
+}

@@ -1,0 +1,189 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for arbitrary inputs, spanning the preprocessing, distance, and
+//! mechanism layers.
+
+use privshape::{transform_series, Preprocessing};
+use privshape_distance::{em_score, DistanceKind};
+use privshape_timeseries::{
+    compress, compressive_sax, is_compressed, num_segments, paa, sax, SaxParams, SymbolSeq,
+    TimeSeries,
+};
+use proptest::prelude::*;
+
+/// Arbitrary finite series of 2..200 samples in a sane range.
+fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0f64..50.0, 2..200)
+}
+
+/// Arbitrary compressed symbol sequences over alphabet `t`.
+fn seq_strategy(t: u8) -> impl Strategy<Value = SymbolSeq> {
+    prop::collection::vec(0..t, 0..20).prop_map(|raw| {
+        let seq: SymbolSeq = raw
+            .into_iter()
+            .map(privshape_timeseries::Symbol::from_index)
+            .collect();
+        compress(&seq)
+    })
+}
+
+proptest! {
+    #[test]
+    fn z_normalization_is_idempotent(values in series_strategy()) {
+        let ts = TimeSeries::new(values).unwrap();
+        let once = ts.z_normalized();
+        let twice = once.z_normalized();
+        for (a, b) in once.values().iter().zip(twice.values()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paa_output_is_bounded_by_input_extremes(
+        values in series_strategy(),
+        w in 1usize..20,
+    ) {
+        let out = paa(&values, w);
+        prop_assert_eq!(out.len(), num_segments(values.len(), w));
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for v in out {
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sax_symbols_stay_in_alphabet(
+        values in series_strategy(),
+        w in 1usize..20,
+        t in 2usize..10,
+    ) {
+        let params = SaxParams::new(w, t).unwrap();
+        let z = TimeSeries::new(values).unwrap().z_normalized();
+        let seq = sax(z.values(), &params);
+        prop_assert!(seq.max_index().unwrap_or(0) < t);
+    }
+
+    #[test]
+    fn compressive_sax_is_compressed_and_no_longer_than_sax(
+        values in series_strategy(),
+        w in 1usize..20,
+        t in 2usize..10,
+    ) {
+        let params = SaxParams::new(w, t).unwrap();
+        let z = TimeSeries::new(values).unwrap().z_normalized();
+        let full = sax(z.values(), &params);
+        let compressed = compressive_sax(z.values(), &params);
+        prop_assert!(is_compressed(&compressed));
+        prop_assert!(compressed.len() <= full.len());
+        prop_assert!(!compressed.is_empty());
+        // Compression preserves the first symbol.
+        prop_assert_eq!(compressed.get(0), full.get(0));
+    }
+
+    #[test]
+    fn transform_series_grid_mode_matches_invariants(values in series_strategy()) {
+        let params = SaxParams::new(8, 4).unwrap();
+        let ts = TimeSeries::new(values).unwrap();
+        let seq = transform_series(&ts, &params, &Preprocessing::paper_uniform_grid());
+        prop_assert!(is_compressed(&seq));
+        prop_assert!(seq.max_index().unwrap_or(0) < 8);
+    }
+
+    #[test]
+    fn distances_are_symmetric_nonnegative_and_zero_on_identity(
+        a in seq_strategy(5),
+        b in seq_strategy(5),
+    ) {
+        for kind in DistanceKind::ALL {
+            let dab = kind.dist(&a, &b);
+            let dba = kind.dist(&b, &a);
+            if a.is_empty() || b.is_empty() {
+                continue; // infinite-by-convention cases covered in unit tests
+            }
+            prop_assert!(dab >= 0.0);
+            prop_assert!((dab - dba).abs() < 1e-9, "{kind}: {dab} vs {dba}");
+            prop_assert_eq!(kind.dist(&a, &a), 0.0);
+        }
+    }
+
+    #[test]
+    fn sed_triangle_inequality(
+        a in seq_strategy(4),
+        b in seq_strategy(4),
+        c in seq_strategy(4),
+    ) {
+        let d = |x: &SymbolSeq, y: &SymbolSeq| DistanceKind::Sed.dist(x, y);
+        prop_assert!(d(&a, &c) <= d(&a, &b) + d(&b, &c) + 1e-9);
+    }
+
+    #[test]
+    fn em_score_is_monotone_in_distance(d1 in 0.0f64..100.0, d2 in 0.0f64..100.0) {
+        let (s1, s2) = (em_score(d1), em_score(d2));
+        if d1 < d2 {
+            prop_assert!(s1 > s2);
+        }
+        prop_assert!((0.0..=1.0).contains(&s1));
+    }
+
+    #[test]
+    fn dataset_split_partitions_exactly(
+        n in 1usize..60,
+        frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let series: Vec<TimeSeries> =
+            (0..n).map(|i| TimeSeries::new(vec![i as f64, 1.0]).unwrap()).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let data = privshape_timeseries::Dataset::labeled(series, labels).unwrap();
+        let (train, test) = data.split(frac, seed);
+        prop_assert_eq!(train.len() + test.len(), n);
+        // Every original first-sample appears exactly once across splits.
+        let mut seen: Vec<i64> = train
+            .series()
+            .iter()
+            .chain(test.series())
+            .map(|s| s.values()[0] as i64)
+            .collect();
+        seen.sort_unstable();
+        let expected: Vec<i64> = (0..n as i64).collect();
+        prop_assert_eq!(seen, expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The full mechanism never panics and always emits valid shapes for
+    /// arbitrary (small) populations — a fuzz test of the whole pipeline.
+    #[test]
+    fn privshape_never_panics_on_arbitrary_populations(
+        seed in 0u64..50,
+        n in 20usize..120,
+        eps in 0.2f64..8.0,
+    ) {
+        use privshape::{PrivShape, PrivShapeConfig};
+        use privshape_ldp::Epsilon;
+        let series: Vec<TimeSeries> = (0..n)
+            .map(|i| {
+                let phase = (seed as f64 + i as f64) * 0.37;
+                TimeSeries::new(
+                    (0..40).map(|j| ((j as f64) * 0.3 + phase).sin()).collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut cfg = PrivShapeConfig::new(
+            Epsilon::new(eps).unwrap(),
+            2,
+            SaxParams::new(5, 3).unwrap(),
+        );
+        cfg.length_range = (1, 8);
+        cfg.seed = seed;
+        let out = PrivShape::new(cfg).unwrap().run(&series).unwrap();
+        prop_assert!(out.shapes.len() <= 2);
+        for s in &out.shapes {
+            prop_assert!(is_compressed(&s.shape));
+            prop_assert!(s.shape.max_index().unwrap_or(0) < 3);
+        }
+    }
+}

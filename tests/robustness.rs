@@ -1,0 +1,167 @@
+//! Failure-injection and robustness tests: degenerate users, adversarial
+//! populations, and pathological configurations must degrade utility, not
+//! correctness.
+
+use privshape::{Baseline, BaselineConfig, Preprocessing, PrivShape, PrivShapeConfig};
+use privshape_distance::DistanceKind;
+use privshape_ldp::Epsilon;
+use privshape_timeseries::{is_compressed, SaxParams, TimeSeries};
+
+fn cfg(eps: f64, k: usize) -> PrivShapeConfig {
+    let mut cfg =
+        PrivShapeConfig::new(Epsilon::new(eps).unwrap(), k, SaxParams::new(5, 3).unwrap());
+    cfg.length_range = (1, 8);
+    cfg.distance = DistanceKind::Sed;
+    cfg.seed = 99;
+    cfg
+}
+
+fn assert_valid_output(out: &privshape::Extraction, k: usize, alphabet: usize) {
+    assert!(out.shapes.len() <= k);
+    for s in &out.shapes {
+        assert!(is_compressed(&s.shape));
+        assert!(s.shape.max_index().unwrap_or(0) < alphabet);
+        assert!(s.frequency.is_finite());
+    }
+}
+
+#[test]
+fn constant_series_population_survives() {
+    // Every user's series z-normalizes to all zeros ⇒ compressed length 1.
+    let series: Vec<TimeSeries> =
+        (0..400).map(|_| TimeSeries::new(vec![3.0; 50]).unwrap()).collect();
+    let out = PrivShape::new(cfg(2.0, 2)).unwrap().run(&series).unwrap();
+    assert_valid_output(&out, 2, 3);
+    // The frequent length must collapse to 1 and the single-symbol shape
+    // of the zero series ("b", the middle region) must dominate.
+    assert_eq!(out.diagnostics.ell_s, 1);
+}
+
+#[test]
+fn single_user_population_survives() {
+    let series = vec![TimeSeries::new((0..30).map(|i| (i as f64).sin()).collect()).unwrap()];
+    let out = PrivShape::new(cfg(1.0, 2)).unwrap().run(&series).unwrap();
+    assert_valid_output(&out, 2, 3);
+}
+
+#[test]
+fn adversarial_minority_cannot_break_the_mechanism() {
+    // 10% of users hold wildly oscillating garbage; the planted majority
+    // shape must still win at a healthy budget.
+    let mut series: Vec<TimeSeries> = Vec::new();
+    for i in 0..900 {
+        let jitter = (i % 7) as f64 * 1e-3;
+        let mut v = vec![-1.0 + jitter; 15];
+        v.extend(vec![1.5 + jitter; 15]);
+        series.push(TimeSeries::new(v).unwrap());
+    }
+    for i in 0..100 {
+        series.push(
+            TimeSeries::new((0..30).map(|j| ((i + j) as f64 * 2.1).sin() * 5.0).collect())
+                .unwrap(),
+        );
+    }
+    let out = PrivShape::new(cfg(8.0, 1)).unwrap().run(&series).unwrap();
+    assert_eq!(out.shapes[0].shape.to_string(), "ac");
+}
+
+#[test]
+fn mixed_length_population_is_handled() {
+    // Lengths from 2 to 200 in one population.
+    let series: Vec<TimeSeries> = (0..300)
+        .map(|i| {
+            let len = 2 + (i * 7) % 199;
+            TimeSeries::new((0..len).map(|j| (j as f64 * 0.4).sin()).collect()).unwrap()
+        })
+        .collect();
+    let out = PrivShape::new(cfg(2.0, 3)).unwrap().run(&series).unwrap();
+    assert_valid_output(&out, 3, 3);
+}
+
+#[test]
+fn degenerate_length_range_pins_trie_height() {
+    let series: Vec<TimeSeries> = (0..300)
+        .map(|i| {
+            let mut v = vec![-1.0; 10];
+            v.extend(vec![1.0 + (i % 5) as f64 * 0.01; 10]);
+            TimeSeries::new(v).unwrap()
+        })
+        .collect();
+    let mut c = cfg(2.0, 2);
+    c.length_range = (2, 2);
+    let out = PrivShape::new(c).unwrap().run(&series).unwrap();
+    assert_eq!(out.diagnostics.ell_s, 2);
+    assert!(out.shapes.iter().all(|s| s.shape.len() <= 2));
+}
+
+#[test]
+fn no_compression_ablation_is_well_formed() {
+    let series: Vec<TimeSeries> = (0..400)
+        .map(|i| {
+            let mut v = vec![-1.0 + (i % 3) as f64 * 0.01; 20];
+            v.extend(vec![1.5; 20]);
+            TimeSeries::new(v).unwrap()
+        })
+        .collect();
+    let mut c = cfg(4.0, 2);
+    c.preprocessing = Preprocessing::Sax { compress: false };
+    let out = PrivShape::new(c).unwrap().run(&series).unwrap();
+    // Without compression adjacent repeats are legal in user sequences but
+    // the trie still only proposes repeat-free candidates; output stays
+    // structurally valid.
+    assert!(out.shapes.len() <= 2);
+    for s in &out.shapes {
+        assert!(s.shape.max_index().unwrap_or(0) < 3);
+    }
+}
+
+#[test]
+fn baseline_with_zero_threshold_never_prunes_but_terminates() {
+    let series: Vec<TimeSeries> = (0..200)
+        .map(|i| {
+            let mut v = vec![-1.0; 10];
+            v.extend(vec![1.0 + (i % 4) as f64 * 0.01; 10]);
+            v.extend(vec![0.0; 10]);
+            TimeSeries::new(v).unwrap()
+        })
+        .collect();
+    let mut c = BaselineConfig::new(Epsilon::new(2.0).unwrap(), 2, SaxParams::new(5, 3).unwrap());
+    c.length_range = (1, 5);
+    c.prune_threshold = 0.0;
+    c.seed = 99;
+    let out = Baseline::new(c).unwrap().run(&series).unwrap();
+    assert!(out.shapes.len() <= 2);
+    // With no pruning the trie grows the full t(t−1)^{ℓ−1} frontier.
+    let d = &out.diagnostics;
+    for (level, &count) in d.candidates_per_level.iter().enumerate() {
+        assert_eq!(count, 3 * 2usize.pow(level as u32), "level {}", level + 1);
+    }
+}
+
+#[test]
+fn tiny_epsilon_still_produces_valid_output() {
+    let series: Vec<TimeSeries> = (0..300)
+        .map(|i| {
+            let mut v = vec![-1.0 + (i % 6) as f64 * 0.01; 12];
+            v.extend(vec![1.0; 12]);
+            TimeSeries::new(v).unwrap()
+        })
+        .collect();
+    let out = PrivShape::new(cfg(0.01, 2)).unwrap().run(&series).unwrap();
+    assert_valid_output(&out, 2, 3);
+}
+
+#[test]
+fn labeled_run_with_single_class_works() {
+    let series: Vec<TimeSeries> = (0..300)
+        .map(|i| {
+            let mut v = vec![-1.0 + (i % 6) as f64 * 0.01; 12];
+            v.extend(vec![1.0; 12]);
+            TimeSeries::new(v).unwrap()
+        })
+        .collect();
+    let labels = vec![0usize; 300];
+    let out = PrivShape::new(cfg(4.0, 2)).unwrap().run_labeled(&series, &labels).unwrap();
+    assert_eq!(out.classes.len(), 1);
+    assert!(!out.classes[0].shapes.is_empty());
+}

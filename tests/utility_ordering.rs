@@ -1,0 +1,136 @@
+//! Utility-ordering integration tests: the paper's headline comparisons,
+//! checked end-to-end at reduced scale with fixed seeds.
+//!
+//! These assert the *direction* of every comparison (PrivShape ≥ baseline
+//! mechanisms, more budget ⇒ no worse) with comfortable margins, which is
+//! exactly the "shape" of Figs. 9 and 11 rather than their absolute values.
+
+use privshape::{transform_series, Preprocessing, PrivShape, PrivShapeConfig};
+use privshape_datasets::{generate_symbols_like, generate_trace_like, SymbolsLikeConfig, TraceLikeConfig};
+use privshape_distance::DistanceKind;
+use privshape_eval::{accuracy, adjusted_rand_index, KMeans, NearestShape};
+use privshape_ldp::Epsilon;
+use privshape_patternldp::{PatternLdp, PatternLdpConfig};
+use privshape_timeseries::{Dataset, SaxParams};
+
+fn privshape_ari(data: &Dataset, eps: f64) -> f64 {
+    let sax = SaxParams::new(25, 6).unwrap();
+    let mut cfg = PrivShapeConfig::new(Epsilon::new(eps).unwrap(), 6, sax.clone());
+    cfg.distance = DistanceKind::Dtw;
+    cfg.length_range = (1, 15);
+    cfg.seed = 2023;
+    let out = PrivShape::new(cfg).unwrap().run(data.series()).unwrap();
+    if out.shapes.is_empty() {
+        return 0.0;
+    }
+    let clf = NearestShape::from_centroids(out.sequences(), DistanceKind::Dtw);
+    let assigned: Vec<usize> = data
+        .series()
+        .iter()
+        .map(|s| clf.classify(&transform_series(s, &sax, &Preprocessing::default())))
+        .collect();
+    adjusted_rand_index(&assigned, data.labels().unwrap())
+}
+
+fn patternldp_ari(data: &Dataset, eps: f64) -> f64 {
+    let mech = PatternLdp::new(PatternLdpConfig::default());
+    let noisy = mech.perturb_dataset(data, Epsilon::new(eps).unwrap(), 2023);
+    let rows: Vec<Vec<f64>> =
+        noisy.series().iter().map(|s| s.values().to_vec()).collect();
+    let fit = KMeans { n_init: 2, max_iter: 50, seed: 2023, ..KMeans::new(6) }.fit(&rows);
+    adjusted_rand_index(&fit.labels, data.labels().unwrap())
+}
+
+#[test]
+fn clustering_privshape_beats_patternldp_at_eps4() {
+    let data = generate_symbols_like(&SymbolsLikeConfig {
+        n_per_class: 250,
+        seed: 77,
+        ..Default::default()
+    });
+    let ps = privshape_ari(&data, 4.0);
+    let pl = patternldp_ari(&data, 4.0);
+    assert!(
+        ps > pl + 0.2,
+        "PrivShape ARI {ps:.3} should clearly beat PatternLDP {pl:.3} (Fig. 9)"
+    );
+    assert!(ps > 0.4, "PrivShape ARI {ps:.3} unexpectedly low at eps=4");
+}
+
+#[test]
+fn clustering_utility_grows_with_budget() {
+    // Single runs are noisy at this scale; average a few seeds before
+    // comparing the two ends of the budget range.
+    let mut low = 0.0;
+    let mut high = 0.0;
+    for seed in [78u64, 178, 278] {
+        let data = generate_symbols_like(&SymbolsLikeConfig {
+            n_per_class: 500,
+            seed,
+            ..Default::default()
+        });
+        low += privshape_ari(&data, 0.25) / 3.0;
+        high += privshape_ari(&data, 8.0) / 3.0;
+    }
+    assert!(
+        high >= low - 0.05,
+        "more budget should not hurt: eps=8 mean ARI {high:.3} vs eps=0.25 {low:.3}"
+    );
+    assert!(high > 0.35, "eps=8 mean ARI {high:.3} too low");
+}
+
+#[test]
+fn classification_privshape_strong_at_small_eps() {
+    // The paper's claim (§V-E): PrivShape is accurate even at ε ≤ 2.
+    let data = generate_trace_like(&TraceLikeConfig {
+        n_per_class: 800,
+        seed: 79,
+        ..Default::default()
+    });
+    let (train, test) = data.split(0.8, 79);
+    let sax = SaxParams::new(10, 4).unwrap();
+    let mut cfg = PrivShapeConfig::new(Epsilon::new(2.0).unwrap(), 3, sax.clone());
+    cfg.distance = DistanceKind::Sed;
+    cfg.length_range = (1, 10);
+    cfg.seed = 79;
+    let out = PrivShape::new(cfg)
+        .unwrap()
+        .run_labeled(train.series(), train.labels().unwrap())
+        .unwrap();
+    let clf = NearestShape::new(out.top_prototype_per_class(), DistanceKind::Sed);
+    let predicted: Vec<usize> = test
+        .series()
+        .iter()
+        .map(|s| clf.classify(&transform_series(s, &sax, &Preprocessing::default())))
+        .collect();
+    let acc = accuracy(&predicted, test.labels().unwrap());
+    assert!(acc > 0.6, "PrivShape accuracy {acc:.3} at eps=2 (paper: ~0.8)");
+}
+
+#[test]
+fn patternldp_shape_destruction_under_user_level_budget() {
+    // The phenomenon behind the whole paper: under user-level privacy the
+    // per-point budget slices are so thin that PatternLDP's output bears
+    // little resemblance to the input even at a moderate total budget.
+    let data = generate_trace_like(&TraceLikeConfig {
+        n_per_class: 50,
+        seed: 80,
+        ..Default::default()
+    });
+    let mech = PatternLdp::new(PatternLdpConfig::default());
+    let noisy = mech.perturb_dataset(&data, Epsilon::new(1.0).unwrap(), 80);
+    let mut mse = 0.0;
+    for (orig, pert) in data.series().iter().zip(noisy.series()) {
+        mse += orig
+            .values()
+            .iter()
+            .zip(pert.values())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / orig.len() as f64;
+    }
+    mse /= data.len() as f64;
+    // A z-scored series has unit variance; MSE ≥ 1 means the noise
+    // dominates the signal.
+    assert!(mse > 1.0, "PatternLDP MSE {mse:.2} unexpectedly small at eps=1");
+}
