@@ -21,11 +21,8 @@ fn dataset(users: usize, length: usize) -> Dataset {
 }
 
 fn privshape_config(eps: f64, w: usize, t: usize) -> PrivShapeConfig {
-    let mut cfg = PrivShapeConfig::new(
-        Epsilon::new(eps).unwrap(),
-        3,
-        SaxParams::new(w, t).unwrap(),
-    );
+    let mut cfg =
+        PrivShapeConfig::new(Epsilon::new(eps).unwrap(), 3, SaxParams::new(w, t).unwrap());
     cfg.distance = DistanceKind::Sed;
     cfg.length_range = (1, 10);
     cfg

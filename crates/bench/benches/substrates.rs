@@ -13,7 +13,9 @@ use rand_chacha::ChaCha12Rng;
 use std::hint::black_box;
 
 fn series(len: usize) -> Vec<f64> {
-    (0..len).map(|i| ((i as f64) * 0.11).sin() * 1.3 + ((i as f64) * 0.031).cos()).collect()
+    (0..len)
+        .map(|i| ((i as f64) * 0.11).sin() * 1.3 + ((i as f64) * 0.031).cos())
+        .collect()
 }
 
 fn bench_sax(c: &mut Criterion) {
@@ -24,9 +26,13 @@ fn bench_sax(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sax", len), &data, |b, data| {
             b.iter(|| black_box(sax(data, &params)));
         });
-        group.bench_with_input(BenchmarkId::new("compressive_sax", len), &data, |b, data| {
-            b.iter(|| black_box(compressive_sax(data, &params)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("compressive_sax", len),
+            &data,
+            |b, data| {
+                b.iter(|| black_box(compressive_sax(data, &params)));
+            },
+        );
     }
     group.finish();
 }

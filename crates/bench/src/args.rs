@@ -71,12 +71,21 @@ impl ExpCtx {
             .get("out")
             .map(PathBuf::from)
             .unwrap_or_else(|| PathBuf::from("results"));
-        Self { users, trials, seed, eps, out_dir }
+        Self {
+            users,
+            trials,
+            seed,
+            eps,
+            out_dir,
+        }
     }
 
     /// The seed for trial `i`.
     pub fn trial_seed(&self, trial: usize) -> u64 {
-        self.seed.wrapping_add(trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+        self.seed
+            .wrapping_add(trial as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            | 1
     }
 }
 
@@ -100,7 +109,9 @@ mod tests {
 
     #[test]
     fn overrides_apply() {
-        let ctx = parse(&["--users", "123", "--trials", "9", "--seed", "7", "--eps", "2.5", "--out", "/tmp/x"]);
+        let ctx = parse(&[
+            "--users", "123", "--trials", "9", "--seed", "7", "--eps", "2.5", "--out", "/tmp/x",
+        ]);
         assert_eq!(ctx.users, 123);
         assert_eq!(ctx.trials, 9);
         assert_eq!(ctx.seed, 7);

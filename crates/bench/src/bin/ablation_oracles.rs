@@ -32,7 +32,10 @@ fn main() {
     ];
 
     let mut table = Table::new(
-        &format!("Frequency-oracle ablation: MSE of count estimates (eps={eps_v}, users={})", ctx.users),
+        &format!(
+            "Frequency-oracle ablation: MSE of count estimates (eps={eps_v}, users={})",
+            ctx.users
+        ),
         &["domain", "GRR", "OLH", "OUE"],
     );
 
@@ -90,7 +93,9 @@ fn main() {
     }
 
     table.print();
-    let path = table.save_csv(&ctx.out_dir, "ablation_oracles").expect("write CSV");
+    let path = table
+        .save_csv(&ctx.out_dir, "ablation_oracles")
+        .expect("write CSV");
     println!("saved {}", path.display());
     println!("(cells are RMSE in user counts; smaller is better)");
 }

@@ -33,7 +33,11 @@ fn main() {
     let sample: Vec<Vec<f64>> = (0..noisy.len().min(150))
         .map(|i| noisy.series()[i].values().to_vec())
         .collect();
-    let kshape = KShape { seed, ..KShape::new(setup.k) }.fit(&sample);
+    let kshape = KShape {
+        seed,
+        ..KShape::new(setup.k)
+    }
+    .fit(&sample);
     let pl_shapes: Vec<String> = kshape
         .centroids
         .iter()
@@ -43,8 +47,17 @@ fn main() {
 
     let gt = trace_ground_truth(&params);
     let mut table = Table::new(
-        &format!("Fig. 10: extracted Trace shapes (eps={eps}, users={}, seed={seed})", ctx.users),
-        &["Class", "GroundTruth", "PrivShape", "Baseline", "PatternLDP(KShape)"],
+        &format!(
+            "Fig. 10: extracted Trace shapes (eps={eps}, users={}, seed={seed})",
+            ctx.users
+        ),
+        &[
+            "Class",
+            "GroundTruth",
+            "PrivShape",
+            "Baseline",
+            "PatternLDP(KShape)",
+        ],
     );
     for (class, gt_shape) in gt.iter().enumerate() {
         table.row(vec![
@@ -56,8 +69,15 @@ fn main() {
         ]);
     }
     table.print();
-    println!("Accuracy: PrivShape={:.3} Baseline={:.3}", ps.accuracy, bl.accuracy);
-    let name = if (eps - 8.0).abs() < 1e-9 { "fig12_trace_shapes_eps8" } else { "fig10_trace_shapes" };
+    println!(
+        "Accuracy: PrivShape={:.3} Baseline={:.3}",
+        ps.accuracy, bl.accuracy
+    );
+    let name = if (eps - 8.0).abs() < 1e-9 {
+        "fig12_trace_shapes_eps8"
+    } else {
+        "fig10_trace_shapes"
+    };
     let path = table.save_csv(&ctx.out_dir, name).expect("write CSV");
     println!("saved {}", path.display());
 }

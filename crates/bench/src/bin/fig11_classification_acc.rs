@@ -15,8 +15,9 @@ use privshape_bench::{ExpCtx, Table};
 
 fn main() {
     let ctx = ExpCtx::from_env(8000, 3);
-    let budgets: Vec<f64> =
-        std::iter::once(0.1).chain((1..=16).map(|i| i as f64 * 0.5)).collect();
+    let budgets: Vec<f64> = std::iter::once(0.1)
+        .chain((1..=16).map(|i| i as f64 * 0.5))
+        .collect();
     let mut table = Table::new(
         &format!(
             "Fig. 11: Trace classification accuracy vs eps (users={}, trials={})",
@@ -45,6 +46,8 @@ fn main() {
     }
 
     table.print();
-    let path = table.save_csv(&ctx.out_dir, "fig11_classification_acc").expect("write CSV");
+    let path = table
+        .save_csv(&ctx.out_dir, "fig11_classification_acc")
+        .expect("write CSV");
     println!("saved {}", path.display());
 }

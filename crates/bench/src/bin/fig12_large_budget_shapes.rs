@@ -13,7 +13,10 @@ fn main() {
     let has_eps = args.iter().any(|a| a == "--eps");
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
-    let fig10 = dir.join(format!("fig10_trace_shapes{}", std::env::consts::EXE_SUFFIX));
+    let fig10 = dir.join(format!(
+        "fig10_trace_shapes{}",
+        std::env::consts::EXE_SUFFIX
+    ));
 
     let mut cmd = Command::new(fig10);
     cmd.args(&args);

@@ -17,7 +17,10 @@ fn main() {
     let eps = ctx.eps.unwrap_or(4.0);
 
     let mut table_t = Table::new(
-        &format!("Fig. 13a: ARI varying t (w=25, eps={eps}, users={})", ctx.users),
+        &format!(
+            "Fig. 13a: ARI varying t (w=25, eps={eps}, users={})",
+            ctx.users
+        ),
         &["t", "PrivShape ARI"],
     );
     for t in [4usize, 5, 6, 7] {
@@ -30,10 +33,15 @@ fn main() {
         table_t.row(vec![t.to_string(), fmt(sum / ctx.trials as f64)]);
     }
     table_t.print();
-    table_t.save_csv(&ctx.out_dir, "fig13a_symbols_vary_t").expect("write CSV");
+    table_t
+        .save_csv(&ctx.out_dir, "fig13a_symbols_vary_t")
+        .expect("write CSV");
 
     let mut table_w = Table::new(
-        &format!("Fig. 13b: ARI varying w (t=6, eps={eps}, users={})", ctx.users),
+        &format!(
+            "Fig. 13b: ARI varying w (t=6, eps={eps}, users={})",
+            ctx.users
+        ),
         &["w", "PrivShape ARI"],
     );
     for w in [15usize, 20, 25, 30] {
@@ -46,6 +54,8 @@ fn main() {
         table_w.row(vec![w.to_string(), fmt(sum / ctx.trials as f64)]);
     }
     table_w.print();
-    let path = table_w.save_csv(&ctx.out_dir, "fig13b_symbols_vary_w").expect("write CSV");
+    let path = table_w
+        .save_csv(&ctx.out_dir, "fig13b_symbols_vary_w")
+        .expect("write CSV");
     println!("saved {} (and fig13a)", path.display());
 }

@@ -14,7 +14,10 @@ fn main() {
     let eps = ctx.eps.unwrap_or(4.0);
 
     let mut table_t = Table::new(
-        &format!("Fig. 14a: accuracy varying t (w=10, eps={eps}, users={})", ctx.users),
+        &format!(
+            "Fig. 14a: accuracy varying t (w=10, eps={eps}, users={})",
+            ctx.users
+        ),
         &["t", "PrivShape accuracy"],
     );
     for t in [3usize, 4, 5, 6] {
@@ -29,10 +32,15 @@ fn main() {
         table_t.row(vec![t.to_string(), fmt(sum / ctx.trials as f64)]);
     }
     table_t.print();
-    table_t.save_csv(&ctx.out_dir, "fig14a_trace_vary_t").expect("write CSV");
+    table_t
+        .save_csv(&ctx.out_dir, "fig14a_trace_vary_t")
+        .expect("write CSV");
 
     let mut table_w = Table::new(
-        &format!("Fig. 14b: accuracy varying w (t=4, eps={eps}, users={})", ctx.users),
+        &format!(
+            "Fig. 14b: accuracy varying w (t=4, eps={eps}, users={})",
+            ctx.users
+        ),
         &["w", "PrivShape accuracy"],
     );
     for w in [5usize, 10, 15, 20] {
@@ -47,6 +55,8 @@ fn main() {
         table_w.row(vec![w.to_string(), fmt(sum / ctx.trials as f64)]);
     }
     table_w.print();
-    let path = table_w.save_csv(&ctx.out_dir, "fig14b_trace_vary_w").expect("write CSV");
+    let path = table_w
+        .save_csv(&ctx.out_dir, "fig14b_trace_vary_w")
+        .expect("write CSV");
     println!("saved {} (and fig14a)", path.display());
 }

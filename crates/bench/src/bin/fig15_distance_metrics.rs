@@ -18,16 +18,28 @@ use privshape_bench::output::fmt;
 use privshape_bench::{ExpCtx, Table};
 use privshape_distance::DistanceKind;
 
-const METRICS: [DistanceKind; 3] =
-    [DistanceKind::Dtw, DistanceKind::Sed, DistanceKind::Euclidean];
+const METRICS: [DistanceKind; 3] = [
+    DistanceKind::Dtw,
+    DistanceKind::Sed,
+    DistanceKind::Euclidean,
+];
 
 fn main() {
     let ctx = ExpCtx::from_env(8000, 3);
     let budgets = [1.0, 2.0, 3.0, 4.0];
 
     let mut table_a = Table::new(
-        &format!("Fig. 15a: Symbols clustering ARI by distance metric (users={})", ctx.users),
-        &["eps", "PrivShape-DTW", "PrivShape-SED", "PrivShape-Euclidean", "PatternLDP"],
+        &format!(
+            "Fig. 15a: Symbols clustering ARI by distance metric (users={})",
+            ctx.users
+        ),
+        &[
+            "eps",
+            "PrivShape-DTW",
+            "PrivShape-SED",
+            "PrivShape-Euclidean",
+            "PatternLDP",
+        ],
     );
     for &eps in &budgets {
         let mut cells = vec![format!("{eps}")];
@@ -49,11 +61,22 @@ fn main() {
         table_a.row(cells);
     }
     table_a.print();
-    table_a.save_csv(&ctx.out_dir, "fig15a_symbols_distance_metrics").expect("write CSV");
+    table_a
+        .save_csv(&ctx.out_dir, "fig15a_symbols_distance_metrics")
+        .expect("write CSV");
 
     let mut table_b = Table::new(
-        &format!("Fig. 15b: Trace classification accuracy by distance metric (users={})", ctx.users),
-        &["eps", "PrivShape-DTW", "PrivShape-SED", "PrivShape-Euclidean", "PatternLDP"],
+        &format!(
+            "Fig. 15b: Trace classification accuracy by distance metric (users={})",
+            ctx.users
+        ),
+        &[
+            "eps",
+            "PrivShape-DTW",
+            "PrivShape-SED",
+            "PrivShape-Euclidean",
+            "PatternLDP",
+        ],
     );
     for &eps in &budgets {
         let mut cells = vec![format!("{eps}")];
@@ -78,6 +101,8 @@ fn main() {
         table_b.row(cells);
     }
     table_b.print();
-    let path = table_b.save_csv(&ctx.out_dir, "fig15b_trace_distance_metrics").expect("write CSV");
+    let path = table_b
+        .save_csv(&ctx.out_dir, "fig15b_trace_distance_metrics")
+        .expect("write CSV");
     println!("saved {} (and fig15a)", path.display());
 }

@@ -54,6 +54,8 @@ fn main() {
     }
 
     table.print();
-    let path = table.save_csv(&ctx.out_dir, "fig17_varying_length_diff_shape").expect("write CSV");
+    let path = table
+        .save_csv(&ctx.out_dir, "fig17_varying_length_diff_shape")
+        .expect("write CSV");
     println!("saved {}", path.display());
 }

@@ -10,19 +10,28 @@
 //! Usage: `cargo run --release -p privshape-bench --bin fig18_ablation
 //!         [--users N] [--trials N]`
 
+use privshape::Preprocessing;
 use privshape_bench::classification::{
     run_patternldp_rf, run_privshape, trace_dataset, ClassificationSetup,
 };
 use privshape_bench::output::fmt;
 use privshape_bench::{ExpCtx, Table};
-use privshape::Preprocessing;
 
 fn main() {
     let ctx = ExpCtx::from_env(8000, 3);
     let budgets = [1.0, 2.0, 3.0, 4.0];
     let mut table = Table::new(
-        &format!("Fig. 18: ablations on Trace (users={}, trials={})", ctx.users, ctx.trials),
-        &["eps", "PrivShape", "WithoutSAX", "NoCompression", "PatternLDP"],
+        &format!(
+            "Fig. 18: ablations on Trace (users={}, trials={})",
+            ctx.users, ctx.trials
+        ),
+        &[
+            "eps",
+            "PrivShape",
+            "WithoutSAX",
+            "NoCompression",
+            "PatternLDP",
+        ],
     );
 
     for &eps in &budgets {
@@ -57,6 +66,8 @@ fn main() {
     }
 
     table.print();
-    let path = table.save_csv(&ctx.out_dir, "fig18_ablation").expect("write CSV");
+    let path = table
+        .save_csv(&ctx.out_dir, "fig18_ablation")
+        .expect("write CSV");
     println!("saved {}", path.display());
 }

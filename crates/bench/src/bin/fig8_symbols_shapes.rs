@@ -24,7 +24,10 @@ fn main() {
     let pl = run_patternldp(&setup);
 
     let mut table = Table::new(
-        &format!("Fig. 8: extracted Symbols shapes (eps={eps}, users={}, seed={})", ctx.users, ctx.seed),
+        &format!(
+            "Fig. 8: extracted Symbols shapes (eps={eps}, users={}, seed={})",
+            ctx.users, ctx.seed
+        ),
         &["GroundTruth", "PrivShape", "Baseline", "PatternLDP"],
     );
     for (i, gt_shape) in gt.iter().enumerate() {
@@ -37,8 +40,13 @@ fn main() {
         let _ = i;
     }
     table.print();
-    println!("ARI: PrivShape={:.3} Baseline={:.3} PatternLDP={:.3}", ps.ari, bl.ari, pl.ari);
-    let path = table.save_csv(&ctx.out_dir, "fig8_symbols_shapes").expect("write CSV");
+    println!(
+        "ARI: PrivShape={:.3} Baseline={:.3} PatternLDP={:.3}",
+        ps.ari, bl.ari, pl.ari
+    );
+    let path = table
+        .save_csv(&ctx.out_dir, "fig8_symbols_shapes")
+        .expect("write CSV");
     println!("saved {}", path.display());
 }
 

@@ -15,7 +15,10 @@ fn main() {
     let ctx = ExpCtx::from_env(8000, 3);
     let budgets = [0.1, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
     let mut table = Table::new(
-        &format!("Fig. 9: Symbols clustering ARI vs eps (users={}, trials={})", ctx.users, ctx.trials),
+        &format!(
+            "Fig. 9: Symbols clustering ARI vs eps (users={}, trials={})",
+            ctx.users, ctx.trials
+        ),
         &["eps", "PrivShape", "Baseline", "PatternLDP+KMeans"],
     );
 
@@ -37,6 +40,8 @@ fn main() {
     }
 
     table.print();
-    let path = table.save_csv(&ctx.out_dir, "fig9_clustering_ari").expect("write CSV");
+    let path = table
+        .save_csv(&ctx.out_dir, "fig9_clustering_ari")
+        .expect("write CSV");
     println!("saved {}", path.display());
 }

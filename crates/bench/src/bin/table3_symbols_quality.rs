@@ -52,6 +52,8 @@ fn main() {
     }
 
     table.print();
-    let path = table.save_csv(&ctx.out_dir, "table3_symbols_quality").expect("write CSV");
+    let path = table
+        .save_csv(&ctx.out_dir, "table3_symbols_quality")
+        .expect("write CSV");
     println!("saved {}", path.display());
 }

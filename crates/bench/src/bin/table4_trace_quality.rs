@@ -22,8 +22,10 @@ fn main() {
         &["Mechanism", "DTW", "SED", "Euclidean", "Accuracy"],
     );
 
-    type Runner = fn(&privshape_timeseries::Dataset, &ClassificationSetup)
-        -> privshape_bench::classification::ClassificationOutcome;
+    type Runner = fn(
+        &privshape_timeseries::Dataset,
+        &ClassificationSetup,
+    ) -> privshape_bench::classification::ClassificationOutcome;
     let mechanisms: [(&str, Runner); 3] = [
         ("PatternLDP", run_patternldp_rf),
         ("Baseline", run_baseline),
@@ -56,6 +58,8 @@ fn main() {
     }
 
     table.print();
-    let path = table.save_csv(&ctx.out_dir, "table4_trace_quality").expect("write CSV");
+    let path = table
+        .save_csv(&ctx.out_dir, "table4_trace_quality")
+        .expect("write CSV");
     println!("saved {}", path.display());
 }

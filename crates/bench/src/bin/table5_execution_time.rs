@@ -57,6 +57,8 @@ fn main() {
     ]);
 
     table.print();
-    let path = table.save_csv(&ctx.out_dir, "table5_execution_time").expect("write CSV");
+    let path = table
+        .save_csv(&ctx.out_dir, "table5_execution_time")
+        .expect("write CSV");
     println!("saved {}", path.display());
 }

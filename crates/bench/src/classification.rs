@@ -113,7 +113,13 @@ fn prototype_accuracy(
     let predicted: Vec<usize> = test
         .series()
         .iter()
-        .map(|s| clf.classify(&privshape::transform_series(s, &params, &setup.preprocessing)))
+        .map(|s| {
+            clf.classify(&privshape::transform_series(
+                s,
+                &params,
+                &setup.preprocessing,
+            ))
+        })
         .collect();
     accuracy(&predicted, test.labels().expect("labeled dataset"))
 }
@@ -191,26 +197,38 @@ pub fn run_patternldp_rf(data: &Dataset, setup: &ClassificationSetup) -> Classif
     let (train, test) = data.split(TRAIN_FRAC, setup.seed);
     let mech = PatternLdp::new(PatternLdpConfig::default());
     let started = Instant::now();
-    let noisy = mech.perturb_dataset(&train, Epsilon::new(setup.eps).expect("positive eps"), setup.seed);
+    let noisy = mech.perturb_dataset(
+        &train,
+        Epsilon::new(setup.eps).expect("positive eps"),
+        setup.seed,
+    );
     let cap = noisy.len().min(RF_CAP);
-    let x: Vec<Vec<f64>> =
-        (0..cap).map(|i| noisy.series()[i].values().to_vec()).collect();
+    let x: Vec<Vec<f64>> = (0..cap)
+        .map(|i| noisy.series()[i].values().to_vec())
+        .collect();
     let y: Vec<usize> = noisy.labels().expect("labeled")[..cap].to_vec();
     let rf = RandomForest::fit(
-        &RandomForestConfig { seed: setup.seed, ..Default::default() },
+        &RandomForestConfig {
+            seed: setup.seed,
+            ..Default::default()
+        },
         &x,
         &y,
     );
     let secs = started.elapsed().as_secs_f64();
-    let test_x: Vec<Vec<f64>> =
-        test.series().iter().map(|s| s.values().to_vec()).collect();
+    let test_x: Vec<Vec<f64>> = test.series().iter().map(|s| s.values().to_vec()).collect();
     let acc = accuracy(&rf.predict_batch(&test_x), test.labels().expect("labeled"));
 
     // Table IV route: KShape centers of the perturbed data, symbolized.
     let quality = if setup.trace_quality {
-        let sample: Vec<Vec<f64>> =
-            (0..noisy.len().min(150)).map(|i| noisy.series()[i].values().to_vec()).collect();
-        let fit = KShape { seed: setup.seed, ..KShape::new(setup.k) }.fit(&sample);
+        let sample: Vec<Vec<f64>> = (0..noisy.len().min(150))
+            .map(|i| noisy.series()[i].values().to_vec())
+            .collect();
+        let fit = KShape {
+            seed: setup.seed,
+            ..KShape::new(setup.k)
+        }
+        .fit(&sample);
         let params = setup.sax();
         let shapes: Vec<SymbolSeq> = fit
             .centroids
@@ -222,7 +240,12 @@ pub fn run_patternldp_rf(data: &Dataset, setup: &ClassificationSetup) -> Classif
     } else {
         None
     };
-    ClassificationOutcome { accuracy: acc, quality, shapes: Vec::new(), secs }
+    ClassificationOutcome {
+        accuracy: acc,
+        quality,
+        shapes: Vec::new(),
+        secs,
+    }
 }
 
 /// Clean-data reference: random forest on the unperturbed training split
@@ -230,12 +253,19 @@ pub fn run_patternldp_rf(data: &Dataset, setup: &ClassificationSetup) -> Classif
 pub fn ground_truth_accuracy(data: &Dataset, seed: u64) -> f64 {
     let (train, test) = data.split(TRAIN_FRAC, seed);
     let cap = train.len().min(RF_CAP);
-    let x: Vec<Vec<f64>> =
-        (0..cap).map(|i| train.series()[i].values().to_vec()).collect();
+    let x: Vec<Vec<f64>> = (0..cap)
+        .map(|i| train.series()[i].values().to_vec())
+        .collect();
     let y: Vec<usize> = train.labels().expect("labeled")[..cap].to_vec();
-    let rf = RandomForest::fit(&RandomForestConfig { seed, ..Default::default() }, &x, &y);
-    let test_x: Vec<Vec<f64>> =
-        test.series().iter().map(|s| s.values().to_vec()).collect();
+    let rf = RandomForest::fit(
+        &RandomForestConfig {
+            seed,
+            ..Default::default()
+        },
+        &x,
+        &y,
+    );
+    let test_x: Vec<Vec<f64>> = test.series().iter().map(|s| s.values().to_vec()).collect();
     accuracy(&rf.predict_batch(&test_x), test.labels().expect("labeled"))
 }
 

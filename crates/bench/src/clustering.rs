@@ -90,7 +90,13 @@ fn shapes_to_ari(shapes: &[SymbolSeq], data: &Dataset, setup: &ClusteringSetup) 
     let assigned: Vec<usize> = data
         .series()
         .iter()
-        .map(|s| clf.classify(&privshape::transform_series(s, &params, &setup.preprocessing)))
+        .map(|s| {
+            clf.classify(&privshape::transform_series(
+                s,
+                &params,
+                &setup.preprocessing,
+            ))
+        })
         .collect();
     adjusted_rand_index(&assigned, data.labels().expect("labeled dataset"))
 }
@@ -144,25 +150,42 @@ pub fn run_patternldp(setup: &ClusteringSetup) -> ClusteringOutcome {
     let data = setup.dataset();
     let mech = PatternLdp::new(PatternLdpConfig::default());
     let started = Instant::now();
-    let noisy = mech.perturb_dataset(&data, Epsilon::new(setup.eps).expect("positive eps"), setup.seed);
+    let noisy = mech.perturb_dataset(
+        &data,
+        Epsilon::new(setup.eps).expect("positive eps"),
+        setup.seed,
+    );
 
     // KMeans over (a subsample of) the perturbed numeric series.
     let cap = noisy.len().min(KMEANS_CAP);
     let sample: Vec<usize> = (0..cap).collect(); // class-interleaved ⇒ balanced prefix
-    let rows: Vec<Vec<f64>> =
-        sample.iter().map(|&i| noisy.series()[i].values().to_vec()).collect();
-    let fit = KMeans { n_init: 2, max_iter: 100, seed: setup.seed, ..KMeans::new(setup.k) }.fit(&rows);
+    let rows: Vec<Vec<f64>> = sample
+        .iter()
+        .map(|&i| noisy.series()[i].values().to_vec())
+        .collect();
+    let fit = KMeans {
+        n_init: 2,
+        max_iter: 100,
+        seed: setup.seed,
+        ..KMeans::new(setup.k)
+    }
+    .fit(&rows);
     let secs = started.elapsed().as_secs_f64();
 
-    let truth: Vec<usize> =
-        sample.iter().map(|&i| data.labels().expect("labeled")[i]).collect();
+    let truth: Vec<usize> = sample
+        .iter()
+        .map(|&i| data.labels().expect("labeled")[i])
+        .collect();
     let ari = adjusted_rand_index(&fit.labels, &truth);
 
     // Table III route: symbolize the centers like the paper symbolizes
     // PatternLDP output before measuring distances.
     let params = setup.sax();
-    let shapes: Vec<SymbolSeq> =
-        fit.centers.iter().map(|c| series_shape(c, &params)).collect();
+    let shapes: Vec<SymbolSeq> = fit
+        .centers
+        .iter()
+        .map(|c| series_shape(c, &params))
+        .collect();
     let gt = symbols_ground_truth(&params);
     ClusteringOutcome {
         ari,

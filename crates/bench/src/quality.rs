@@ -2,7 +2,9 @@
 //! Tables III and IV (distance between extracted shapes and ground truth,
 //! both in Compressive-SAX space).
 
-use privshape_datasets::{symbols_template, trace_template, SYMBOLS_CLASSES, SYMBOLS_LEN, TRACE_CLASSES, TRACE_LEN};
+use privshape_datasets::{
+    symbols_template, trace_template, SYMBOLS_CLASSES, SYMBOLS_LEN, TRACE_CLASSES, TRACE_LEN,
+};
 use privshape_distance::DistanceKind;
 use privshape_timeseries::{compressive_sax, SaxParams, SymbolSeq, TimeSeries};
 
@@ -34,7 +36,9 @@ pub fn trace_ground_truth(params: &SaxParams) -> Vec<SymbolSeq> {
 }
 
 fn template_shape(raw: Vec<f64>, params: &SaxParams) -> SymbolSeq {
-    let z = TimeSeries::new(raw).expect("templates are finite").z_normalized();
+    let z = TimeSeries::new(raw)
+        .expect("templates are finite")
+        .z_normalized();
     compressive_sax(z.values(), params)
 }
 

@@ -61,7 +61,10 @@ impl Baseline {
             .map(|(_, shape, frequency)| ExtractedShape { shape, frequency })
             .collect();
         diagnostics.elapsed = started.elapsed();
-        Ok(Extraction { shapes, diagnostics })
+        Ok(Extraction {
+            shapes,
+            diagnostics,
+        })
     }
 
     /// Classification variant: appends one extra user round that reports
@@ -110,30 +113,40 @@ impl Baseline {
                 let mut shapes: Vec<ExtractedShape> = leaf_candidates
                     .iter()
                     .zip(&class_freqs)
-                    .map(|(shape, &frequency)| ExtractedShape { shape: shape.clone(), frequency })
+                    .map(|(shape, &frequency)| ExtractedShape {
+                        shape: shape.clone(),
+                        frequency,
+                    })
                     .collect();
                 shapes.sort_by(|a, b| {
-                    b.frequency.partial_cmp(&a.frequency).expect("finite frequencies")
+                    b.frequency
+                        .partial_cmp(&a.frequency)
+                        .expect("finite frequencies")
                 });
                 shapes.truncate(self.config.k);
                 ClassShapes { label, shapes }
             })
             .collect();
         diagnostics.elapsed = started.elapsed();
-        Ok(LabeledExtraction { classes, diagnostics })
+        Ok(LabeledExtraction {
+            classes,
+            diagnostics,
+        })
     }
 
     /// Shared pipeline: preprocessing, population split, length estimation,
     /// and threshold-pruned trie expansion over `rounds` user groups.
     fn expand_trie(&self, series: &[TimeSeries]) -> Result<ExpandedTrie> {
-        self.expand_trie_inner(series, false).map(|(t, s, rounds, _, d)| (t, s, rounds, d))
+        self.expand_trie_inner(series, false)
+            .map(|(t, s, rounds, _, d)| (t, s, rounds, d))
     }
 
     fn expand_trie_reserving_label_round(
         &self,
         series: &[TimeSeries],
     ) -> Result<LabeledExpandedTrie> {
-        self.expand_trie_inner(series, true).map(|(t, s, _, label_group, d)| (t, s, label_group, d))
+        self.expand_trie_inner(series, true)
+            .map(|(t, s, _, label_group, d)| (t, s, label_group, d))
     }
 
     #[allow(clippy::type_complexity)]
@@ -141,7 +154,13 @@ impl Baseline {
         &self,
         series: &[TimeSeries],
         reserve_label_round: bool,
-    ) -> Result<(ShapeTrie, Vec<SymbolSeq>, Vec<Vec<usize>>, Vec<usize>, Diagnostics)> {
+    ) -> Result<(
+        ShapeTrie,
+        Vec<SymbolSeq>,
+        Vec<Vec<usize>>,
+        Vec<usize>,
+        Diagnostics,
+    )> {
         if series.is_empty() {
             return Err(Error::NotEnoughUsers { needed: 1, got: 0 });
         }
@@ -161,14 +180,7 @@ impl Baseline {
         let na = ((n as f64) * cfg.pa).round() as usize;
         let (pa, pb) = order.split_at(na.min(n));
 
-        let ell_s = estimate_length(
-            &seqs,
-            pa,
-            cfg.length_range,
-            cfg.epsilon,
-            cfg.seed,
-            threads,
-        )?;
+        let ell_s = estimate_length(&seqs, pa, cfg.length_range, cfg.epsilon, cfg.seed, threads)?;
 
         let total_rounds = ell_s + usize::from(reserve_label_round);
         let mut rounds = split_rounds(pb, total_rounds);
@@ -183,8 +195,7 @@ impl Baseline {
         for level in 1..=ell_s {
             trie.expand_next_level(None);
             let candidates = trie.candidates(level)?;
-            let cand_seqs: Vec<SymbolSeq> =
-                candidates.iter().map(|(_, s)| s.clone()).collect();
+            let cand_seqs: Vec<SymbolSeq> = candidates.iter().map(|(_, s)| s.clone()).collect();
             let counts = select_candidates(
                 &seqs,
                 &rounds[level - 1],
@@ -225,7 +236,11 @@ mod tests {
     fn planted_population(n: usize) -> Vec<TimeSeries> {
         (0..n)
             .map(|i| {
-                let (a, b, c) = if i % 3 < 2 { (-1.0, 1.5, 0.0) } else { (1.5, -1.0, 0.2) };
+                let (a, b, c) = if i % 3 < 2 {
+                    (-1.0, 1.5, 0.0)
+                } else {
+                    (1.5, -1.0, 0.2)
+                };
                 let mut v = Vec::with_capacity(60);
                 v.extend(std::iter::repeat_n(a, 20));
                 v.extend(std::iter::repeat_n(b, 20));

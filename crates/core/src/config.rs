@@ -40,7 +40,11 @@ impl Preprocessing {
     /// The paper's Fig. 18a grid: 0.33-unit intervals ending at ±0.99
     /// (eight segments).
     pub fn paper_uniform_grid() -> Self {
-        Preprocessing::UniformGrid { step: 0.33, bound: 0.99, compress: true }
+        Preprocessing::UniformGrid {
+            step: 0.33,
+            bound: 0.99,
+            compress: true,
+        }
     }
 
     /// Alphabet size this preprocessing produces under `sax` parameters.
@@ -74,7 +78,12 @@ pub struct PopulationSplit {
 
 impl Default for PopulationSplit {
     fn default() -> Self {
-        Self { pa: 0.02, pb: 0.08, pc: 0.70, pd: 0.20 }
+        Self {
+            pa: 0.02,
+            pb: 0.08,
+            pc: 0.70,
+            pd: 0.20,
+        }
     }
 }
 
@@ -152,7 +161,10 @@ impl PrivShapeConfig {
         if self.c < 2 {
             // §IV-B: c ≥ 2 compensates for the relaxed subadditivity of
             // real distance measures.
-            return Err(Error::InvalidConfig(format!("c must be >= 2, got {}", self.c)));
+            return Err(Error::InvalidConfig(format!(
+                "c must be >= 2, got {}",
+                self.c
+            )));
         }
         let (lo, hi) = self.length_range;
         if lo == 0 || lo > hi {
@@ -220,7 +232,10 @@ impl BaselineConfig {
             )));
         }
         if !(self.pa.is_finite() && self.pa > 0.0 && self.pa < 1.0) {
-            return Err(Error::InvalidConfig(format!("pa must be in (0, 1), got {}", self.pa)));
+            return Err(Error::InvalidConfig(format!(
+                "pa must be in (0, 1), got {}",
+                self.pa
+            )));
         }
         if !(self.prune_threshold.is_finite() && self.prune_threshold >= 0.0) {
             return Err(Error::InvalidConfig("prune threshold must be >= 0".into()));
@@ -245,7 +260,15 @@ mod tests {
     fn defaults_match_paper() {
         let cfg = PrivShapeConfig::new(eps(), 3, sax());
         assert_eq!(cfg.c, 3);
-        assert_eq!(cfg.split, PopulationSplit { pa: 0.02, pb: 0.08, pc: 0.70, pd: 0.20 });
+        assert_eq!(
+            cfg.split,
+            PopulationSplit {
+                pa: 0.02,
+                pb: 0.08,
+                pc: 0.70,
+                pd: 0.20
+            }
+        );
         assert!(cfg.validate().is_ok());
         let b = BaselineConfig::new(eps(), 3, sax());
         assert_eq!(b.prune_threshold, 100.0);

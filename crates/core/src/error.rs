@@ -12,7 +12,12 @@ pub enum Error {
     /// A configuration field failed validation.
     InvalidConfig(String),
     /// The mechanism needs more users than were provided.
-    NotEnoughUsers { needed: usize, got: usize },
+    NotEnoughUsers {
+        /// Minimum population the mechanism requires.
+        needed: usize,
+        /// Population actually provided.
+        got: usize,
+    },
     /// Labels were required (classification variant) but missing/mismatched.
     BadLabels(String),
     /// Propagated time-series error.
@@ -73,8 +78,12 @@ mod tests {
 
     #[test]
     fn display_covers_variants() {
-        assert!(Error::InvalidConfig("k = 0".into()).to_string().contains("k = 0"));
-        assert!(Error::NotEnoughUsers { needed: 10, got: 2 }.to_string().contains("10"));
+        assert!(Error::InvalidConfig("k = 0".into())
+            .to_string()
+            .contains("k = 0"));
+        assert!(Error::NotEnoughUsers { needed: 10, got: 2 }
+            .to_string()
+            .contains("10"));
         let e: Error = TsError::EmptySeries.into();
         assert!(e.to_string().contains("time series"));
         let e: Error = LdpError::InvalidEpsilon(0.0).into();

@@ -44,10 +44,13 @@ pub fn select_candidates(
             Some(len) => seqs[user].prefix(len),
             None => seqs[user].clone(),
         };
-        let scores: Vec<f64> =
-            candidates.iter().map(|c| em_score(distance.dist(&own, c))).collect();
+        let scores: Vec<f64> = candidates
+            .iter()
+            .map(|c| em_score(distance.dist(&own, c)))
+            .collect();
         let mut rng = user_rng(seed, Stage::Expand, user);
-        em.select(&mut rng, &scores).expect("candidates checked non-empty")
+        em.select(&mut rng, &scores)
+            .expect("candidates checked non-empty")
     });
 
     let mut counts = vec![0.0; candidates.len()];
@@ -71,8 +74,9 @@ mod tests {
 
     #[test]
     fn counts_concentrate_on_matching_candidate() {
-        let seqs: Vec<SymbolSeq> =
-            (0..3000).map(|_| SymbolSeq::parse("acb").unwrap()).collect();
+        let seqs: Vec<SymbolSeq> = (0..3000)
+            .map(|_| SymbolSeq::parse("acb").unwrap())
+            .collect();
         let group: Vec<usize> = (0..3000).collect();
         let candidates = seqs_of(&["ab", "ac", "ba", "ca"]);
         let counts = select_candidates(
@@ -99,16 +103,29 @@ mod tests {
 
     #[test]
     fn low_budget_flattens_selections() {
-        let seqs: Vec<SymbolSeq> =
-            (0..4000).map(|_| SymbolSeq::parse("ab").unwrap()).collect();
+        let seqs: Vec<SymbolSeq> = (0..4000).map(|_| SymbolSeq::parse("ab").unwrap()).collect();
         let group: Vec<usize> = (0..4000).collect();
         let candidates = seqs_of(&["ab", "ba"]);
         let strong = select_candidates(
-            &seqs, &group, &candidates, DistanceKind::Sed, Some(2), eps(8.0), 1, 2,
+            &seqs,
+            &group,
+            &candidates,
+            DistanceKind::Sed,
+            Some(2),
+            eps(8.0),
+            1,
+            2,
         )
         .unwrap();
         let weak = select_candidates(
-            &seqs, &group, &candidates, DistanceKind::Sed, Some(2), eps(0.1), 1, 2,
+            &seqs,
+            &group,
+            &candidates,
+            DistanceKind::Sed,
+            Some(2),
+            eps(0.1),
+            1,
+            2,
         )
         .unwrap();
         let strong_frac = strong[0] / 4000.0;
@@ -120,10 +137,8 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let seqs = seqs_of(&["ab"]);
-        let counts = select_candidates(
-            &seqs, &[0], &[], DistanceKind::Dtw, None, eps(1.0), 0, 1,
-        )
-        .unwrap();
+        let counts =
+            select_candidates(&seqs, &[0], &[], DistanceKind::Dtw, None, eps(1.0), 0, 1).unwrap();
         assert!(counts.is_empty());
         let counts = select_candidates(
             &seqs,
@@ -143,12 +158,20 @@ mod tests {
     fn full_sequence_scoring_when_prefix_is_none() {
         // Users hold "abab"; with prefix None, candidate "abab" wins over
         // "ab" under SED.
-        let seqs: Vec<SymbolSeq> =
-            (0..2000).map(|_| SymbolSeq::parse("abab").unwrap()).collect();
+        let seqs: Vec<SymbolSeq> = (0..2000)
+            .map(|_| SymbolSeq::parse("abab").unwrap())
+            .collect();
         let group: Vec<usize> = (0..2000).collect();
         let candidates = seqs_of(&["ab", "abab"]);
         let counts = select_candidates(
-            &seqs, &group, &candidates, DistanceKind::Sed, None, eps(4.0), 2, 2,
+            &seqs,
+            &group,
+            &candidates,
+            DistanceKind::Sed,
+            None,
+            eps(4.0),
+            2,
+            2,
         )
         .unwrap();
         assert!(counts[1] > counts[0], "{counts:?}");
@@ -156,16 +179,37 @@ mod tests {
 
     #[test]
     fn deterministic_across_thread_counts() {
-        let seqs: Vec<SymbolSeq> =
-            (0..600).map(|i| if i % 2 == 0 { SymbolSeq::parse("ab").unwrap() } else { SymbolSeq::parse("ba").unwrap() }).collect();
+        let seqs: Vec<SymbolSeq> = (0..600)
+            .map(|i| {
+                if i % 2 == 0 {
+                    SymbolSeq::parse("ab").unwrap()
+                } else {
+                    SymbolSeq::parse("ba").unwrap()
+                }
+            })
+            .collect();
         let group: Vec<usize> = (0..600).collect();
         let candidates = seqs_of(&["ab", "ba", "ac"]);
         let a = select_candidates(
-            &seqs, &group, &candidates, DistanceKind::Dtw, Some(2), eps(1.0), 5, 1,
+            &seqs,
+            &group,
+            &candidates,
+            DistanceKind::Dtw,
+            Some(2),
+            eps(1.0),
+            5,
+            1,
         )
         .unwrap();
         let b = select_candidates(
-            &seqs, &group, &candidates, DistanceKind::Dtw, Some(2), eps(1.0), 5, 8,
+            &seqs,
+            &group,
+            &candidates,
+            DistanceKind::Dtw,
+            Some(2),
+            eps(1.0),
+            5,
+            8,
         )
         .unwrap();
         assert_eq!(a, b);

@@ -51,8 +51,9 @@ mod tests {
 
     fn seq_of_len(len: usize) -> SymbolSeq {
         // Alternating ab… keeps the sequence compressed-valid.
-        let s: String =
-            (0..len).map(|i| if i % 2 == 0 { 'a' } else { 'b' }).collect();
+        let s: String = (0..len)
+            .map(|i| if i % 2 == 0 { 'a' } else { 'b' })
+            .collect();
         SymbolSeq::parse(&s).unwrap()
     }
 
@@ -63,8 +64,9 @@ mod tests {
     #[test]
     fn recovers_dominant_length() {
         // 80% of users have length 4, the rest length 7.
-        let seqs: Vec<SymbolSeq> =
-            (0..5000).map(|i| seq_of_len(if i % 5 == 4 { 7 } else { 4 })).collect();
+        let seqs: Vec<SymbolSeq> = (0..5000)
+            .map(|i| seq_of_len(if i % 5 == 4 { 7 } else { 4 }))
+            .collect();
         let group: Vec<usize> = (0..5000).collect();
         let got = estimate_length(&seqs, &group, (1, 10), eps(2.0), 1, 2).unwrap();
         assert_eq!(got, 4);
@@ -82,8 +84,14 @@ mod tests {
     #[test]
     fn degenerate_range_short_circuits() {
         let seqs = vec![seq_of_len(3)];
-        assert_eq!(estimate_length(&seqs, &[0], (5, 5), eps(1.0), 0, 1).unwrap(), 5);
-        assert_eq!(estimate_length(&seqs, &[], (2, 9), eps(1.0), 0, 1).unwrap(), 2);
+        assert_eq!(
+            estimate_length(&seqs, &[0], (5, 5), eps(1.0), 0, 1).unwrap(),
+            5
+        );
+        assert_eq!(
+            estimate_length(&seqs, &[], (2, 9), eps(1.0), 0, 1).unwrap(),
+            2
+        );
     }
 
     #[test]

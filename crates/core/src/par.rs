@@ -26,12 +26,17 @@ where
         }
     })
     .expect("worker panicked");
-    out.into_iter().map(|slot| slot.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|slot| slot.expect("all slots filled"))
+        .collect()
 }
 
 /// Default worker count: available parallelism, capped.
 pub(crate) fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
 }
 
 /// Resolves a configured thread count (0 ⇒ auto).

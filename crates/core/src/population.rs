@@ -77,7 +77,12 @@ mod tests {
         assert_eq!(g.pd.len(), 2000);
         assert_eq!(g.pc.len(), 7000);
         let mut all: Vec<usize> =
-            g.pa.iter().chain(&g.pb).chain(&g.pc).chain(&g.pd).copied().collect();
+            g.pa.iter()
+                .chain(&g.pb)
+                .chain(&g.pc)
+                .chain(&g.pd)
+                .copied()
+                .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 10_000);
@@ -96,7 +101,12 @@ mod tests {
 
     #[test]
     fn partial_usage_leaves_users_out() {
-        let split = PopulationSplit { pa: 0.1, pb: 0.1, pc: 0.1, pd: 0.1 };
+        let split = PopulationSplit {
+            pa: 0.1,
+            pb: 0.1,
+            pc: 0.1,
+            pd: 0.1,
+        };
         let g = split_population(100, &split, 0);
         assert_eq!(g.pa.len() + g.pb.len() + g.pc.len() + g.pd.len(), 40);
     }

@@ -75,9 +75,17 @@ fn k_medoids(candidates: &[(SymbolSeq, f64)], k: usize, distance: DistanceKind) 
         let next = (0..n)
             .filter(|i| !medoids.contains(i))
             .max_by(|&a, &b| {
-                let da = medoids.iter().map(|&m| dist[a][m]).fold(f64::INFINITY, f64::min);
-                let db = medoids.iter().map(|&m| dist[b][m]).fold(f64::INFINITY, f64::min);
-                da.partial_cmp(&db).expect("finite distances").then(b.cmp(&a))
+                let da = medoids
+                    .iter()
+                    .map(|&m| dist[a][m])
+                    .fold(f64::INFINITY, f64::min);
+                let db = medoids
+                    .iter()
+                    .map(|&m| dist[b][m])
+                    .fold(f64::INFINITY, f64::min);
+                da.partial_cmp(&db)
+                    .expect("finite distances")
+                    .then(b.cmp(&a))
             })
             .expect("k < n leaves unpicked candidates");
         medoids.push(next);
@@ -91,7 +99,10 @@ fn k_medoids(candidates: &[(SymbolSeq, f64)], k: usize, distance: DistanceKind) 
                 .iter()
                 .enumerate()
                 .min_by(|(_, &ma), (_, &mb)| {
-                    dist[i][ma].partial_cmp(&dist[i][mb]).expect("finite").then(ma.cmp(&mb))
+                    dist[i][ma]
+                        .partial_cmp(&dist[i][mb])
+                        .expect("finite")
+                        .then(ma.cmp(&mb))
                 })
                 .map(|(c, _)| c)
                 .expect("k >= 1");
@@ -99,8 +110,7 @@ fn k_medoids(candidates: &[(SymbolSeq, f64)], k: usize, distance: DistanceKind) 
         // Medoid update: member minimizing intra-cluster distance.
         let mut changed = false;
         for (c, medoid) in medoids.iter_mut().enumerate() {
-            let members: Vec<usize> =
-                (0..n).filter(|&i| labels[i] == c).collect();
+            let members: Vec<usize> = (0..n).filter(|&i| labels[i] == c).collect();
             if members.is_empty() {
                 continue;
             }

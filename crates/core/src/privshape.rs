@@ -53,8 +53,12 @@ impl PrivShape {
 
         // Two-level refinement: re-estimate the (already ≤ c·k) leaves from
         // the reserved population Pd, scoring full sequences.
-        let leaf_seqs: Vec<SymbolSeq> =
-            state.trie.leaves_by_freq().into_iter().map(|(_, s, _)| s).collect();
+        let leaf_seqs: Vec<SymbolSeq> = state
+            .trie
+            .leaves_by_freq()
+            .into_iter()
+            .map(|(_, s, _)| s)
+            .collect();
         let refined = refine_unlabeled(
             &state.seqs,
             &state.groups.pd,
@@ -64,8 +68,7 @@ impl PrivShape {
             self.config.seed,
             threads,
         )?;
-        let candidates: Vec<(SymbolSeq, f64)> =
-            leaf_seqs.into_iter().zip(refined).collect();
+        let candidates: Vec<(SymbolSeq, f64)> = leaf_seqs.into_iter().zip(refined).collect();
 
         // Post-processing: suppress similar shapes, keep k distinct ones.
         let shapes = select_distinct_top_k(&candidates, self.config.k, self.config.distance)
@@ -75,7 +78,10 @@ impl PrivShape {
 
         let mut diagnostics = state.diagnostics;
         diagnostics.elapsed = started.elapsed();
-        Ok(Extraction { shapes, diagnostics })
+        Ok(Extraction {
+            shapes,
+            diagnostics,
+        })
     }
 
     /// Classification variant (§V-E): the refinement reports go through OUE
@@ -97,8 +103,12 @@ impl PrivShape {
         let state = self.expand(series)?;
         let threads = par::resolve_threads(self.config.threads);
 
-        let leaf_seqs: Vec<SymbolSeq> =
-            state.trie.leaves_by_freq().into_iter().map(|(_, s, _)| s).collect();
+        let leaf_seqs: Vec<SymbolSeq> = state
+            .trie
+            .leaves_by_freq()
+            .into_iter()
+            .map(|(_, s, _)| s)
+            .collect();
         let freqs = refine_labeled(
             &state.seqs,
             labels,
@@ -129,7 +139,10 @@ impl PrivShape {
 
         let mut diagnostics = state.diagnostics;
         diagnostics.elapsed = started.elapsed();
-        Ok(LabeledExtraction { classes, diagnostics })
+        Ok(LabeledExtraction {
+            classes,
+            diagnostics,
+        })
     }
 
     /// Stages 1–3: preprocessing, population split, length estimation,
@@ -186,8 +199,7 @@ impl PrivShape {
             };
             trie.expand_next_level(allowed);
             let candidates = trie.candidates(level)?;
-            let cand_seqs: Vec<SymbolSeq> =
-                candidates.iter().map(|(_, s)| s.clone()).collect();
+            let cand_seqs: Vec<SymbolSeq> = candidates.iter().map(|(_, s)| s.clone()).collect();
             let counts = select_candidates(
                 &seqs,
                 &rounds[level - 1],
@@ -209,10 +221,20 @@ impl PrivShape {
             ell_s,
             candidates_per_level,
             trie_nodes: trie.node_count(),
-            group_sizes: [groups.pa.len(), groups.pb.len(), groups.pc.len(), groups.pd.len()],
+            group_sizes: [
+                groups.pa.len(),
+                groups.pb.len(),
+                groups.pc.len(),
+                groups.pd.len(),
+            ],
             elapsed: Default::default(),
         };
-        Ok(ExpandState { trie, seqs, groups, diagnostics })
+        Ok(ExpandState {
+            trie,
+            seqs,
+            groups,
+            diagnostics,
+        })
     }
 }
 
@@ -226,11 +248,7 @@ struct ExpandState {
 
 /// Whether any live node at `level` has at least one outgoing edge in
 /// `set` — i.e. whether constrained expansion can make progress.
-fn frontier_has_allowed_edge(
-    trie: &ShapeTrie,
-    level: usize,
-    set: &BigramSet,
-) -> Result<bool> {
+fn frontier_has_allowed_edge(trie: &ShapeTrie, level: usize, set: &BigramSet) -> Result<bool> {
     let alphabet = trie.alphabet();
     for (_, shape) in trie.candidates(level)? {
         if let Some(x) = shape.last() {
@@ -258,7 +276,11 @@ mod tests {
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
             let class = usize::from(i % 3 >= 2); // 2:1 class imbalance
-            let (a, b, c) = if class == 0 { (-1.0, 1.5, 0.0) } else { (1.5, -1.0, 0.2) };
+            let (a, b, c) = if class == 0 {
+                (-1.0, 1.5, 0.0)
+            } else {
+                (1.5, -1.0, 0.2)
+            };
             let mut v = Vec::with_capacity(60);
             v.extend(std::iter::repeat_n(a, 20));
             v.extend(std::iter::repeat_n(b, 20));
@@ -287,8 +309,7 @@ mod tests {
         let mech = PrivShape::new(config(8.0)).unwrap();
         let out = mech.run(&series).unwrap();
         assert_eq!(out.shapes.len(), 2);
-        let found: Vec<String> =
-            out.shapes.iter().map(|s| s.shape.to_string()).collect();
+        let found: Vec<String> = out.shapes.iter().map(|s| s.shape.to_string()).collect();
         assert!(found.contains(&"acb".to_string()), "{found:?}");
         assert!(found.contains(&"cab".to_string()), "{found:?}");
         // Majority shape ranks first.

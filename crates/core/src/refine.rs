@@ -62,7 +62,11 @@ pub fn refine_labeled(
     }
     // The paper's encoding grid: c·k candidates × L classes cells.
     let cells = candidates.len() * n_classes;
-    let oue = if cells >= 2 { Some(Oue::new(cells, eps)?) } else { None };
+    let oue = if cells >= 2 {
+        Some(Oue::new(cells, eps)?)
+    } else {
+        None
+    };
 
     let oue_ref = oue.as_ref();
     let reports = par::map_indexed(group.len(), threads, |i| {
@@ -121,12 +125,19 @@ mod tests {
 
     #[test]
     fn unlabeled_refinement_ranks_true_shape_first() {
-        let seqs: Vec<SymbolSeq> =
-            (0..3000).map(|_| SymbolSeq::parse("abc").unwrap()).collect();
+        let seqs: Vec<SymbolSeq> = (0..3000)
+            .map(|_| SymbolSeq::parse("abc").unwrap())
+            .collect();
         let group: Vec<usize> = (0..3000).collect();
         let candidates = parse_all(&["abc", "cba", "bac"]);
         let freqs = refine_unlabeled(
-            &seqs, &group, &candidates, DistanceKind::Sed, eps(4.0), 1, 2,
+            &seqs,
+            &group,
+            &candidates,
+            DistanceKind::Sed,
+            eps(4.0),
+            1,
+            2,
         )
         .unwrap();
         assert!(freqs[0] > freqs[1] && freqs[0] > freqs[2], "{freqs:?}");
@@ -143,7 +154,15 @@ mod tests {
         let group: Vec<usize> = (0..n).collect();
         let candidates = parse_all(&["ab", "ba"]);
         let freqs = refine_labeled(
-            &seqs, &labels, &group, &candidates, 2, DistanceKind::Sed, eps(4.0), 1, 2,
+            &seqs,
+            &labels,
+            &group,
+            &candidates,
+            2,
+            DistanceKind::Sed,
+            eps(4.0),
+            1,
+            2,
         )
         .unwrap();
         // Class 0's dominant candidate is "ab" (index 0), class 1's "ba".
@@ -173,10 +192,8 @@ mod tests {
     #[test]
     fn labeled_empty_candidates_gives_empty_classes() {
         let seqs = parse_all(&["ab"]);
-        let freqs = refine_labeled(
-            &seqs, &[0], &[0], &[], 3, DistanceKind::Sed, eps(1.0), 0, 1,
-        )
-        .unwrap();
+        let freqs =
+            refine_labeled(&seqs, &[0], &[0], &[], 3, DistanceKind::Sed, eps(1.0), 0, 1).unwrap();
         assert_eq!(freqs.len(), 3);
         assert!(freqs.iter().all(|f| f.is_empty()));
     }

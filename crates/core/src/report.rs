@@ -89,7 +89,10 @@ mod tests {
     use super::*;
 
     fn shape(s: &str, f: f64) -> ExtractedShape {
-        ExtractedShape { shape: SymbolSeq::parse(s).unwrap(), frequency: f }
+        ExtractedShape {
+            shape: SymbolSeq::parse(s).unwrap(),
+            frequency: f,
+        }
     }
 
     #[test]
@@ -107,9 +110,18 @@ mod tests {
     fn labeled_prototypes_flatten_classes() {
         let le = LabeledExtraction {
             classes: vec![
-                ClassShapes { label: 0, shapes: vec![shape("ab", 9.0), shape("ac", 1.0)] },
-                ClassShapes { label: 1, shapes: vec![shape("ba", 7.0)] },
-                ClassShapes { label: 2, shapes: vec![] },
+                ClassShapes {
+                    label: 0,
+                    shapes: vec![shape("ab", 9.0), shape("ac", 1.0)],
+                },
+                ClassShapes {
+                    label: 1,
+                    shapes: vec![shape("ba", 7.0)],
+                },
+                ClassShapes {
+                    label: 2,
+                    shapes: vec![],
+                },
             ],
             diagnostics: Diagnostics::default(),
         };

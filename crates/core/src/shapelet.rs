@@ -34,12 +34,19 @@ impl ShapeletTransform {
     /// produce degenerate (constant) features.
     pub fn new(shapelets: Vec<SymbolSeq>, distance: DistanceKind) -> Result<Self> {
         if shapelets.is_empty() {
-            return Err(Error::InvalidConfig("shapelet set must be non-empty".into()));
+            return Err(Error::InvalidConfig(
+                "shapelet set must be non-empty".into(),
+            ));
         }
         if shapelets.iter().any(|s| s.is_empty()) {
-            return Err(Error::InvalidConfig("shapelets must be non-empty sequences".into()));
+            return Err(Error::InvalidConfig(
+                "shapelets must be non-empty sequences".into(),
+            ));
         }
-        Ok(Self { shapelets, distance })
+        Ok(Self {
+            shapelets,
+            distance,
+        })
     }
 
     /// Builds the transform from an unlabeled extraction's top-k shapes.

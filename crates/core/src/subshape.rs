@@ -123,11 +123,11 @@ mod tests {
     #[test]
     fn recovers_planted_subshapes() {
         // Everyone holds "abc": level-1 pair (a,b), level-2 pair (b,c).
-        let seqs: Vec<SymbolSeq> =
-            (0..6000).map(|_| SymbolSeq::parse("abc").unwrap()).collect();
+        let seqs: Vec<SymbolSeq> = (0..6000)
+            .map(|_| SymbolSeq::parse("abc").unwrap())
+            .collect();
         let group: Vec<usize> = (0..6000).collect();
-        let sets =
-            estimate_subshapes(&seqs, &group, 3, 3, 2, eps(2.0), 1, 2).unwrap();
+        let sets = estimate_subshapes(&seqs, &group, 3, 3, 2, eps(2.0), 1, 2).unwrap();
         assert_eq!(sets.len(), 2);
         let a = privshape_timeseries::Symbol::from_char('a').unwrap();
         let b = privshape_timeseries::Symbol::from_char('b').unwrap();
@@ -138,8 +138,15 @@ mod tests {
 
     #[test]
     fn top_m_bounds_set_size() {
-        let seqs: Vec<SymbolSeq> =
-            (0..2000).map(|i| if i % 2 == 0 { SymbolSeq::parse("ab").unwrap() } else { SymbolSeq::parse("ba").unwrap() }).collect();
+        let seqs: Vec<SymbolSeq> = (0..2000)
+            .map(|i| {
+                if i % 2 == 0 {
+                    SymbolSeq::parse("ab").unwrap()
+                } else {
+                    SymbolSeq::parse("ba").unwrap()
+                }
+            })
+            .collect();
         let group: Vec<usize> = (0..2000).collect();
         let sets = estimate_subshapes(&seqs, &group, 2, 4, 3, eps(1.0), 0, 2).unwrap();
         assert_eq!(sets.len(), 1);
@@ -165,8 +172,10 @@ mod tests {
         let group: Vec<usize> = (0..3000).collect();
         let sets = estimate_subshapes(&seqs, &group, 2, 3, 2, eps(3.0), 5, 2).unwrap();
         let a = privshape_timeseries::Symbol::from_char('a').unwrap();
-        let kept: Vec<(char, char)> =
-            sets[0].iter().map(|(x, y)| (x.as_char(), y.as_char())).collect();
+        let kept: Vec<(char, char)> = sets[0]
+            .iter()
+            .map(|(x, y)| (x.as_char(), y.as_char()))
+            .collect();
         assert!(
             sets[0].contains(a, privshape_timeseries::Symbol::from_char('b').unwrap())
                 || sets[0].contains(a, privshape_timeseries::Symbol::from_char('c').unwrap()),
@@ -176,8 +185,15 @@ mod tests {
 
     #[test]
     fn deterministic_across_thread_counts() {
-        let seqs: Vec<SymbolSeq> =
-            (0..1000).map(|i| if i % 3 == 0 { SymbolSeq::parse("abcd").unwrap() } else { SymbolSeq::parse("dcba").unwrap() }).collect();
+        let seqs: Vec<SymbolSeq> = (0..1000)
+            .map(|i| {
+                if i % 3 == 0 {
+                    SymbolSeq::parse("abcd").unwrap()
+                } else {
+                    SymbolSeq::parse("dcba").unwrap()
+                }
+            })
+            .collect();
         let group: Vec<usize> = (0..1000).collect();
         let a = estimate_subshapes(&seqs, &group, 4, 4, 4, eps(1.0), 3, 1).unwrap();
         let b = estimate_subshapes(&seqs, &group, 4, 4, 4, eps(1.0), 3, 8).unwrap();

@@ -6,7 +6,7 @@
 
 use crate::config::Preprocessing;
 use crate::par;
-use privshape_timeseries::{compress, sax, Symbol, SymbolSeq, SaxParams, TimeSeries};
+use privshape_timeseries::{compress, sax, SaxParams, Symbol, SymbolSeq, TimeSeries};
 
 /// Transforms one series according to the preprocessing mode.
 ///
@@ -20,7 +20,9 @@ pub fn transform_series(
 ) -> SymbolSeq {
     let z = series.z_normalized();
     match mode {
-        Preprocessing::Sax { compress: do_compress } => {
+        Preprocessing::Sax {
+            compress: do_compress,
+        } => {
             let seq = sax(z.values(), sax_params);
             if *do_compress {
                 compress(&seq)
@@ -28,7 +30,11 @@ pub fn transform_series(
                 seq
             }
         }
-        Preprocessing::UniformGrid { step, bound, compress: do_compress } => {
+        Preprocessing::UniformGrid {
+            step,
+            bound,
+            compress: do_compress,
+        } => {
             let seq = uniform_grid(z.values(), *step, *bound);
             if *do_compress {
                 compress(&seq)
@@ -46,7 +52,9 @@ pub fn transform_population(
     mode: &Preprocessing,
     threads: usize,
 ) -> Vec<SymbolSeq> {
-    par::map_indexed(series.len(), threads, |i| transform_series(&series[i], sax_params, mode))
+    par::map_indexed(series.len(), threads, |i| {
+        transform_series(&series[i], sax_params, mode)
+    })
 }
 
 /// Uniform-grid discretization (the Fig. 18a "Without SAX" ablation): bin
@@ -114,13 +122,21 @@ mod tests {
         let seq = transform_series(
             &step_series(),
             &p,
-            &Preprocessing::UniformGrid { step: 0.33, bound: 0.99, compress: false },
+            &Preprocessing::UniformGrid {
+                step: 0.33,
+                bound: 0.99,
+                compress: false,
+            },
         );
         assert_eq!(seq.len(), 80);
         let compressed = transform_series(
             &step_series(),
             &p,
-            &Preprocessing::UniformGrid { step: 0.33, bound: 0.99, compress: true },
+            &Preprocessing::UniformGrid {
+                step: 0.33,
+                bound: 0.99,
+                compress: true,
+            },
         );
         assert_eq!(compressed.len(), 2); // two plateaus
     }
@@ -131,7 +147,10 @@ mod tests {
         let population = vec![step_series(), step_series()];
         let seqs = transform_population(&population, &p, &Preprocessing::default(), 2);
         assert_eq!(seqs.len(), 2);
-        assert_eq!(seqs[0], transform_series(&step_series(), &p, &Preprocessing::default()));
+        assert_eq!(
+            seqs[0],
+            transform_series(&step_series(), &p, &Preprocessing::default())
+        );
         assert_eq!(seqs[0], seqs[1]);
     }
 }

@@ -23,14 +23,24 @@ pub struct Augment {
 
 impl Default for Augment {
     fn default() -> Self {
-        Self { noise_std: 0.15, scale_jitter: 0.2, warp_strength: 0.4, shift_frac: 0.03 }
+        Self {
+            noise_std: 0.15,
+            scale_jitter: 0.2,
+            warp_strength: 0.4,
+            shift_frac: 0.03,
+        }
     }
 }
 
 impl Augment {
     /// No-op augmentation (exact template samples).
     pub fn none() -> Self {
-        Self { noise_std: 0.0, scale_jitter: 0.0, warp_strength: 0.0, shift_frac: 0.0 }
+        Self {
+            noise_std: 0.0,
+            scale_jitter: 0.0,
+            warp_strength: 0.0,
+            shift_frac: 0.0,
+        }
     }
 
     /// Draws one augmented instance of `template` with `len` samples.
@@ -38,12 +48,7 @@ impl Augment {
     /// The result is *not* z-normalized; generators normalize after
     /// augmentation so the noise contributes to the variance the way real
     /// sensor noise would.
-    pub fn apply<R: Rng + ?Sized>(
-        &self,
-        template: &Template,
-        len: usize,
-        rng: &mut R,
-    ) -> Vec<f64> {
+    pub fn apply<R: Rng + ?Sized>(&self, template: &Template, len: usize, rng: &mut R) -> Vec<f64> {
         let scale = 1.0 + self.scale_jitter * (2.0 * rng.random::<f64>() - 1.0);
         let shift = self.shift_frac * (2.0 * rng.random::<f64>() - 1.0);
         let warp = MonotoneWarp::random(self.warp_strength, rng);
@@ -122,11 +127,18 @@ mod tests {
     #[test]
     fn noise_perturbs_but_preserves_scale() {
         let mut rng = ChaCha12Rng::seed_from_u64(1);
-        let aug = Augment { noise_std: 0.1, ..Augment::none() };
+        let aug = Augment {
+            noise_std: 0.1,
+            ..Augment::none()
+        };
         let out = aug.apply(&template(), 256, &mut rng);
         let want = template().sample(256);
-        let mse: f64 =
-            out.iter().zip(&want).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / 256.0;
+        let mse: f64 = out
+            .iter()
+            .zip(&want)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / 256.0;
         assert!(mse > 0.001 && mse < 0.05, "mse={mse}");
     }
 

@@ -60,15 +60,14 @@ pub fn symbols_template(class: usize) -> Template {
 pub fn trace_template(class: usize) -> Template {
     match class {
         // Low plateau, sharp step up at 60%, high plateau.
-        0 => Template::new(vec![
-            (0.0, -1.0),
-            (0.55, -1.0),
-            (0.65, 1.2),
-            (1.0, 1.2),
-        ]),
+        0 => Template::new(vec![(0.0, -1.0), (0.55, -1.0), (0.65, 1.2), (1.0, 1.2)]),
         // High start, gradual decay with a transient burst near the middle.
-        1 => Template::new(vec![(0.0, 1.2), (0.4, 0.8), (1.0, -1.2)])
-            .with_burst(Burst { center: 0.45, width: 0.06, freq: 12.0, amp: 0.9 }),
+        1 => Template::new(vec![(0.0, 1.2), (0.4, 0.8), (1.0, -1.2)]).with_burst(Burst {
+            center: 0.45,
+            width: 0.06,
+            freq: 12.0,
+            amp: 0.9,
+        }),
         // Flat baseline with a late dip-and-recover excursion.
         2 => Template::new(vec![
             (0.0, 0.4),
@@ -96,7 +95,12 @@ pub struct SymbolsLikeConfig {
 
 impl Default for SymbolsLikeConfig {
     fn default() -> Self {
-        Self { n_per_class: 1000, length: SYMBOLS_LEN, augment: Augment::default(), seed: 2023 }
+        Self {
+            n_per_class: 1000,
+            length: SYMBOLS_LEN,
+            augment: Augment::default(),
+            seed: 2023,
+        }
     }
 }
 
@@ -115,7 +119,12 @@ pub struct TraceLikeConfig {
 
 impl Default for TraceLikeConfig {
     fn default() -> Self {
-        Self { n_per_class: 1000, length: TRACE_LEN, augment: Augment::default(), seed: 2023 }
+        Self {
+            n_per_class: 1000,
+            length: TRACE_LEN,
+            augment: Augment::default(),
+            seed: 2023,
+        }
     }
 }
 
@@ -177,7 +186,10 @@ mod tests {
 
     #[test]
     fn symbols_generator_shape_and_labels() {
-        let cfg = SymbolsLikeConfig { n_per_class: 3, ..Default::default() };
+        let cfg = SymbolsLikeConfig {
+            n_per_class: 3,
+            ..Default::default()
+        };
         let d = generate_symbols_like(&cfg);
         assert_eq!(d.len(), 18);
         assert_eq!(d.n_classes(), Some(6));
@@ -189,7 +201,10 @@ mod tests {
 
     #[test]
     fn trace_generator_shape_and_labels() {
-        let cfg = TraceLikeConfig { n_per_class: 4, ..Default::default() };
+        let cfg = TraceLikeConfig {
+            n_per_class: 4,
+            ..Default::default()
+        };
         let d = generate_trace_like(&cfg);
         assert_eq!(d.len(), 12);
         assert_eq!(d.n_classes(), Some(3));
@@ -198,7 +213,10 @@ mod tests {
 
     #[test]
     fn output_is_z_normalized() {
-        let cfg = SymbolsLikeConfig { n_per_class: 2, ..Default::default() };
+        let cfg = SymbolsLikeConfig {
+            n_per_class: 2,
+            ..Default::default()
+        };
         let d = generate_symbols_like(&cfg);
         for s in d.series() {
             assert!(s.mean().abs() < 1e-9);
@@ -208,7 +226,11 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = TraceLikeConfig { n_per_class: 2, seed: 99, ..Default::default() };
+        let cfg = TraceLikeConfig {
+            n_per_class: 2,
+            seed: 99,
+            ..Default::default()
+        };
         let a = generate_trace_like(&cfg);
         let b = generate_trace_like(&cfg);
         assert_eq!(a.series()[5], b.series()[5]);

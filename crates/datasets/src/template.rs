@@ -48,12 +48,19 @@ impl Template {
     pub fn new(control: Vec<(f64, f64)>) -> Self {
         assert!(control.len() >= 2, "template needs at least two knots");
         assert_eq!(control[0].0, 0.0, "first knot must sit at position 0");
-        assert_eq!(control[control.len() - 1].0, 1.0, "last knot must sit at position 1");
+        assert_eq!(
+            control[control.len() - 1].0,
+            1.0,
+            "last knot must sit at position 1"
+        );
         assert!(
             control.windows(2).all(|w| w[0].0 < w[1].0),
             "knot positions must be strictly increasing"
         );
-        Self { control, bursts: Vec::new() }
+        Self {
+            control,
+            bursts: Vec::new(),
+        }
     }
 
     /// Adds an oscillatory burst.
@@ -82,7 +89,9 @@ impl Template {
     /// Samples the template at `len` evenly spaced positions.
     pub fn sample(&self, len: usize) -> Vec<f64> {
         assert!(len >= 2, "need at least two samples");
-        (0..len).map(|i| self.eval(i as f64 / (len - 1) as f64)).collect()
+        (0..len)
+            .map(|i| self.eval(i as f64 / (len - 1) as f64))
+            .collect()
     }
 }
 
@@ -118,8 +127,12 @@ mod tests {
 
     #[test]
     fn burst_is_localized() {
-        let t = Template::new(vec![(0.0, 0.0), (1.0, 0.0)])
-            .with_burst(Burst { center: 0.5, width: 0.05, freq: 10.0, amp: 1.0 });
+        let t = Template::new(vec![(0.0, 0.0), (1.0, 0.0)]).with_burst(Burst {
+            center: 0.5,
+            width: 0.05,
+            freq: 10.0,
+            amp: 1.0,
+        });
         // Far from the center the burst has decayed.
         assert!(t.eval(0.1).abs() < 1e-6);
         assert!(t.eval(0.9).abs() < 1e-6);

@@ -100,7 +100,9 @@ pub fn generate_trig(config: &TrigConfig) -> Dataset {
                 })
                 .collect();
             series.push(
-                TimeSeries::new(values).expect("finite samples").z_normalized(),
+                TimeSeries::new(values)
+                    .expect("finite samples")
+                    .z_normalized(),
             );
             labels.push(kind.label());
         }
@@ -114,7 +116,10 @@ mod tests {
 
     #[test]
     fn generates_balanced_classes() {
-        let d = generate_trig(&TrigConfig { n_per_class: 5, ..Default::default() });
+        let d = generate_trig(&TrigConfig {
+            n_per_class: 5,
+            ..Default::default()
+        });
         assert_eq!(d.len(), 10);
         assert_eq!(d.class_indices(0).len(), 5);
         assert_eq!(d.class_indices(1).len(), 5);
@@ -169,7 +174,10 @@ mod tests {
 
     #[test]
     fn output_is_z_normalized() {
-        let d = generate_trig(&TrigConfig { n_per_class: 2, ..Default::default() });
+        let d = generate_trig(&TrigConfig {
+            n_per_class: 2,
+            ..Default::default()
+        });
         for s in d.series() {
             assert!(s.mean().abs() < 1e-9);
             assert!((s.std() - 1.0).abs() < 1e-9);
@@ -178,8 +186,15 @@ mod tests {
 
     #[test]
     fn deterministic_generation() {
-        let cfg = TrigConfig { n_per_class: 2, seed: 5, ..Default::default() };
-        assert_eq!(generate_trig(&cfg).series()[3], generate_trig(&cfg).series()[3]);
+        let cfg = TrigConfig {
+            n_per_class: 2,
+            seed: 5,
+            ..Default::default()
+        };
+        assert_eq!(
+            generate_trig(&cfg).series()[3],
+            generate_trig(&cfg).series()[3]
+        );
     }
 
     #[test]

@@ -44,7 +44,11 @@ pub fn dtw_banded(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
             } else {
                 let up = if i > 0 { prev[j] } else { f64::INFINITY };
                 let left = if j > lo { curr[j - 1] } else { f64::INFINITY };
-                let diag = if i > 0 && j > 0 { prev[j - 1] } else { f64::INFINITY };
+                let diag = if i > 0 && j > 0 {
+                    prev[j - 1]
+                } else {
+                    f64::INFINITY
+                };
                 up.min(left).min(diag)
             };
             curr[j] = cost + best;
@@ -71,7 +75,10 @@ impl Dtw {
 
     /// Engine with a Sakoe–Chiba band of half-width `band`.
     pub fn with_band(band: usize) -> Self {
-        Self { band: Some(band), ..Self::default() }
+        Self {
+            band: Some(band),
+            ..Self::default()
+        }
     }
 
     /// Computes the DTW distance, reusing internal buffers.
@@ -99,9 +106,16 @@ impl Dtw {
                     0.0
                 } else {
                     let up = if i > 0 { self.prev[j] } else { f64::INFINITY };
-                    let left = if j > lo { self.curr[j - 1] } else { f64::INFINITY };
-                    let diag =
-                        if i > 0 && j > 0 { self.prev[j - 1] } else { f64::INFINITY };
+                    let left = if j > lo {
+                        self.curr[j - 1]
+                    } else {
+                        f64::INFINITY
+                    };
+                    let diag = if i > 0 && j > 0 {
+                        self.prev[j - 1]
+                    } else {
+                        f64::INFINITY
+                    };
                     up.min(left).min(diag)
                 };
                 self.curr[j] = cost + best;

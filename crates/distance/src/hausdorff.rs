@@ -18,7 +18,13 @@ pub fn hausdorff(a: &[f64], b: &[f64]) -> f64 {
 }
 
 fn directed(from: &[f64], to: &[f64]) -> f64 {
-    let fx = |i: usize, n: usize| if n <= 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+    let fx = |i: usize, n: usize| {
+        if n <= 1 {
+            0.0
+        } else {
+            i as f64 / (n - 1) as f64
+        }
+    };
     let mut worst = 0.0f64;
     for (i, &av) in from.iter().enumerate() {
         let ax = fx(i, from.len());

@@ -30,8 +30,12 @@ pub enum DistanceKind {
 
 impl DistanceKind {
     /// All variants, in the order the paper reports them.
-    pub const ALL: [DistanceKind; 4] =
-        [DistanceKind::Dtw, DistanceKind::Sed, DistanceKind::Euclidean, DistanceKind::Hausdorff];
+    pub const ALL: [DistanceKind; 4] = [
+        DistanceKind::Dtw,
+        DistanceKind::Sed,
+        DistanceKind::Euclidean,
+        DistanceKind::Hausdorff,
+    ];
 
     /// Distance between two symbol sequences under this measure.
     pub fn dist(&self, a: &SymbolSeq, b: &SymbolSeq) -> f64 {
@@ -75,7 +79,9 @@ impl std::str::FromStr for DistanceKind {
             "sed" => Ok(DistanceKind::Sed),
             "euclidean" | "l2" => Ok(DistanceKind::Euclidean),
             "hausdorff" => Ok(DistanceKind::Hausdorff),
-            other => Err(format!("unknown distance {other:?} (dtw|sed|euclidean|hausdorff)")),
+            other => Err(format!(
+                "unknown distance {other:?} (dtw|sed|euclidean|hausdorff)"
+            )),
         }
     }
 }
@@ -118,7 +124,10 @@ mod tests {
             assert_eq!(parsed, kind);
         }
         assert!("cosine".parse::<DistanceKind>().is_err());
-        assert_eq!("L2".parse::<DistanceKind>().unwrap(), DistanceKind::Euclidean);
+        assert_eq!(
+            "L2".parse::<DistanceKind>().unwrap(),
+            DistanceKind::Euclidean
+        );
     }
 
     #[test]

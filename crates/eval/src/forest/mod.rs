@@ -57,15 +57,25 @@ impl RandomForest {
         assert!(!x.is_empty(), "random forest needs data");
         assert_eq!(x.len(), y.len(), "feature/label count mismatch");
         let d = x[0].len();
-        assert!(x.iter().all(|row| row.len() == d), "rows must share a dimension");
+        assert!(
+            x.iter().all(|row| row.len() == d),
+            "rows must share a dimension"
+        );
         let n_classes = y.iter().copied().max().expect("non-empty") + 1;
-        let n_features = config.n_features.unwrap_or_else(|| (d as f64).sqrt().ceil() as usize);
+        let n_features = config
+            .n_features
+            .unwrap_or_else(|| (d as f64).sqrt().ceil() as usize);
         let n_features = n_features.clamp(1, d);
-        let threads = if config.threads == 0 { par::default_threads() } else { config.threads };
+        let threads = if config.threads == 0 {
+            par::default_threads()
+        } else {
+            config.threads
+        };
 
         let trees = par::map_indexed(config.n_trees, threads, |i| {
-            let mut rng =
-                ChaCha12Rng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = ChaCha12Rng::seed_from_u64(
+                config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
             DecisionTree::fit_bootstrap(
                 x,
                 y,
@@ -113,7 +123,9 @@ impl RandomForest {
 
     /// Predictions for a batch of rows (parallel).
     pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        par::map_indexed(rows.len(), par::default_threads(), |i| self.predict(&rows[i]))
+        par::map_indexed(rows.len(), par::default_threads(), |i| {
+            self.predict(&rows[i])
+        })
     }
 }
 
@@ -141,7 +153,14 @@ mod tests {
     #[test]
     fn learns_separable_classes() {
         let (x, y) = toy(200);
-        let rf = RandomForest::fit(&RandomForestConfig { n_trees: 25, ..Default::default() }, &x, &y);
+        let rf = RandomForest::fit(
+            &RandomForestConfig {
+                n_trees: 25,
+                ..Default::default()
+            },
+            &x,
+            &y,
+        );
         let preds = rf.predict_batch(&x);
         let acc = crate::metrics::accuracy(&preds, &y);
         assert!(acc > 0.98, "train accuracy {acc}");
@@ -153,7 +172,11 @@ mod tests {
     fn generalizes_to_held_out_rows() {
         let (x, y) = toy(300);
         let rf = RandomForest::fit(
-            &RandomForestConfig { n_trees: 30, seed: 3, ..Default::default() },
+            &RandomForestConfig {
+                n_trees: 30,
+                seed: 3,
+                ..Default::default()
+            },
             &x[..200],
             &y[..200],
         );
@@ -164,7 +187,14 @@ mod tests {
     #[test]
     fn proba_sums_to_one_and_matches_predict() {
         let (x, y) = toy(100);
-        let rf = RandomForest::fit(&RandomForestConfig { n_trees: 15, ..Default::default() }, &x, &y);
+        let rf = RandomForest::fit(
+            &RandomForestConfig {
+                n_trees: 15,
+                ..Default::default()
+            },
+            &x,
+            &y,
+        );
         let p = rf.predict_proba(&x[0]);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         let argmax = p
@@ -179,7 +209,11 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let (x, y) = toy(120);
-        let cfg = RandomForestConfig { n_trees: 10, seed: 9, ..Default::default() };
+        let cfg = RandomForestConfig {
+            n_trees: 10,
+            seed: 9,
+            ..Default::default()
+        };
         let a = RandomForest::fit(&cfg, &x, &y).predict_batch(&x);
         let b = RandomForest::fit(&cfg, &x, &y).predict_batch(&x);
         assert_eq!(a, b);
@@ -195,7 +229,14 @@ mod tests {
             x.push(vec![c as f64 * 2.0 + jitter, -(c as f64) + jitter]);
             y.push(c);
         }
-        let rf = RandomForest::fit(&RandomForestConfig { n_trees: 20, ..Default::default() }, &x, &y);
+        let rf = RandomForest::fit(
+            &RandomForestConfig {
+                n_trees: 20,
+                ..Default::default()
+            },
+            &x,
+            &y,
+        );
         assert_eq!(rf.n_classes(), 3);
         let acc = crate::metrics::accuracy(&rf.predict_batch(&x), &y);
         assert!(acc > 0.95, "acc={acc}");

@@ -39,7 +39,14 @@ impl DecisionTree {
         let n = x.len();
         let indices: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
         let mut tree = DecisionTree { nodes: Vec::new() };
-        let builder = Builder { x, y, n_classes, max_depth, min_samples_split, n_features };
+        let builder = Builder {
+            x,
+            y,
+            n_classes,
+            max_depth,
+            min_samples_split,
+            n_features,
+        };
         builder.grow(&mut tree, indices, 0, rng);
         tree
     }
@@ -50,8 +57,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[at] {
                 Node::Leaf { class } => return *class,
-                Node::Split { feature, threshold, left, right } => {
-                    at = if row[*feature] < *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if row[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -85,8 +101,9 @@ impl Builder<'_> {
 
         match self.best_split(&indices, &counts, rng) {
             Some((feature, threshold)) => {
-                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-                    indices.iter().partition(|&&i| self.x[i][feature] < threshold);
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| self.x[i][feature] < threshold);
                 if left_idx.is_empty() || right_idx.is_empty() {
                     return self.push(tree, Node::Leaf { class: majority });
                 }
@@ -95,7 +112,12 @@ impl Builder<'_> {
                 let at = self.push(tree, Node::Leaf { class: majority });
                 let left = self.grow(tree, left_idx, depth + 1, rng);
                 let right = self.grow(tree, right_idx, depth + 1, rng);
-                tree.nodes[at] = Node::Split { feature, threshold, left, right };
+                tree.nodes[at] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 at
             }
             None => self.push(tree, Node::Leaf { class: majority }),
@@ -134,7 +156,9 @@ impl Builder<'_> {
             order.clear();
             order.extend_from_slice(indices);
             order.sort_by(|&a, &b| {
-                self.x[a][feature].partial_cmp(&self.x[b][feature]).expect("finite features")
+                self.x[a][feature]
+                    .partial_cmp(&self.x[b][feature])
+                    .expect("finite features")
             });
 
             let mut left_counts = vec![0usize; self.n_classes];

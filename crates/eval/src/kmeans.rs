@@ -27,7 +27,14 @@ pub struct KMeans {
 impl KMeans {
     /// A sensible default configuration for `k` clusters.
     pub fn new(k: usize) -> Self {
-        Self { k, max_iter: 300, n_init: 10, tol: 1e-6, seed: 0, threads: 0 }
+        Self {
+            k,
+            max_iter: 300,
+            n_init: 10,
+            tol: 1e-6,
+            seed: 0,
+            threads: 0,
+        }
     }
 }
 
@@ -54,13 +61,21 @@ impl KMeans {
     pub fn fit(&self, data: &[Vec<f64>]) -> KMeansFit {
         assert!(!data.is_empty(), "KMeans needs data");
         let d = data[0].len();
-        assert!(data.iter().all(|row| row.len() == d), "rows must share a dimension");
+        assert!(
+            data.iter().all(|row| row.len() == d),
+            "rows must share a dimension"
+        );
         assert!(self.k >= 1 && self.k <= data.len(), "k must be in [1, n]");
-        let threads = if self.threads == 0 { par::default_threads() } else { self.threads };
+        let threads = if self.threads == 0 {
+            par::default_threads()
+        } else {
+            self.threads
+        };
 
         let mut best: Option<KMeansFit> = None;
         for init in 0..self.n_init.max(1) {
-            let mut rng = ChaCha12Rng::seed_from_u64(self.seed ^ (init as u64).wrapping_mul(0x9E37_79B9));
+            let mut rng =
+                ChaCha12Rng::seed_from_u64(self.seed ^ (init as u64).wrapping_mul(0x9E37_79B9));
             let fit = self.run_once(data, &mut rng, threads);
             if best.as_ref().is_none_or(|b| fit.inertia < b.inertia) {
                 best = Some(fit);
@@ -126,15 +141,22 @@ impl KMeans {
             .zip(&labels)
             .map(|(row, &label)| squared_dist(row, &centers[label]))
             .sum();
-        KMeansFit { labels, centers, inertia, iterations }
+        KMeansFit {
+            labels,
+            centers,
+            inertia,
+            iterations,
+        }
     }
 
     /// k-means++ seeding: first center uniform, the rest D²-weighted.
     fn kmeanspp_init<R: Rng>(&self, data: &[Vec<f64>], rng: &mut R) -> Vec<Vec<f64>> {
         let mut centers: Vec<Vec<f64>> = Vec::with_capacity(self.k);
         centers.push(data[rng.random_range(0..data.len())].clone());
-        let mut dists: Vec<f64> =
-            data.iter().map(|row| squared_dist(row, &centers[0])).collect();
+        let mut dists: Vec<f64> = data
+            .iter()
+            .map(|row| squared_dist(row, &centers[0]))
+            .collect();
         while centers.len() < self.k {
             let total: f64 = dists.iter().sum();
             let idx = if total <= 0.0 {
@@ -208,15 +230,26 @@ mod tests {
     fn recovers_separated_blobs() {
         let (data, truth) = blobs();
         let fit = KMeans::new(3).fit(&data);
-        assert_eq!(crate::metrics::adjusted_rand_index(&fit.labels, &truth), 1.0);
+        assert_eq!(
+            crate::metrics::adjusted_rand_index(&fit.labels, &truth),
+            1.0
+        );
         assert!(fit.inertia < 100.0);
     }
 
     #[test]
     fn deterministic_for_fixed_seed() {
         let (data, _) = blobs();
-        let a = KMeans { seed: 7, ..KMeans::new(3) }.fit(&data);
-        let b = KMeans { seed: 7, ..KMeans::new(3) }.fit(&data);
+        let a = KMeans {
+            seed: 7,
+            ..KMeans::new(3)
+        }
+        .fit(&data);
+        let b = KMeans {
+            seed: 7,
+            ..KMeans::new(3)
+        }
+        .fit(&data);
         assert_eq!(a.labels, b.labels);
         assert_eq!(a.inertia, b.inertia);
     }
@@ -239,8 +272,18 @@ mod tests {
     #[test]
     fn single_thread_matches_parallel() {
         let (data, _) = blobs();
-        let par = KMeans { threads: 4, seed: 3, ..KMeans::new(3) }.fit(&data);
-        let seq = KMeans { threads: 1, seed: 3, ..KMeans::new(3) }.fit(&data);
+        let par = KMeans {
+            threads: 4,
+            seed: 3,
+            ..KMeans::new(3)
+        }
+        .fit(&data);
+        let seq = KMeans {
+            threads: 1,
+            seed: 3,
+            ..KMeans::new(3)
+        }
+        .fit(&data);
         assert_eq!(par.labels, seq.labels);
     }
 

@@ -89,7 +89,10 @@ pub fn shape_extraction(members: &[&[f64]], reference: &[f64]) -> Vec<f64> {
     }
     // M = Q S Q, Q = I − (1/n)·J; computed as S minus row/col means plus
     // the grand mean.
-    let row_means: Vec<f64> = s.iter().map(|row| row.iter().sum::<f64>() / n as f64).collect();
+    let row_means: Vec<f64> = s
+        .iter()
+        .map(|row| row.iter().sum::<f64>() / n as f64)
+        .collect();
     let grand = row_means.iter().sum::<f64>() / n as f64;
     let mut m = vec![vec![0.0; n]; n];
     for i in 0..n {
@@ -120,7 +123,11 @@ pub struct KShape {
 impl KShape {
     /// Default configuration for `k` clusters.
     pub fn new(k: usize) -> Self {
-        Self { k, max_iter: 20, seed: 0 }
+        Self {
+            k,
+            max_iter: 20,
+            seed: 0,
+        }
     }
 }
 
@@ -144,15 +151,20 @@ impl KShape {
     pub fn fit(&self, data: &[Vec<f64>]) -> KShapeFit {
         assert!(!data.is_empty(), "KShape needs data");
         let len = data[0].len();
-        assert!(data.iter().all(|row| row.len() == len), "series must share a length");
+        assert!(
+            data.iter().all(|row| row.len() == len),
+            "series must share a length"
+        );
         assert!(self.k >= 1 && self.k <= data.len(), "k must be in [1, n]");
 
         let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
-        let mut labels: Vec<usize> = (0..data.len()).map(|i| {
-            // Balanced random initial assignment.
-            let _ = rng.random::<u32>();
-            i % self.k
-        }).collect();
+        let mut labels: Vec<usize> = (0..data.len())
+            .map(|i| {
+                // Balanced random initial assignment.
+                let _ = rng.random::<u32>();
+                i % self.k
+            })
+            .collect();
         let mut centroids: Vec<Vec<f64>> = vec![vec![0.0; len]; self.k];
         let mut iterations = 0;
 
@@ -196,7 +208,11 @@ impl KShape {
                 break;
             }
         }
-        KShapeFit { labels, centroids, iterations }
+        KShapeFit {
+            labels,
+            centroids,
+            iterations,
+        }
     }
 }
 
@@ -205,11 +221,21 @@ mod tests {
     use super::*;
 
     fn sine(n: usize, phase: f64) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * std::f64::consts::PI * i as f64 / n as f64 + phase).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / n as f64 + phase).sin())
+            .collect()
     }
 
     fn square(n: usize) -> Vec<f64> {
-        (0..n).map(|i| if (i / (n / 4)).is_multiple_of(2) { 1.0 } else { -1.0 }).collect()
+        (0..n)
+            .map(|i| {
+                if (i / (n / 4)).is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect()
     }
 
     #[test]
@@ -250,8 +276,7 @@ mod tests {
 
     #[test]
     fn shape_extraction_recovers_common_shape() {
-        let members_owned: Vec<Vec<f64>> =
-            (0..8).map(|p| sine(48, p as f64 * 0.1)).collect();
+        let members_owned: Vec<Vec<f64>> = (0..8).map(|p| sine(48, p as f64 * 0.1)).collect();
         let members: Vec<&[f64]> = members_owned.iter().map(|m| m.as_slice()).collect();
         let centroid = shape_extraction(&members, &members_owned[0]);
         let (d, _) = sbd(&centroid, &members_owned[0]);
@@ -278,8 +303,16 @@ mod tests {
     #[test]
     fn kshape_deterministic() {
         let data: Vec<Vec<f64>> = (0..8).map(|p| sine(32, p as f64 * 0.2)).collect();
-        let a = KShape { seed: 5, ..KShape::new(2) }.fit(&data);
-        let b = KShape { seed: 5, ..KShape::new(2) }.fit(&data);
+        let a = KShape {
+            seed: 5,
+            ..KShape::new(2)
+        }
+        .fit(&data);
+        let b = KShape {
+            seed: 5,
+            ..KShape::new(2)
+        }
+        .fit(&data);
         assert_eq!(a.labels, b.labels);
     }
 }

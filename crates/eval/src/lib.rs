@@ -12,6 +12,20 @@
 //! * [`NearestShape`] — the 1-NN rule PrivShape uses to turn extracted
 //!   shapes into cluster centroids / classification criteria;
 //! * [`adjusted_rand_index`], [`accuracy`], [`ConfusionMatrix`] — metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use privshape_eval::{adjusted_rand_index, KMeans};
+//!
+//! // Two well-separated blobs on the real line.
+//! let data: Vec<Vec<f64>> =
+//!     (0..20).map(|i| vec![if i < 10 { 0.0 } else { 8.0 } + (i % 5) as f64 * 0.1]).collect();
+//! let truth: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
+//!
+//! let fit = KMeans::new(2).fit(&data);
+//! assert_eq!(adjusted_rand_index(&fit.labels, &truth), 1.0);
+//! ```
 
 mod forest;
 mod kmeans;

@@ -28,10 +28,15 @@ pub fn z_normalize(v: &[f64]) -> Vec<f64> {
 pub fn dominant_eigenvector(matrix: &[Vec<f64>], max_iter: usize, tol: f64) -> Vec<f64> {
     let n = matrix.len();
     assert!(n > 0, "matrix must be non-empty");
-    assert!(matrix.iter().all(|row| row.len() == n), "matrix must be square");
+    assert!(
+        matrix.iter().all(|row| row.len() == n),
+        "matrix must be square"
+    );
 
     // Deterministic, not-axis-aligned start vector.
-    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).sin() * 0.01).collect();
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| 1.0 + (i as f64 * 0.7).sin() * 0.01)
+        .collect();
     let norm = l2_norm(&v);
     v.iter_mut().for_each(|x| *x /= norm);
 
@@ -47,8 +52,12 @@ pub fn dominant_eigenvector(matrix: &[Vec<f64>], max_iter: usize, tol: f64) -> V
             return v;
         }
         next.iter_mut().for_each(|x| *x /= norm);
-        let delta: f64 =
-            next.iter().zip(&v).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let delta: f64 = next
+            .iter()
+            .zip(&v)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
         std::mem::swap(&mut v, &mut next);
         if delta < tol {
             break;
@@ -83,8 +92,9 @@ mod tests {
     fn recovers_rank_one_direction() {
         // u uᵀ has dominant eigenvector u/‖u‖.
         let u = [1.0, 2.0, -2.0];
-        let m: Vec<Vec<f64>> =
-            (0..3).map(|i| (0..3).map(|j| u[i] * u[j]).collect()).collect();
+        let m: Vec<Vec<f64>> = (0..3)
+            .map(|i| (0..3).map(|j| u[i] * u[j]).collect())
+            .collect();
         let v = dominant_eigenvector(&m, 200, 1e-12);
         let unit: Vec<f64> = u.iter().map(|x| x / 3.0).collect();
         let dot: f64 = v.iter().zip(&unit).map(|(a, b)| a * b).sum();

@@ -20,8 +20,9 @@ pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
         table[x][y] += 1;
     }
     let row_sums: Vec<u64> = table.iter().map(|row| row.iter().sum()).collect();
-    let col_sums: Vec<u64> =
-        (0..kb).map(|j| table.iter().map(|row| row[j]).sum()).collect();
+    let col_sums: Vec<u64> = (0..kb)
+        .map(|j| table.iter().map(|row| row[j]).sum())
+        .collect();
 
     let choose2 = |x: u64| (x * x.saturating_sub(1)) as f64 / 2.0;
     let sum_cells: f64 = table.iter().flatten().map(|&c| choose2(c)).sum();

@@ -26,7 +26,11 @@ impl NearestShape {
     /// Builds an *unlabeled* variant where each shape is its own class —
     /// the clustering use-case (shape index = cluster id).
     pub fn from_centroids(shapes: Vec<SymbolSeq>, distance: DistanceKind) -> Self {
-        let labeled = shapes.into_iter().enumerate().map(|(i, s)| (s, i)).collect();
+        let labeled = shapes
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (s, i))
+            .collect();
         Self::new(labeled, distance)
     }
 
@@ -70,7 +74,11 @@ pub fn match_centers(extracted: &[Vec<f64>], truth: &[Vec<f64>]) -> Vec<Option<u
             pairs.push((dtw(e, t), i, j));
         }
     }
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then((a.1, a.2).cmp(&(b.1, b.2))));
+    pairs.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap()
+            .then((a.1, a.2).cmp(&(b.1, b.2)))
+    });
     let mut matches = vec![None; extracted.len()];
     let mut used_truth = vec![false; truth.len()];
     for (_, i, j) in pairs {
@@ -92,10 +100,7 @@ mod tests {
 
     #[test]
     fn classify_picks_nearest_prototype() {
-        let clf = NearestShape::new(
-            vec![(seq("abab"), 0), (seq("cdcd"), 1)],
-            DistanceKind::Sed,
-        );
+        let clf = NearestShape::new(vec![(seq("abab"), 0), (seq("cdcd"), 1)], DistanceKind::Sed);
         assert_eq!(clf.classify(&seq("abab")), 0);
         assert_eq!(clf.classify(&seq("abad")), 0);
         assert_eq!(clf.classify(&seq("cdce")), 1);
@@ -131,7 +136,11 @@ mod tests {
 
     #[test]
     fn center_matching_is_a_partial_bijection() {
-        let truth = vec![vec![0.0, 0.0, 0.0], vec![1.0, 1.0, 1.0], vec![-1.0, -1.0, -1.0]];
+        let truth = vec![
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 1.0, 1.0],
+            vec![-1.0, -1.0, -1.0],
+        ];
         let extracted = vec![vec![0.9, 1.1, 1.0], vec![0.1, -0.1, 0.0]];
         let m = match_centers(&extracted, &truth);
         assert_eq!(m, vec![Some(1), Some(0)]);

@@ -28,13 +28,18 @@ where
         }
     })
     .expect("worker panicked");
-    out.into_iter().map(|slot| slot.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|slot| slot.expect("all slots filled"))
+        .collect()
 }
 
 /// Number of worker threads to use by default: the machine's available
 /// parallelism, capped to keep fork/join overhead sensible.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
 }
 
 #[cfg(test)]

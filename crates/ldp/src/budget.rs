@@ -11,9 +11,21 @@ pub enum LdpError {
     /// Frequency oracles need a domain of at least two items.
     InvalidDomain(usize),
     /// The value to perturb was outside the declared domain.
-    ValueOutOfDomain { value: usize, domain: usize },
+    ValueOutOfDomain {
+        /// The out-of-domain value.
+        value: usize,
+        /// Size of the declared domain.
+        domain: usize,
+    },
     /// A numeric input was outside the supported range.
-    ValueOutOfRange { value: f64, lo: f64, hi: f64 },
+    ValueOutOfRange {
+        /// The offending input.
+        value: f64,
+        /// Lower bound of the supported range.
+        lo: f64,
+        /// Upper bound of the supported range.
+        hi: f64,
+    },
     /// The candidate list for EM selection was empty.
     NoCandidates,
 }

@@ -18,7 +18,10 @@ pub struct ExpMech {
 impl ExpMech {
     /// Mechanism with sensitivity 1 (scores normalized to `[0, 1]`).
     pub fn new(eps: Epsilon) -> Self {
-        Self { eps, sensitivity: 1.0 }
+        Self {
+            eps,
+            sensitivity: 1.0,
+        }
     }
 
     /// Mechanism with explicit sensitivity `Δ > 0`.
@@ -123,7 +126,11 @@ mod tests {
         }
         for j in 0..4 {
             let freq = counts[j] as f64 / n as f64;
-            assert!((freq - probs[j]).abs() < 0.01, "j={j} freq={freq} p={}", probs[j]);
+            assert!(
+                (freq - probs[j]).abs() < 0.01,
+                "j={j} freq={freq} p={}",
+                probs[j]
+            );
         }
     }
 
@@ -131,7 +138,10 @@ mod tests {
     fn empty_candidates_error() {
         let em = ExpMech::new(eps(1.0));
         let mut rng = ChaCha12Rng::seed_from_u64(0);
-        assert!(matches!(em.select(&mut rng, &[]), Err(LdpError::NoCandidates)));
+        assert!(matches!(
+            em.select(&mut rng, &[]),
+            Err(LdpError::NoCandidates)
+        ));
     }
 
     #[test]

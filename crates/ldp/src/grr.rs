@@ -25,7 +25,12 @@ impl Grr {
         }
         let e = eps.exp();
         let denom = e + domain as f64 - 1.0;
-        Ok(Self { domain, eps, p: e / denom, q: 1.0 / denom })
+        Ok(Self {
+            domain,
+            eps,
+            p: e / denom,
+            q: 1.0 / denom,
+        })
     }
 
     /// Domain size `d`.
@@ -56,7 +61,10 @@ impl Grr {
     /// would silently void the privacy accounting.
     pub fn try_perturb<R: Rng + ?Sized>(&self, rng: &mut R, value: usize) -> Result<usize> {
         if value >= self.domain {
-            return Err(LdpError::ValueOutOfDomain { value, domain: self.domain });
+            return Err(LdpError::ValueOutOfDomain {
+                value,
+                domain: self.domain,
+            });
         }
         if rng.random_bool(self.p) {
             Ok(value)
@@ -73,7 +81,8 @@ impl Grr {
     /// Perturbs one value, panicking on out-of-domain input. Use in inner
     /// loops where the domain is enforced upstream.
     pub fn perturb<R: Rng + ?Sized>(&self, rng: &mut R, value: usize) -> usize {
-        self.try_perturb(rng, value).expect("value within GRR domain")
+        self.try_perturb(rng, value)
+            .expect("value within GRR domain")
     }
 }
 
@@ -90,7 +99,12 @@ pub struct GrrAggregator {
 impl GrrAggregator {
     /// Creates an aggregator matched to a [`Grr`] instance.
     pub fn new(grr: &Grr) -> Self {
-        Self { counts: vec![0; grr.domain], total: 0, p: grr.p, q: grr.q }
+        Self {
+            counts: vec![0; grr.domain],
+            total: 0,
+            p: grr.p,
+            q: grr.q,
+        }
     }
 
     /// Ingests one perturbed report.

@@ -12,7 +12,10 @@ use rand::{Rng, RngExt};
 ///
 /// Panics if `scale` is not finite and positive.
 pub fn laplace_noise<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> f64 {
-    assert!(scale.is_finite() && scale > 0.0, "Laplace scale must be > 0, got {scale}");
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "Laplace scale must be > 0, got {scale}"
+    );
     // u uniform on (-1/2, 1/2]; inverse CDF: -b·sgn(u)·ln(1 − 2|u|).
     let u: f64 = rng.random::<f64>() - 0.5;
     let sign = if u >= 0.0 { 1.0 } else { -1.0 };
@@ -43,10 +46,15 @@ mod tests {
     fn median_absolute_deviation_matches_ln2_times_scale() {
         let mut rng = ChaCha12Rng::seed_from_u64(1);
         let b = 1.0;
-        let mut abs: Vec<f64> = (0..50_000).map(|_| laplace_noise(&mut rng, b).abs()).collect();
+        let mut abs: Vec<f64> = (0..50_000)
+            .map(|_| laplace_noise(&mut rng, b).abs())
+            .collect();
         abs.sort_by(|a, c| a.partial_cmp(c).unwrap());
         let median = abs[abs.len() / 2];
-        assert!((median - b * std::f64::consts::LN_2).abs() < 0.02, "median={median}");
+        assert!(
+            (median - b * std::f64::consts::LN_2).abs() < 0.02,
+            "median={median}"
+        );
     }
 
     #[test]

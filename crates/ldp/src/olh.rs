@@ -74,7 +74,10 @@ impl Olh {
             }
             other
         };
-        OlhReport { seed, value: reported }
+        OlhReport {
+            seed,
+            value: reported,
+        }
     }
 }
 
@@ -103,7 +106,11 @@ impl OlhAggregator {
         if domain < 2 {
             return Err(LdpError::InvalidDomain(domain));
         }
-        Ok(Self { olh, support: vec![0; domain], total: 0 })
+        Ok(Self {
+            olh,
+            support: vec![0; domain],
+            total: 0,
+        })
     }
 
     /// Ingests one report: every domain value whose hash under the
@@ -193,7 +200,11 @@ mod tests {
             let v = if i % 10 < 6 { 3 } else { 11 };
             agg.add(&olh.perturb(&mut rng, v));
         }
-        assert!((agg.estimate(3) - 0.6 * n as f64).abs() < 0.05 * n as f64, "{}", agg.estimate(3));
+        assert!(
+            (agg.estimate(3) - 0.6 * n as f64).abs() < 0.05 * n as f64,
+            "{}",
+            agg.estimate(3)
+        );
         assert!((agg.estimate(11) - 0.4 * n as f64).abs() < 0.05 * n as f64);
         assert!(agg.estimate(0).abs() < 0.05 * n as f64);
         assert_eq!(agg.top_m(2), vec![3, 11]);
@@ -214,12 +225,17 @@ mod tests {
         // Empirical variance of the 49 zero-frequency estimates.
         let zeros: Vec<f64> = (1..50).map(|v| agg.estimate(v)).collect();
         let mean = zeros.iter().sum::<f64>() / zeros.len() as f64;
-        let var = zeros.iter().map(|z| (z - mean) * (z - mean)).sum::<f64>()
-            / zeros.len() as f64;
+        let var = zeros.iter().map(|z| (z - mean) * (z - mean)).sum::<f64>() / zeros.len() as f64;
         let oue_var = crate::theory::oue_variance(e, n as f64);
         let grr_var = crate::theory::grr_variance(50, e, n as f64);
-        assert!(var < grr_var / 2.0, "var {var:.0} should be far below GRR {grr_var:.0}");
-        assert!(var < oue_var * 3.0, "var {var:.0} should be near OUE {oue_var:.0}");
+        assert!(
+            var < grr_var / 2.0,
+            "var {var:.0} should be far below GRR {grr_var:.0}"
+        );
+        assert!(
+            var < oue_var * 3.0,
+            "var {var:.0} should be near OUE {oue_var:.0}"
+        );
     }
 
     #[test]

@@ -41,7 +41,11 @@ impl Oue {
         if domain < 2 {
             return Err(LdpError::InvalidDomain(domain));
         }
-        Ok(Self { domain, eps, q: 1.0 / (eps.exp() + 1.0) })
+        Ok(Self {
+            domain,
+            eps,
+            q: 1.0 / (eps.exp() + 1.0),
+        })
     }
 
     /// Domain size `d`.
@@ -62,11 +66,18 @@ impl Oue {
     /// Perturbs the one-hot encoding of `value`.
     pub fn try_perturb<R: Rng + ?Sized>(&self, rng: &mut R, value: usize) -> Result<OueReport> {
         if value >= self.domain {
-            return Err(LdpError::ValueOutOfDomain { value, domain: self.domain });
+            return Err(LdpError::ValueOutOfDomain {
+                value,
+                domain: self.domain,
+            });
         }
         let mut set_bits = Vec::new();
         for bit in 0..self.domain {
-            let keep = if bit == value { rng.random_bool(Self::P) } else { rng.random_bool(self.q) };
+            let keep = if bit == value {
+                rng.random_bool(Self::P)
+            } else {
+                rng.random_bool(self.q)
+            };
             if keep {
                 set_bits.push(bit);
             }
@@ -76,7 +87,8 @@ impl Oue {
 
     /// Panicking variant of [`Oue::try_perturb`] for validated inner loops.
     pub fn perturb<R: Rng + ?Sized>(&self, rng: &mut R, value: usize) -> OueReport {
-        self.try_perturb(rng, value).expect("value within OUE domain")
+        self.try_perturb(rng, value)
+            .expect("value within OUE domain")
     }
 }
 
@@ -92,7 +104,11 @@ pub struct OueAggregator {
 impl OueAggregator {
     /// Creates an aggregator matched to an [`Oue`] instance.
     pub fn new(oue: &Oue) -> Self {
-        Self { counts: vec![0; oue.domain], total: 0, q: oue.q }
+        Self {
+            counts: vec![0; oue.domain],
+            total: 0,
+            q: oue.q,
+        }
     }
 
     /// Ingests one report.

@@ -23,7 +23,11 @@ impl PiecewiseMechanism {
     /// Creates the mechanism for budget ε.
     pub fn new(eps: Epsilon) -> Self {
         let half = (eps.value() / 2.0).exp();
-        Self { eps, c: (half + 1.0) / (half - 1.0), p_center: half / (half + 1.0) }
+        Self {
+            eps,
+            c: (half + 1.0) / (half - 1.0),
+            p_center: half / (half + 1.0),
+        }
     }
 
     /// Budget this instance satisfies.
@@ -44,7 +48,11 @@ impl PiecewiseMechanism {
     /// Perturbs `t ∈ [−1, 1]`, returning a value in `[−C, C]`.
     pub fn try_perturb<R: Rng + ?Sized>(&self, rng: &mut R, t: f64) -> Result<f64> {
         if !(-1.0..=1.0).contains(&t) || !t.is_finite() {
-            return Err(LdpError::ValueOutOfRange { value: t, lo: -1.0, hi: 1.0 });
+            return Err(LdpError::ValueOutOfRange {
+                value: t,
+                lo: -1.0,
+                hi: 1.0,
+            });
         }
         let l = self.l(t);
         let r = l + self.c - 1.0;
@@ -69,7 +77,8 @@ impl PiecewiseMechanism {
     /// overshoot (±1e-12) before checking.
     pub fn perturb<R: Rng + ?Sized>(&self, rng: &mut R, t: f64) -> f64 {
         let clamped = t.clamp(-1.0, 1.0);
-        self.try_perturb(rng, clamped).expect("clamped input is in range")
+        self.try_perturb(rng, clamped)
+            .expect("clamped input is in range")
     }
 }
 
@@ -122,12 +131,18 @@ mod tests {
         let r = l + m.output_bound() - 1.0;
         let mut rng = ChaCha12Rng::seed_from_u64(3);
         let n = 40_000;
-        let inside = (0..n).filter(|_| {
-            let y = m.perturb(&mut rng, t);
-            (l..=r).contains(&y)
-        }).count();
+        let inside = (0..n)
+            .filter(|_| {
+                let y = m.perturb(&mut rng, t);
+                (l..=r).contains(&y)
+            })
+            .count();
         let frac = inside as f64 / n as f64;
-        assert!((frac - m.p_center).abs() < 0.01, "frac={frac} want={}", m.p_center);
+        assert!(
+            (frac - m.p_center).abs() < 0.01,
+            "frac={frac} want={}",
+            m.p_center
+        );
     }
 
     #[test]

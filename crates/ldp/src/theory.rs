@@ -59,7 +59,10 @@ mod tests {
         for &eps in &[0.5f64, 1.0, 2.0] {
             let cross = grr_oue_crossover(eps) as f64;
             let approx = 3.0 * eps.exp() + 2.0;
-            assert!((cross - approx).abs() <= approx * 0.3 + 3.0, "eps={eps}: {cross} vs {approx}");
+            assert!(
+                (cross - approx).abs() <= approx * 0.3 + 3.0,
+                "eps={eps}: {cross} vs {approx}"
+            );
         }
     }
 

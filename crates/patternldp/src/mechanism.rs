@@ -23,7 +23,12 @@ pub struct PatternLdpConfig {
 
 impl Default for PatternLdpConfig {
     fn default() -> Self {
-        Self { pid: PidParams::default(), threshold: 0.2, clip: 3.0, min_weight: 1e-3 }
+        Self {
+            pid: PidParams::default(),
+            threshold: 0.2,
+            clip: 3.0,
+            min_weight: 1e-3,
+        }
     }
 }
 
@@ -108,8 +113,9 @@ impl PatternLdp {
             .map(|(i, s)| self.perturb_series(s, eps, per_user_seed(seed, i)))
             .collect();
         match dataset.labels() {
-            Some(labels) => Dataset::labeled(perturbed, labels.to_vec())
-                .expect("label count unchanged"),
+            Some(labels) => {
+                Dataset::labeled(perturbed, labels.to_vec()).expect("label count unchanged")
+            }
             None => Dataset::unlabeled(perturbed),
         }
     }
@@ -118,8 +124,7 @@ impl PatternLdp {
     /// diagnostics and the paper's "too many samples under user-level
     /// privacy" discussion.
     pub fn sample_count(&self, series: &TimeSeries) -> usize {
-        let (_, sampled) =
-            pid_importance(series.values(), &self.config.pid, self.config.threshold);
+        let (_, sampled) = pid_importance(series.values(), &self.config.pid, self.config.threshold);
         sampled.iter().filter(|&&s| s).count()
     }
 }
@@ -186,7 +191,10 @@ mod tests {
         };
         let low = mse(0.5);
         let high = mse(50.0);
-        assert!(high < low, "high-budget MSE {high} should beat low-budget {low}");
+        assert!(
+            high < low,
+            "high-budget MSE {high} should beat low-budget {low}"
+        );
     }
 
     #[test]
@@ -233,11 +241,8 @@ mod tests {
         let mech = PatternLdp::new(PatternLdpConfig::default());
         let s = wave(100);
         let noisy = mech.perturb_series(&s, eps(4.0), 9);
-        let (_, sampled) = crate::pid::pid_importance(
-            s.values(),
-            &mech.config().pid,
-            mech.config().threshold,
-        );
+        let (_, sampled) =
+            crate::pid::pid_importance(s.values(), &mech.config().pid, mech.config().threshold);
         let argmax = noisy
             .values()
             .iter()

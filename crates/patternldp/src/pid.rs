@@ -24,7 +24,12 @@ pub struct PidParams {
 
 impl Default for PidParams {
     fn default() -> Self {
-        Self { kp: 0.9, ki: 0.1, kd: 0.05, window: 5 }
+        Self {
+            kp: 0.9,
+            ki: 0.1,
+            kd: 0.05,
+            window: 5,
+        }
     }
 }
 
@@ -34,11 +39,7 @@ impl Default for PidParams {
 /// Returns `(importance, sampled)` of the series' length. `sampled[i]` is
 /// true when the importance exceeds `threshold`; the first and last points
 /// are always sampled so reconstruction can interpolate the full range.
-pub fn pid_importance(
-    values: &[f64],
-    params: &PidParams,
-    threshold: f64,
-) -> (Vec<f64>, Vec<bool>) {
+pub fn pid_importance(values: &[f64], params: &PidParams, threshold: f64) -> (Vec<f64>, Vec<bool>) {
     let n = values.len();
     let mut importance = vec![0.0; n];
     let mut sampled = vec![false; n];
@@ -133,7 +134,11 @@ mod tests {
     fn lower_threshold_samples_more_points() {
         let v: Vec<f64> = (0..200).map(|i| (i as f64 * 0.2).sin()).collect();
         let p = PidParams::default();
-        let dense = pid_importance(&v, &p, 0.01).1.iter().filter(|&&s| s).count();
+        let dense = pid_importance(&v, &p, 0.01)
+            .1
+            .iter()
+            .filter(|&&s| s)
+            .count();
         let sparse = pid_importance(&v, &p, 0.5).1.iter().filter(|&&s| s).count();
         assert!(dense > sparse, "dense={dense} sparse={sparse}");
     }

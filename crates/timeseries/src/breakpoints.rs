@@ -128,7 +128,10 @@ mod tests {
         assert!((t4[2] - 0.674_489_8).abs() < 1e-6);
 
         let t5 = gaussian_breakpoints(5).unwrap();
-        for (got, want) in t5.iter().zip([-0.841_621_2, -0.253_347_1, 0.253_347_1, 0.841_621_2]) {
+        for (got, want) in t5
+            .iter()
+            .zip([-0.841_621_2, -0.253_347_1, 0.253_347_1, 0.841_621_2])
+        {
             assert!((got - want).abs() < 1e-6, "{got} vs {want}");
         }
     }

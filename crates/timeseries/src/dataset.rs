@@ -12,15 +12,24 @@ pub struct Dataset {
 impl Dataset {
     /// An unlabeled dataset.
     pub fn unlabeled(series: Vec<TimeSeries>) -> Self {
-        Self { series, labels: None }
+        Self {
+            series,
+            labels: None,
+        }
     }
 
     /// A labeled dataset; label count must match the series count.
     pub fn labeled(series: Vec<TimeSeries>, labels: Vec<usize>) -> Result<Self> {
         if series.len() != labels.len() {
-            return Err(TsError::LabelMismatch { series: series.len(), labels: labels.len() });
+            return Err(TsError::LabelMismatch {
+                series: series.len(),
+                labels: labels.len(),
+            });
         }
-        Ok(Self { series, labels: Some(labels) })
+        Ok(Self {
+            series,
+            labels: Some(labels),
+        })
     }
 
     /// Number of series `n`.
@@ -65,21 +74,26 @@ impl Dataset {
                 self.series.push(series);
                 Ok(())
             }
-            (Some(labels), None) => {
-                Err(TsError::LabelMismatch { series: self.series.len() + 1, labels: labels.len() })
-            }
-            (None, Some(_)) => {
-                Err(TsError::LabelMismatch { series: self.series.len() + 1, labels: 0 })
-            }
+            (Some(labels), None) => Err(TsError::LabelMismatch {
+                series: self.series.len() + 1,
+                labels: labels.len(),
+            }),
+            (None, Some(_)) => Err(TsError::LabelMismatch {
+                series: self.series.len() + 1,
+                labels: 0,
+            }),
         }
     }
 
     /// Indices of all series carrying `label`.
     pub fn class_indices(&self, label: usize) -> Vec<usize> {
         match &self.labels {
-            Some(ls) => {
-                ls.iter().enumerate().filter(|(_, &l)| l == label).map(|(i, _)| i).collect()
-            }
+            Some(ls) => ls
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l == label)
+                .map(|(i, _)| i)
+                .collect(),
             None => Vec::new(),
         }
     }
@@ -90,7 +104,10 @@ impl Dataset {
     /// The permutation is derived from `seed` with a SplitMix64-driven
     /// Fisher–Yates shuffle so splits reproduce across runs and platforms.
     pub fn split(&self, train_frac: f64, seed: u64) -> (Dataset, Dataset) {
-        assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&train_frac),
+            "train_frac must be in [0,1]"
+        );
         let mut order: Vec<usize> = (0..self.len()).collect();
         let mut state = seed;
         for i in (1..order.len()).rev() {
@@ -116,9 +133,10 @@ impl Dataset {
     /// Iterates over `(series, label)` pairs; label is `usize::MAX` when the
     /// dataset is unlabeled.
     pub fn iter(&self) -> impl Iterator<Item = (&TimeSeries, usize)> + '_ {
-        self.series.iter().enumerate().map(move |(i, s)| {
-            (s, self.labels.as_ref().map_or(usize::MAX, |ls| ls[i]))
-        })
+        self.series
+            .iter()
+            .enumerate()
+            .map(move |(i, s)| (s, self.labels.as_ref().map_or(usize::MAX, |ls| ls[i])))
     }
 }
 

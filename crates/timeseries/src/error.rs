@@ -9,19 +9,39 @@ pub enum TsError {
     /// A time series must contain at least one sample.
     EmptySeries,
     /// A sample was NaN or infinite.
-    NonFiniteSample { index: usize, value: f64 },
+    NonFiniteSample {
+        /// Position of the offending sample.
+        index: usize,
+        /// The non-finite value encountered.
+        value: f64,
+    },
     /// The PAA segment length must be at least 1.
     InvalidSegmentLength(usize),
     /// The SAX alphabet size must lie in `[2, MAX_ALPHABET]`.
     InvalidAlphabet(usize),
     /// A symbol index was outside the alphabet it was used with.
-    SymbolOutOfRange { symbol: usize, alphabet: usize },
+    SymbolOutOfRange {
+        /// The out-of-range symbol index.
+        symbol: usize,
+        /// Size of the alphabet it was used with.
+        alphabet: usize,
+    },
     /// A character could not be parsed as a symbol.
     InvalidSymbolChar(char),
     /// The number of labels does not match the number of series.
-    LabelMismatch { series: usize, labels: usize },
+    LabelMismatch {
+        /// Number of series in the dataset.
+        series: usize,
+        /// Number of labels provided.
+        labels: usize,
+    },
     /// A line of a UCR-format file could not be parsed.
-    Parse { line: usize, message: String },
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
     /// An underlying I/O failure.
     Io(std::io::Error),
 }
@@ -44,7 +64,10 @@ impl fmt::Display for TsError {
                 )
             }
             TsError::SymbolOutOfRange { symbol, alphabet } => {
-                write!(f, "symbol index {symbol} out of range for alphabet {alphabet}")
+                write!(
+                    f,
+                    "symbol index {symbol} out of range for alphabet {alphabet}"
+                )
             }
             TsError::InvalidSymbolChar(c) => write!(f, "invalid symbol character {c:?}"),
             TsError::LabelMismatch { series, labels } => {
@@ -79,7 +102,10 @@ mod tests {
     fn display_is_informative() {
         let e = TsError::InvalidSegmentLength(0);
         assert!(e.to_string().contains("segment length"));
-        let e = TsError::Parse { line: 3, message: "bad float".into() };
+        let e = TsError::Parse {
+            line: 3,
+            message: "bad float".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 

@@ -22,7 +22,11 @@ impl SaxParams {
             return Err(TsError::InvalidSegmentLength(segment_len));
         }
         let breakpoints = gaussian_breakpoints(alphabet)?;
-        Ok(Self { segment_len, alphabet, breakpoints })
+        Ok(Self {
+            segment_len,
+            alphabet,
+            breakpoints,
+        })
     }
 
     /// Segment length `w`.

@@ -73,7 +73,10 @@ impl TimeSeries {
 
     /// Largest sample.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Returns a z-score-normalized copy: `(x - μ) / σ`.

@@ -15,7 +15,10 @@ impl Symbol {
             return Err(TsError::InvalidAlphabet(alphabet));
         }
         if index >= alphabet {
-            return Err(TsError::SymbolOutOfRange { symbol: index, alphabet });
+            return Err(TsError::SymbolOutOfRange {
+                symbol: index,
+                alphabet,
+            });
         }
         Ok(Symbol(index as u8))
     }
@@ -65,7 +68,9 @@ pub struct SymbolSeq {
 impl SymbolSeq {
     /// Empty sequence.
     pub fn new() -> Self {
-        Self { symbols: Vec::new() }
+        Self {
+            symbols: Vec::new(),
+        }
     }
 
     /// Builds from raw symbols.
@@ -75,7 +80,10 @@ impl SymbolSeq {
 
     /// Parses a string of lowercase letters, e.g. `"acba"`.
     pub fn parse(s: &str) -> Result<Self> {
-        let symbols = s.chars().map(Symbol::from_char).collect::<Result<Vec<_>>>()?;
+        let symbols = s
+            .chars()
+            .map(Symbol::from_char)
+            .collect::<Result<Vec<_>>>()?;
         Ok(Self { symbols })
     }
 
@@ -111,7 +119,9 @@ impl SymbolSeq {
 
     /// The first `len` symbols (or the whole sequence if shorter).
     pub fn prefix(&self, len: usize) -> SymbolSeq {
-        SymbolSeq { symbols: self.symbols[..len.min(self.symbols.len())].to_vec() }
+        SymbolSeq {
+            symbols: self.symbols[..len.min(self.symbols.len())].to_vec(),
+        }
     }
 
     /// Returns a copy extended with `s`.
@@ -163,7 +173,9 @@ impl fmt::Display for SymbolSeq {
 
 impl FromIterator<Symbol> for SymbolSeq {
     fn from_iter<T: IntoIterator<Item = Symbol>>(iter: T) -> Self {
-        SymbolSeq { symbols: iter.into_iter().collect() }
+        SymbolSeq {
+            symbols: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -200,8 +212,7 @@ mod tests {
     #[test]
     fn bigrams_enumerate_consecutive_pairs() {
         let seq = SymbolSeq::parse("abca").unwrap();
-        let pairs: Vec<String> =
-            seq.bigrams().map(|(a, b)| format!("{a}{b}")).collect();
+        let pairs: Vec<String> = seq.bigrams().map(|(a, b)| format!("{a}{b}")).collect();
         assert_eq!(pairs, vec!["ab", "bc", "ca"]);
         assert_eq!(SymbolSeq::parse("a").unwrap().bigrams().count(), 0);
     }
@@ -217,7 +228,10 @@ mod tests {
     #[test]
     fn child_and_prefix() {
         let seq = SymbolSeq::parse("ab").unwrap();
-        assert_eq!(seq.child(Symbol::from_char('c').unwrap()).to_string(), "abc");
+        assert_eq!(
+            seq.child(Symbol::from_char('c').unwrap()).to_string(),
+            "abc"
+        );
         assert_eq!(seq.prefix(1).to_string(), "a");
         assert_eq!(seq.prefix(10).to_string(), "ab");
     }

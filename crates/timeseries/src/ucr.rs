@@ -22,16 +22,18 @@ pub fn parse_ucr(text: &str) -> Result<Dataset> {
         if line.is_empty() {
             continue;
         }
-        let mut fields = line.split(|c: char| c == ',' || c.is_whitespace()).filter(|f| !f.is_empty());
+        let mut fields = line
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|f| !f.is_empty());
         let label_field = fields.next().ok_or_else(|| TsError::Parse {
             line: lineno + 1,
             message: "missing label".into(),
         })?;
         // UCR labels are integers but are sometimes written as "1.0".
-        let label = label_field
-            .parse::<f64>()
-            .map_err(|e| TsError::Parse { line: lineno + 1, message: format!("label: {e}") })?
-            as i64;
+        let label = label_field.parse::<f64>().map_err(|e| TsError::Parse {
+            line: lineno + 1,
+            message: format!("label: {e}"),
+        })? as i64;
         if label < 0 {
             return Err(TsError::Parse {
                 line: lineno + 1,

@@ -2,8 +2,8 @@
 //! on, checked for arbitrary series and parameters.
 
 use privshape_timeseries::{
-    compress, compressive_sax, gaussian_breakpoints, num_segments, paa, sax, symbolize,
-    SaxParams, Symbol, SymbolSeq, TimeSeries,
+    compress, compressive_sax, gaussian_breakpoints, num_segments, paa, sax, symbolize, SaxParams,
+    Symbol, SymbolSeq, TimeSeries,
 };
 use proptest::prelude::*;
 

@@ -14,7 +14,10 @@ pub struct BigramSet {
 impl BigramSet {
     /// Empty set over an alphabet of size `t`.
     pub fn new(alphabet: usize) -> Self {
-        Self { alphabet, allowed: vec![false; alphabet * alphabet] }
+        Self {
+            alphabet,
+            allowed: vec![false; alphabet * alphabet],
+        }
     }
 
     /// Set containing every valid (distinct-component) pair — expanding with

@@ -13,7 +13,12 @@ pub enum TrieError {
     /// Alphabet must be in `[2, MAX_ALPHABET]`.
     InvalidAlphabet(usize),
     /// A level index beyond the currently expanded depth.
-    LevelOutOfRange { level: usize, depth: usize },
+    LevelOutOfRange {
+        /// The requested level.
+        level: usize,
+        /// The trie's currently expanded depth.
+        depth: usize,
+    },
 }
 
 impl fmt::Display for TrieError {
@@ -61,7 +66,11 @@ impl ShapeTrie {
         if !(2..=MAX_ALPHABET).contains(&alphabet) {
             return Err(TrieError::InvalidAlphabet(alphabet));
         }
-        Ok(Self { alphabet, nodes: Vec::new(), levels: Vec::new() })
+        Ok(Self {
+            alphabet,
+            nodes: Vec::new(),
+            levels: Vec::new(),
+        })
     }
 
     /// Alphabet size `t`.
@@ -138,8 +147,12 @@ impl ShapeTrie {
 
     /// Live node ids at `level` (1-based, as in the paper).
     pub fn live_nodes(&self, level: usize) -> Result<Vec<NodeId>, TrieError> {
-        self.level_slice(level)
-            .map(|ids| ids.iter().copied().filter(|&id| self.nodes[id].alive).collect())
+        self.level_slice(level).map(|ids| {
+            ids.iter()
+                .copied()
+                .filter(|&id| self.nodes[id].alive)
+                .collect()
+        })
     }
 
     /// The candidate shape (root-to-node path) for a node.
@@ -159,7 +172,11 @@ impl ShapeTrie {
 
     /// Live candidates (id + shape) at `level`, in creation order.
     pub fn candidates(&self, level: usize) -> Result<Vec<(NodeId, SymbolSeq)>, TrieError> {
-        Ok(self.live_nodes(level)?.into_iter().map(|id| (id, self.path(id))).collect())
+        Ok(self
+            .live_nodes(level)?
+            .into_iter()
+            .map(|id| (id, self.path(id)))
+            .collect())
     }
 
     /// Records the server's estimated frequency for a node.
@@ -181,7 +198,11 @@ impl ShapeTrie {
             return Ok(0);
         }
         live.sort_by(|&a, &b| {
-            self.nodes[b].freq.partial_cmp(&self.nodes[a].freq).unwrap().then(a.cmp(&b))
+            self.nodes[b]
+                .freq
+                .partial_cmp(&self.nodes[a].freq)
+                .unwrap()
+                .then(a.cmp(&b))
         });
         let mut pruned = 0;
         for &id in &live[m..] {
@@ -200,14 +221,18 @@ impl ShapeTrie {
     /// to send.
     pub fn prune_threshold(&mut self, level: usize, threshold: f64) -> Result<usize, TrieError> {
         let live = self.live_nodes(level)?;
-        let survivors = live.iter().filter(|&&id| self.nodes[id].freq >= threshold).count();
+        let survivors = live
+            .iter()
+            .filter(|&&id| self.nodes[id].freq >= threshold)
+            .count();
         if survivors == 0 {
-            let keep = live
-                .iter()
-                .copied()
-                .max_by(|&a, &b| {
-                    self.nodes[a].freq.partial_cmp(&self.nodes[b].freq).unwrap().then(b.cmp(&a))
-                });
+            let keep = live.iter().copied().max_by(|&a, &b| {
+                self.nodes[a]
+                    .freq
+                    .partial_cmp(&self.nodes[b].freq)
+                    .unwrap()
+                    .then(b.cmp(&a))
+            });
             let mut pruned = 0;
             for id in live {
                 if Some(id) != keep {
@@ -245,7 +270,10 @@ impl ShapeTrie {
 
     fn level_slice(&self, level: usize) -> Result<&[NodeId], TrieError> {
         if level == 0 || level > self.levels.len() {
-            return Err(TrieError::LevelOutOfRange { level, depth: self.levels.len() });
+            return Err(TrieError::LevelOutOfRange {
+                level,
+                depth: self.levels.len(),
+            });
         }
         Ok(&self.levels[level - 1])
     }
@@ -256,7 +284,11 @@ mod tests {
     use super::*;
 
     fn shapes(trie: &ShapeTrie, level: usize) -> Vec<String> {
-        trie.candidates(level).unwrap().into_iter().map(|(_, s)| s.to_string()).collect()
+        trie.candidates(level)
+            .unwrap()
+            .into_iter()
+            .map(|(_, s)| s.to_string())
+            .collect()
     }
 
     #[test]
@@ -303,8 +335,14 @@ mod tests {
         let mut t = ShapeTrie::new(4).unwrap();
         t.expand_next_level(None);
         let mut allowed = BigramSet::new(4);
-        allowed.insert(Symbol::from_char('a').unwrap(), Symbol::from_char('b').unwrap());
-        allowed.insert(Symbol::from_char('c').unwrap(), Symbol::from_char('d').unwrap());
+        allowed.insert(
+            Symbol::from_char('a').unwrap(),
+            Symbol::from_char('b').unwrap(),
+        );
+        allowed.insert(
+            Symbol::from_char('c').unwrap(),
+            Symbol::from_char('d').unwrap(),
+        );
         let created = t.expand_next_level(Some(&allowed));
         assert_eq!(created.len(), 2);
         assert_eq!(shapes(&t, 2), vec!["ab", "cd"]);

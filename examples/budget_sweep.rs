@@ -28,8 +28,7 @@ fn main() {
 
     let sax = SaxParams::new(10, 4).expect("valid SAX parameters");
     for eps in [0.5, 1.0, 2.0, 4.0, 8.0] {
-        let mut config =
-            PrivShapeConfig::new(Epsilon::new(eps).expect("positive"), 3, sax.clone());
+        let mut config = PrivShapeConfig::new(Epsilon::new(eps).expect("positive"), 3, sax.clone());
         config.distance = DistanceKind::Sed;
         config.length_range = (1, 10);
         config.seed = 2023;
@@ -39,8 +38,10 @@ fn main() {
             .run_labeled(train.series(), train.labels().expect("labeled"))
             .expect("mechanism succeeds");
         let prototypes = extraction.top_prototype_per_class();
-        let shapes: Vec<String> =
-            prototypes.iter().map(|(s, l)| format!("{l}:\"{s}\"")).collect();
+        let shapes: Vec<String> = prototypes
+            .iter()
+            .map(|(s, l)| format!("{l}:\"{s}\""))
+            .collect();
 
         let clf = NearestShape::new(prototypes, DistanceKind::Sed);
         let predicted: Vec<usize> = test

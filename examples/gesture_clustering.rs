@@ -19,7 +19,11 @@ fn main() {
         seed: 42,
         ..Default::default()
     });
-    println!("Collected {} gesture trajectories ({} classes).", data.len(), 6);
+    println!(
+        "Collected {} gesture trajectories ({} classes).",
+        data.len(),
+        6
+    );
 
     // The paper's Symbols parameters: w = 25, t = 6, k = 6, DTW distance.
     let sax = SaxParams::new(25, 6).expect("valid SAX parameters");

@@ -21,7 +21,13 @@ fn main() {
                 // Plateau boundaries at thirds, aligned with the SAX
                 // segmentation below so the essential shape is exact.
                 let base = if rising {
-                    if phase < 1.0 / 3.0 { -1.0 } else if phase < 2.0 / 3.0 { 1.5 } else { 0.2 }
+                    if phase < 1.0 / 3.0 {
+                        -1.0
+                    } else if phase < 2.0 / 3.0 {
+                        1.5
+                    } else {
+                        0.2
+                    }
                 } else if phase < 1.0 / 3.0 {
                     1.5
                 } else if phase < 2.0 / 3.0 {
@@ -54,7 +60,10 @@ fn main() {
         .expect("mechanism succeeds");
 
     println!("Estimated frequent length: {}", result.diagnostics.ell_s);
-    println!("Users per stage [Pa, Pb, Pc, Pd]: {:?}", result.diagnostics.group_sizes);
+    println!(
+        "Users per stage [Pa, Pb, Pc, Pd]: {:?}",
+        result.diagnostics.group_sizes
+    );
     println!("\nTop-{} extracted shapes:", result.shapes.len());
     for (rank, s) in result.shapes.iter().enumerate() {
         println!(

@@ -19,7 +19,11 @@ fn main() {
         ..Default::default()
     });
     let (train, test) = data.split(0.8, 7);
-    println!("Sensor dataset: {} train / {} test series.", train.len(), test.len());
+    println!(
+        "Sensor dataset: {} train / {} test series.",
+        train.len(),
+        test.len()
+    );
 
     // 1. Discover shapelets privately: the labeled PrivShape run only ever
     //    sees one ε-LDP report per user.
@@ -49,12 +53,19 @@ fn main() {
 
     // 3. Train a random forest on the features.
     let rf = RandomForest::fit(
-        &RandomForestConfig { n_trees: 50, seed: 7, ..Default::default() },
+        &RandomForestConfig {
+            n_trees: 50,
+            seed: 7,
+            ..Default::default()
+        },
         &train_x,
         train.labels().expect("labeled"),
     );
     let predicted: Vec<usize> = test_x.iter().map(|row| rf.predict(row)).collect();
     let acc = accuracy(&predicted, test.labels().expect("labeled"));
-    println!("\nRandom forest on {} shapelet features: accuracy {acc:.3}", transform.n_features());
+    println!(
+        "\nRandom forest on {} shapelet features: accuracy {acc:.3}",
+        transform.n_features()
+    );
     println!("(Features are min sliding-window distances to privately discovered shapes.)");
 }

@@ -14,7 +14,11 @@ mod privshape_bench_free {
     use privshape_timeseries::Dataset;
 
     pub fn symbols(n_per_class: usize, seed: u64) -> Dataset {
-        generate_symbols_like(&SymbolsLikeConfig { n_per_class, seed, ..Default::default() })
+        generate_symbols_like(&SymbolsLikeConfig {
+            n_per_class,
+            seed,
+            ..Default::default()
+        })
     }
 }
 
@@ -84,7 +88,10 @@ fn full_pipeline_is_deterministic_across_runs_and_threads() {
     let mut cfg = privshape_cfg(4.0, 6, 25, 6);
     cfg.length_range = (1, 15);
     cfg.threads = 1;
-    let a = PrivShape::new(cfg.clone()).unwrap().run(data.series()).unwrap();
+    let a = PrivShape::new(cfg.clone())
+        .unwrap()
+        .run(data.series())
+        .unwrap();
     cfg.threads = 4;
     let b = PrivShape::new(cfg).unwrap().run(data.series()).unwrap();
     assert_eq!(a.shapes, b.shapes);
@@ -105,9 +112,15 @@ fn baseline_and_privshape_agree_on_trie_height_for_unimodal_lengths() {
             privshape_timeseries::TimeSeries::new(v).unwrap()
         })
         .collect();
-    let ps = PrivShape::new(privshape_cfg(4.0, 3, 10, 4)).unwrap().run(&series).unwrap();
-    let mut bcfg =
-        BaselineConfig::new(Epsilon::new(4.0).unwrap(), 3, SaxParams::new(10, 4).unwrap());
+    let ps = PrivShape::new(privshape_cfg(4.0, 3, 10, 4))
+        .unwrap()
+        .run(&series)
+        .unwrap();
+    let mut bcfg = BaselineConfig::new(
+        Epsilon::new(4.0).unwrap(),
+        3,
+        SaxParams::new(10, 4).unwrap(),
+    );
     bcfg.distance = DistanceKind::Sed;
     bcfg.length_range = (1, 10);
     bcfg.seed = 2023;
@@ -124,8 +137,11 @@ fn privshape_prunes_far_more_aggressively_than_baseline() {
     pcfg.length_range = (1, 15);
     let ps = PrivShape::new(pcfg).unwrap().run(data.series()).unwrap();
 
-    let mut bcfg =
-        BaselineConfig::new(Epsilon::new(4.0).unwrap(), 6, SaxParams::new(25, 6).unwrap());
+    let mut bcfg = BaselineConfig::new(
+        Epsilon::new(4.0).unwrap(),
+        6,
+        SaxParams::new(25, 6).unwrap(),
+    );
     bcfg.distance = DistanceKind::Dtw;
     bcfg.length_range = (1, 15);
     bcfg.seed = 2023;
@@ -148,7 +164,9 @@ fn labeled_and_unlabeled_share_expansion_diagnostics() {
     let data = trace(400, 6);
     let mech = PrivShape::new(privshape_cfg(4.0, 3, 10, 4)).unwrap();
     let unlabeled = mech.run(data.series()).unwrap();
-    let labeled = mech.run_labeled(data.series(), data.labels().unwrap()).unwrap();
+    let labeled = mech
+        .run_labeled(data.series(), data.labels().unwrap())
+        .unwrap();
     // Expansion stages are identical; only the refinement differs.
     assert_eq!(unlabeled.diagnostics.ell_s, labeled.diagnostics.ell_s);
     assert_eq!(

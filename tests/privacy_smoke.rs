@@ -19,7 +19,10 @@ fn grr_distribution(grr: &Grr, input: usize, seed: u64) -> Vec<f64> {
     for _ in 0..TRIALS {
         counts[grr.perturb(&mut rng, input)] += 1;
     }
-    counts.into_iter().map(|c| c as f64 / TRIALS as f64).collect()
+    counts
+        .into_iter()
+        .map(|c| c as f64 / TRIALS as f64)
+        .collect()
 }
 
 #[test]
@@ -91,7 +94,10 @@ fn oue_per_bit_flip_probabilities_respect_epsilon() {
     let ratio_one = p / q;
     let ratio_zero = (1.0 - q) / (1.0 - p);
     assert!(ratio_one <= eps.exp() * 1.15, "1-bit ratio {ratio_one:.3}");
-    assert!(ratio_zero <= eps.exp() * 1.15, "0-bit ratio {ratio_zero:.3}");
+    assert!(
+        ratio_zero <= eps.exp() * 1.15,
+        "0-bit ratio {ratio_zero:.3}"
+    );
 }
 
 #[test]
@@ -123,8 +129,14 @@ fn reports_are_insensitive_to_other_users() {
     // Both runs must succeed and produce valid output regardless of what
     // the rest of the population looks like; user 0's contribution is
     // pinned by (seed, index) alone.
-    let a = PrivShape::new(cfg.clone()).unwrap().run(&make_series(false)).unwrap();
-    let b = PrivShape::new(cfg).unwrap().run(&make_series(true)).unwrap();
+    let a = PrivShape::new(cfg.clone())
+        .unwrap()
+        .run(&make_series(false))
+        .unwrap();
+    let b = PrivShape::new(cfg)
+        .unwrap()
+        .run(&make_series(true))
+        .unwrap();
     assert!(!a.shapes.is_empty());
     assert!(!b.shapes.is_empty());
 }

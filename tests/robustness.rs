@@ -28,8 +28,9 @@ fn assert_valid_output(out: &privshape::Extraction, k: usize, alphabet: usize) {
 #[test]
 fn constant_series_population_survives() {
     // Every user's series z-normalizes to all zeros ⇒ compressed length 1.
-    let series: Vec<TimeSeries> =
-        (0..400).map(|_| TimeSeries::new(vec![3.0; 50]).unwrap()).collect();
+    let series: Vec<TimeSeries> = (0..400)
+        .map(|_| TimeSeries::new(vec![3.0; 50]).unwrap())
+        .collect();
     let out = PrivShape::new(cfg(2.0, 2)).unwrap().run(&series).unwrap();
     assert_valid_output(&out, 2, 3);
     // The frequent length must collapse to 1 and the single-symbol shape
@@ -57,8 +58,12 @@ fn adversarial_minority_cannot_break_the_mechanism() {
     }
     for i in 0..100 {
         series.push(
-            TimeSeries::new((0..30).map(|j| ((i + j) as f64 * 2.1).sin() * 5.0).collect())
-                .unwrap(),
+            TimeSeries::new(
+                (0..30)
+                    .map(|j| ((i + j) as f64 * 2.1).sin() * 5.0)
+                    .collect(),
+            )
+            .unwrap(),
         );
     }
     let out = PrivShape::new(cfg(8.0, 1)).unwrap().run(&series).unwrap();
@@ -161,7 +166,10 @@ fn labeled_run_with_single_class_works() {
         })
         .collect();
     let labels = vec![0usize; 300];
-    let out = PrivShape::new(cfg(4.0, 2)).unwrap().run_labeled(&series, &labels).unwrap();
+    let out = PrivShape::new(cfg(4.0, 2))
+        .unwrap()
+        .run_labeled(&series, &labels)
+        .unwrap();
     assert_eq!(out.classes.len(), 1);
     assert!(!out.classes[0].shapes.is_empty());
 }

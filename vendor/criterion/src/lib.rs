@@ -1,0 +1,292 @@
+//! Offline stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! Implements the API surface the workspace's benches use — benchmark
+//! groups, [`BenchmarkId`], [`Throughput`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — on top of a simple
+//! median-of-samples wall-clock measurement. There are no plots, no
+//! statistical regression analysis, and no saved baselines; each benchmark
+//! prints one line:
+//!
+//! ```text
+//! bench group/id/param ... median 1.234 ms (n = 10)
+//! ```
+//!
+//! Cargo runs bench targets in two modes, which the harness distinguishes by
+//! the flag cargo appends:
+//!
+//! * `cargo bench` passes `--bench` → benchmarks are measured;
+//! * `cargo test` passes `--test` → the target must merely prove it runs, so
+//!   registration exits immediately (keeping `cargo test -q` fast).
+
+use std::time::Instant;
+
+/// Identifies one benchmark within a group: a function name, an optional
+/// parameter, or both.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter (`name/param`).
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so `bench_function` accepts both ids and
+/// plain strings.
+pub trait IntoBenchmarkId {
+    /// Converts `self` into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_owned(),
+        }
+    }
+}
+
+/// Declared work-per-iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Times closures; handed to every benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_count: usize,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records wall-clock samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // Warm-up, untimed.
+        for _ in 0..self.sample_count.max(1) {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample.max(1) {
+                std::hint::black_box(f());
+            }
+            let per_iter = start.elapsed().as_secs_f64() / f64::from(self.iters_per_sample.max(1));
+            self.samples.push(per_iter);
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work performed per iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        self.run(&id.label, f);
+        self
+    }
+
+    /// Measures `f` under `id`, passing it `input` (criterion's shape for
+    /// parameterized benches; the input is simply handed back to `f`).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        if self.criterion.test_mode {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_count: self.sample_size,
+            iters_per_sample: 1,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("bench {}/{label} ... no samples", self.name);
+            return;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!(", {:.0} elem/s", n as f64 / median)
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!(", {:.0} B/s", n as f64 / median)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {}/{label} ... median {}{rate} (n = {})",
+            self.name,
+            format_duration(median),
+            samples.len()
+        );
+    }
+}
+
+fn format_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Builds a harness from the process arguments (see the crate docs for
+    /// the `--bench` / `--test` convention).
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Whether cargo invoked this target just to check it runs
+    /// (`cargo test`), in which case measurements are skipped.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Measures a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function running each listed target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            if criterion.is_test_mode() {
+                println!("criterion stub: --test mode, skipping measurements");
+                return;
+            }
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(4),
+            sample_count: 4,
+            iters_per_sample: 2,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(b.samples.len(), 4);
+        assert_eq!(count, 1 + 4 * 2); // warm-up + samples × iters
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("dtw", 128).label, "dtw/128");
+        assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+    }
+
+    #[test]
+    fn durations_pick_sane_units() {
+        assert_eq!(format_duration(2.5), "2.500 s");
+        assert_eq!(format_duration(0.0025), "2.500 ms");
+        assert_eq!(format_duration(2.5e-6), "2.500 µs");
+        assert_eq!(format_duration(2.5e-8), "25.0 ns");
+    }
+}

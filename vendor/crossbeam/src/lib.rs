@@ -1,0 +1,86 @@
+//! Offline stand-in for the
+//! [`crossbeam`](https://crates.io/crates/crossbeam) crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope` for fork/join
+//! parallelism over borrowed slices (`core/src/par.rs`, `eval/src/par.rs`).
+//! Since Rust 1.63 the standard library provides [`std::thread::scope`] with
+//! the same guarantees, so this crate is a thin adapter that preserves
+//! crossbeam's API shape:
+//!
+//! * the scope closure and each spawn closure receive a [`thread::Scope`]
+//!   argument (std's spawn closures take none);
+//! * [`thread::scope`] returns a `Result` (std propagates child panics by
+//!   panicking at the end of the scope, so the `Err` arm is never produced —
+//!   a panicking worker still aborts the scope, which is the behavior the
+//!   callers' `.expect("worker panicked")` relies on).
+
+pub mod thread {
+    //! Scoped threads with crossbeam's call signature.
+
+    /// Handle passed to the scope closure and to every spawned worker;
+    /// workers may use it to spawn further siblings.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker inside the scope. The closure receives the scope
+        /// handle (crossbeam's signature); its borrows may outlive the
+        /// closure but not the scope.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Creates a scope in which threads may borrow from the caller's stack,
+    /// joining all of them before returning.
+    ///
+    /// # Errors
+    ///
+    /// Kept for crossbeam API compatibility; this adapter always returns
+    /// `Ok` because [`std::thread::scope`] re-raises worker panics instead
+    /// of collecting them.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let mut out = vec![0u64; 4];
+    /// crossbeam::thread::scope(|s| {
+    ///     for (i, slot) in out.iter_mut().enumerate() {
+    ///         s.spawn(move |_| *slot = i as u64 * 10);
+    ///     }
+    /// })
+    /// .expect("worker panicked");
+    /// assert_eq!(out, [0, 10, 20, 30]);
+    /// ```
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn workers_can_spawn_siblings() {
+            let total = std::sync::atomic::AtomicUsize::new(0);
+            super::scope(|s| {
+                s.spawn(|s2| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    s2.spawn(|_| {
+                        total.fetch_add(10, std::sync::atomic::Ordering::SeqCst);
+                    });
+                });
+            })
+            .expect("worker panicked");
+            assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 11);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Offline stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! Implements exactly the subset the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with [`prop_map`](Strategy::prop_map) and
+//!   [`boxed`](Strategy::boxed);
+//! * range strategies (`0usize..10`, `-1.0f64..1.0`, …), [`Just`], tuples,
+//!   [`collection::vec`], [`arbitrary::any`] and [`Union`](strategy::Union)
+//!   (the engine behind [`prop_oneof!`]);
+//! * the [`proptest!`] test macro with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`, plus
+//!   [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from upstream, deliberate for an offline stub:
+//!
+//! * **no shrinking** — a failing case is reported verbatim (every sampled
+//!   input is printed to stderr before the body runs, and `cargo test` only
+//!   shows that output for failing tests);
+//! * **deterministic seeding** — each test derives its RNG seed from its
+//!   module path and name, so runs are reproducible and CI is stable;
+//! * assertions simply panic instead of routing a `TestCaseError`.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Execution parameters for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    /// Upstream's default of 256 cases.
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point for types with a canonical strategy.
+
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for this type.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Strategy producing uniformly random values of a primitive type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+    macro_rules! impl_arbitrary_uniform {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyStrategy<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut crate::TestRng) -> $t {
+                    rand::RngExt::random::<$t>(rng)
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = AnyStrategy<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    AnyStrategy(core::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uniform!(bool, u32, u64, f64);
+
+    /// The canonical strategy for `T` (upstream's `any::<T>()`).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections ([`vec()`]).
+
+    use crate::strategy::Strategy;
+
+    /// A range of permissible collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Smallest permitted length (inclusive).
+        pub lo: usize,
+        /// Largest permitted length (exclusive).
+        pub hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        /// An exact length.
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random length drawn from a
+    /// [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut crate::TestRng) -> Self::Value {
+            let len = rand::RngExt::random_range(rng, self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element` and whose
+    /// length is drawn from `size` (a `usize`, `a..b`, or `a..=b`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import for property tests, mirroring upstream's prelude.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// The RNG driving all strategies (one per generated test function).
+pub type TestRng = ChaCha12Rng;
+
+/// Derives the deterministic RNG for a test from its fully qualified name.
+#[doc(hidden)]
+pub fn rng_for_test(qualified_name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in qualified_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body for many sampled inputs.
+///
+/// An optional leading `#![proptest_config(expr)]` sets the
+/// [`ProptestConfig`] for every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Recursive worker for [`proptest!`] — expands one test function per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(
+                    let $arg = {
+                        let __s = $strat;
+                        $crate::Strategy::generate(&__s, &mut __rng)
+                    };
+                )+
+                // Log the inputs up front: `cargo test` only surfaces this
+                // for failing tests, where the last case printed is the
+                // culprit (this stub does not shrink).
+                eprintln!(
+                    "proptest stub case {}/{}:",
+                    __case + 1,
+                    __config.cases
+                );
+                $(eprintln!("  {} = {:?}", stringify!($arg), &$arg);)+
+                $body
+            }
+        }
+        $crate::__proptest_tests! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Property-test assertion; this stub simply forwards to [`assert!`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property-test equality assertion; forwards to [`assert_eq!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Picks uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::Strategy::boxed($strat)),+
+        ])
+    };
+}

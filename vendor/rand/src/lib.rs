@@ -1,0 +1,242 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the handful of `rand` APIs the reproduction uses are reimplemented here
+//! and wired in as a path dependency. The surface is intentionally tiny:
+//!
+//! * [`Rng`] — a raw source of `u64` randomness (the role `RngCore` plays
+//!   upstream);
+//! * [`RngExt`] — the convenience methods the workspace calls:
+//!   [`random`](RngExt::random), [`random_range`](RngExt::random_range) and
+//!   [`random_bool`](RngExt::random_bool), blanket-implemented for every
+//!   [`Rng`];
+//! * [`SeedableRng`] — construction from a fixed seed, including the
+//!   SplitMix64-based [`seed_from_u64`](SeedableRng::seed_from_u64) helper.
+//!
+//! Algorithms follow the upstream crate where it matters for statistical
+//! quality (53-bit `f64` generation, SplitMix64 seed expansion); exact
+//! bit-compatibility with upstream `rand` is **not** a goal — every consumer
+//! in this workspace seeds its own generator, so determinism only has to
+//! hold within the workspace.
+
+/// A source of uniformly distributed random `u64`/`u32` words.
+///
+/// This plays the role of upstream's `RngCore`: concrete generators (e.g.
+/// `rand_chacha::ChaCha12Rng`) implement it, and everything else is layered
+/// on top by [`RngExt`].
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits.
+    ///
+    /// The default takes the high half of [`next_u64`](Self::next_u64).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Types that can be sampled uniformly from an [`Rng`].
+///
+/// The role upstream's `StandardUniform` distribution plays: `f64` samples
+/// uniformly from `[0, 1)`, integers sample uniformly over their full range.
+pub trait UniformSample: Sized {
+    /// Draws one uniformly distributed value.
+    fn uniform_sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl UniformSample for u64 {
+    fn uniform_sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl UniformSample for u32 {
+    fn uniform_sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl UniformSample for f64 {
+    /// Uniform on `[0, 1)` with 53 bits of precision (the upstream method).
+    fn uniform_sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformSample for bool {
+    fn uniform_sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`RngExt::random_range`] can sample from.
+pub trait SampleRange {
+    /// The element type produced by sampling.
+    type Item;
+
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Item;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Item = $t;
+
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Modulo reduction: bias is negligible for the span sizes
+                // this workspace uses (always far below 2^64).
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Item = $t;
+
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Item = f64;
+
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::uniform_sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+///
+/// Mirrors the method names of upstream `rand`'s extension trait
+/// (`random`, `random_range`, `random_bool`).
+pub trait RngExt: Rng {
+    /// Samples a value uniformly: `f64` from `[0, 1)`, integers over their
+    /// full range.
+    fn random<T: UniformSample>(&mut self) -> T {
+        T::uniform_sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Item {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of [0, 1]: {p}");
+        f64::uniform_sample(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Generators that can be constructed from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it to a full seed with
+    /// SplitMix64 (the same construction upstream `rand` uses).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl Rng for Counter {
+        fn next_u64(&mut self) -> u64 {
+            // Weak mixing is fine: these tests only check ranges/contracts.
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn f64_samples_are_in_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_samples_stay_in_bounds() {
+        let mut rng = Counter(3);
+        for _ in 0..1000 {
+            let v = rng.random_range(5usize..17);
+            assert!((5..17).contains(&v));
+            let w = rng.random_range(-4i64..=4);
+            assert!((-4..=4).contains(&w));
+            let x = rng.random_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = Counter(11);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+}
