@@ -1,0 +1,84 @@
+//! Protocol throughput smoke test: replays N simulated clients through the
+//! round-based session loop and records the ingestion rate, so CI keeps a
+//! perf-trajectory file (`BENCH_protocol.json`) for the protocol layer.
+//!
+//! Usage: `cargo run --release -p privshape-bench --bin protocol_smoke
+//!         [--users N] [--seed N] [--eps X] [--out DIR] [--full|--quick]`
+
+use privshape::protocol::Session;
+use privshape::{PrivShapeConfig, SimulatedFleet};
+use privshape_bench::ExpCtx;
+use privshape_datasets::{generate_symbols_like, SymbolsLikeConfig};
+use privshape_ldp::Epsilon;
+use privshape_timeseries::SaxParams;
+use std::time::Instant;
+
+fn main() {
+    let ctx = ExpCtx::from_env(4000, 1);
+    let eps = ctx.eps.unwrap_or(4.0);
+    let (w, t, k) = privshape_bench::symbols_settings();
+
+    let data = generate_symbols_like(&SymbolsLikeConfig {
+        n_per_class: ctx.users / 6,
+        seed: ctx.seed,
+        ..Default::default()
+    });
+    let users = data.series().len();
+
+    let mut config = PrivShapeConfig::new(
+        Epsilon::new(eps).expect("positive eps"),
+        k,
+        SaxParams::new(w, t).expect("valid SAX parameters"),
+    );
+    config.seed = ctx.seed;
+
+    // Enrollment: derive assignments, transform every series on-device.
+    let started = Instant::now();
+    let mut session = Session::privshape(config, users).expect("valid session");
+    let mut fleet = SimulatedFleet::new(data.series(), None, session.params(), 0);
+    let enroll_secs = started.elapsed().as_secs_f64();
+
+    // The round loop, counting what crosses the boundary.
+    let loop_started = Instant::now();
+    let mut rounds = 0usize;
+    let mut reports = 0usize;
+    while let Some(spec) = session.next_round().expect("protocol advances") {
+        let batch = fleet.answer(&spec).expect("clients answer");
+        reports += batch.len();
+        session.submit(&batch).expect("reports match round");
+        rounds += 1;
+    }
+    let out = session.finish().expect("session complete");
+    let loop_secs = loop_started.elapsed().as_secs_f64();
+    let wall_secs = started.elapsed().as_secs_f64();
+    let reports_per_sec = reports as f64 / loop_secs.max(1e-9);
+
+    println!("== protocol smoke (users={users}, eps={eps}) ==");
+    println!("rounds:            {rounds}");
+    println!("reports:           {reports}");
+    println!("enroll time:       {enroll_secs:.3}s");
+    println!("round-loop time:   {loop_secs:.3}s");
+    println!("reports/sec:       {reports_per_sec:.0}");
+    println!("ell_s:             {}", out.diagnostics.ell_s);
+    println!(
+        "shapes:            {:?}",
+        out.shapes
+            .iter()
+            .map(|s| s.shape.to_string())
+            .collect::<Vec<_>>()
+    );
+
+    let json = format!(
+        "{{\n  \"users\": {users},\n  \"eps\": {eps},\n  \"rounds\": {rounds},\n  \
+         \"reports\": {reports},\n  \"enroll_secs\": {enroll_secs:.6},\n  \
+         \"round_loop_secs\": {loop_secs:.6},\n  \"wall_secs\": {wall_secs:.6},\n  \
+         \"reports_per_sec\": {reports_per_sec:.1},\n  \"ell_s\": {},\n  \
+         \"extracted_shapes\": {}\n}}\n",
+        out.diagnostics.ell_s,
+        out.shapes.len(),
+    );
+    std::fs::create_dir_all(&ctx.out_dir).expect("create output dir");
+    let path = ctx.out_dir.join("BENCH_protocol.json");
+    std::fs::write(&path, json).expect("write BENCH_protocol.json");
+    println!("\nwrote {}", path.display());
+}

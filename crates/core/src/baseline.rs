@@ -6,29 +6,17 @@
 //! *after* each level's estimation, and the final output is the top-k most
 //! frequent leaves (no two-level refinement, no similarity suppression —
 //! those are PrivShape's additions).
+//!
+//! Like [`crate::PrivShape`], this type is a thin driver over the protocol
+//! layer's [`Session`]: the same broadcast → answer → submit loop a
+//! federated deployment would run, with every series sealed inside its own
+//! simulated client.
 
-use crate::config::BaselineConfig;
-use crate::error::{Error, Result};
-use crate::expand::select_candidates;
-use crate::length::estimate_length;
+use crate::fleet::SimulatedFleet;
 use crate::par;
-use crate::population::split_rounds;
-use crate::refine::refine_labeled;
-use crate::report::{ClassShapes, Diagnostics, ExtractedShape, Extraction, LabeledExtraction};
-use crate::rng::{user_rng, Stage};
-use crate::transform::transform_population;
-use privshape_timeseries::{SymbolSeq, TimeSeries};
-use privshape_trie::ShapeTrie;
-use rand::RngExt;
+use privshape_protocol::{BaselineConfig, Error, Extraction, LabeledExtraction, Result, Session};
+use privshape_timeseries::TimeSeries;
 use std::time::Instant;
-
-/// Expansion output for the unlabeled run: the pruned trie, the users'
-/// transformed sequences, the per-level user groups, and diagnostics.
-type ExpandedTrie = (ShapeTrie, Vec<SymbolSeq>, Vec<Vec<usize>>, Diagnostics);
-
-/// Expansion output for the labeled run: as [`ExpandedTrie`] but with the
-/// reserved label-round user group instead of the per-level groups.
-type LabeledExpandedTrie = (ShapeTrie, Vec<SymbolSeq>, Vec<usize>, Diagnostics);
 
 /// The baseline mechanism.
 #[derive(Debug, Clone)]
@@ -51,20 +39,13 @@ impl Baseline {
     /// Extracts the top-k frequent shapes from the users' series.
     pub fn run(&self, series: &[TimeSeries]) -> Result<Extraction> {
         let started = Instant::now();
-        let (trie, seqs, groups, mut diagnostics) = self.expand_trie(series)?;
-        let _ = seqs;
-        let _ = groups;
-        let shapes: Vec<ExtractedShape> = trie
-            .leaves_by_freq()
-            .into_iter()
-            .take(self.config.k)
-            .map(|(_, shape, frequency)| ExtractedShape { shape, frequency })
-            .collect();
-        diagnostics.elapsed = started.elapsed();
-        Ok(Extraction {
-            shapes,
-            diagnostics,
-        })
+        let mut session = Session::baseline(self.config.clone(), series.len())?;
+        let threads = par::resolve_threads(self.config.threads);
+        let mut fleet = SimulatedFleet::new(series, None, session.params(), threads);
+        fleet.drive(&mut session)?;
+        let mut out = session.finish()?;
+        out.diagnostics.elapsed = started.elapsed();
+        Ok(out)
     }
 
     /// Classification variant: appends one extra user round that reports
@@ -83,144 +64,18 @@ impl Baseline {
                 series.len()
             )));
         }
-        let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
-        let started = Instant::now();
-        let (trie, seqs, label_group, mut diagnostics) =
-            self.expand_trie_reserving_label_round(series)?;
-
-        let leaf_candidates: Vec<SymbolSeq> = trie
-            .leaves_by_freq()
-            .into_iter()
-            .take(self.config.k.max(n_classes))
-            .map(|(_, shape, _)| shape)
-            .collect();
-        let freqs = refine_labeled(
-            &seqs,
-            labels,
-            &label_group,
-            &leaf_candidates,
-            n_classes,
-            self.config.distance,
-            self.config.epsilon,
-            self.config.seed,
-            par::resolve_threads(self.config.threads),
-        )?;
-
-        let classes = freqs
-            .into_iter()
-            .enumerate()
-            .map(|(label, class_freqs)| {
-                let mut shapes: Vec<ExtractedShape> = leaf_candidates
-                    .iter()
-                    .zip(&class_freqs)
-                    .map(|(shape, &frequency)| ExtractedShape {
-                        shape: shape.clone(),
-                        frequency,
-                    })
-                    .collect();
-                shapes.sort_by(|a, b| {
-                    b.frequency
-                        .partial_cmp(&a.frequency)
-                        .expect("finite frequencies")
-                });
-                shapes.truncate(self.config.k);
-                ClassShapes { label, shapes }
-            })
-            .collect();
-        diagnostics.elapsed = started.elapsed();
-        Ok(LabeledExtraction {
-            classes,
-            diagnostics,
-        })
-    }
-
-    /// Shared pipeline: preprocessing, population split, length estimation,
-    /// and threshold-pruned trie expansion over `rounds` user groups.
-    fn expand_trie(&self, series: &[TimeSeries]) -> Result<ExpandedTrie> {
-        self.expand_trie_inner(series, false)
-            .map(|(t, s, rounds, _, d)| (t, s, rounds, d))
-    }
-
-    fn expand_trie_reserving_label_round(
-        &self,
-        series: &[TimeSeries],
-    ) -> Result<LabeledExpandedTrie> {
-        self.expand_trie_inner(series, true)
-            .map(|(t, s, _, label_group, d)| (t, s, label_group, d))
-    }
-
-    #[allow(clippy::type_complexity)]
-    fn expand_trie_inner(
-        &self,
-        series: &[TimeSeries],
-        reserve_label_round: bool,
-    ) -> Result<(
-        ShapeTrie,
-        Vec<SymbolSeq>,
-        Vec<Vec<usize>>,
-        Vec<usize>,
-        Diagnostics,
-    )> {
         if series.is_empty() {
             return Err(Error::NotEnoughUsers { needed: 1, got: 0 });
         }
-        let cfg = &self.config;
-        let threads = par::resolve_threads(cfg.threads);
-        let alphabet = cfg.preprocessing.alphabet(&cfg.sax);
-        let seqs = transform_population(series, &cfg.sax, &cfg.preprocessing, threads);
-
-        // Split into Pa ∪ Pb with a seeded shuffle.
-        let n = seqs.len();
-        let mut order: Vec<usize> = (0..n).collect();
-        let mut rng = user_rng(cfg.seed, Stage::Server, 1);
-        for i in (1..order.len()).rev() {
-            let j = rng.random_range(0..=i);
-            order.swap(i, j);
-        }
-        let na = ((n as f64) * cfg.pa).round() as usize;
-        let (pa, pb) = order.split_at(na.min(n));
-
-        let ell_s = estimate_length(&seqs, pa, cfg.length_range, cfg.epsilon, cfg.seed, threads)?;
-
-        let total_rounds = ell_s + usize::from(reserve_label_round);
-        let mut rounds = split_rounds(pb, total_rounds);
-        let label_group = if reserve_label_round {
-            rounds.pop().expect("total_rounds >= 1")
-        } else {
-            Vec::new()
-        };
-
-        let mut trie = ShapeTrie::new(alphabet)?;
-        let mut candidates_per_level = Vec::with_capacity(ell_s);
-        for level in 1..=ell_s {
-            trie.expand_next_level(None);
-            let candidates = trie.candidates(level)?;
-            let cand_seqs: Vec<SymbolSeq> = candidates.iter().map(|(_, s)| s.clone()).collect();
-            let counts = select_candidates(
-                &seqs,
-                &rounds[level - 1],
-                &cand_seqs,
-                cfg.distance,
-                Some(level),
-                cfg.epsilon,
-                cfg.seed,
-                threads,
-            )?;
-            for ((id, _), count) in candidates.iter().zip(counts) {
-                trie.set_freq(*id, count);
-            }
-            trie.prune_threshold(level, cfg.prune_threshold)?;
-            candidates_per_level.push(trie.live_nodes(level)?.len());
-        }
-
-        let diagnostics = Diagnostics {
-            ell_s,
-            candidates_per_level,
-            trie_nodes: trie.node_count(),
-            group_sizes: [pa.len(), pb.len(), 0, 0],
-            elapsed: Default::default(),
-        };
-        Ok((trie, seqs, rounds, label_group, diagnostics))
+        let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let started = Instant::now();
+        let mut session = Session::baseline_labeled(self.config.clone(), series.len(), n_classes)?;
+        let threads = par::resolve_threads(self.config.threads);
+        let mut fleet = SimulatedFleet::new(series, Some(labels), session.params(), threads);
+        fleet.drive(&mut session)?;
+        let mut out = session.finish_labeled()?;
+        out.diagnostics.elapsed = started.elapsed();
+        Ok(out)
     }
 }
 
@@ -285,6 +140,7 @@ mod tests {
         assert_eq!(d.candidates_per_level.len(), d.ell_s);
         assert!(d.trie_nodes > 0);
         assert_eq!(d.group_sizes[0], 20); // 2% of 1000
+        assert_eq!(d.unassigned_users, 0); // the baseline uses everyone
         assert!(d.elapsed.as_nanos() > 0);
     }
 

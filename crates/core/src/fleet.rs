@@ -1,0 +1,116 @@
+//! Single-process simulation of a client fleet.
+//!
+//! [`SimulatedFleet`] holds one [`UserClient`] per user and answers each
+//! round broadcast in parallel (deterministically: per-user RNG streams
+//! make results independent of thread count). This is the only place in
+//! the crate where all users' data coexists — and even here each series is
+//! sealed inside its own client; the drivers in `privshape.rs` and
+//! `baseline.rs` only ever see [`RoundSpec`]s and [`Report`]s.
+
+use crate::par;
+use privshape_protocol::{
+    GroupAssignment, ProtocolParams, Report, Result, RoundSpec, Session, UserClient,
+};
+use privshape_timeseries::TimeSeries;
+
+/// A fleet of simulated user devices.
+#[derive(Debug)]
+pub struct SimulatedFleet {
+    clients: Vec<UserClient>,
+    threads: usize,
+}
+
+impl SimulatedFleet {
+    /// Enrolls one client per series (with optional per-user labels),
+    /// deriving all group assignments once and transforming every series
+    /// on its own "device", in parallel.
+    pub fn new(
+        series: &[TimeSeries],
+        labels: Option<&[usize]>,
+        params: &ProtocolParams,
+        threads: usize,
+    ) -> Self {
+        let assignments = GroupAssignment::derive_all(params);
+        let clients = par::map_indexed(series.len(), threads, |user| {
+            UserClient::with_assignment(
+                user,
+                &series[user],
+                labels.map(|l| l[user]),
+                params,
+                assignments[user],
+            )
+        });
+        Self { clients, threads }
+    }
+
+    /// Number of enrolled clients.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Collects the reports of every client the round is addressed to, in
+    /// user order.
+    pub fn answer(&mut self, spec: &RoundSpec) -> Result<Vec<Report>> {
+        let answers = par::map_slice_mut(&mut self.clients, self.threads, |client| {
+            client.answer(spec)
+        });
+        let mut reports = Vec::new();
+        for answer in answers {
+            if let Some(report) = answer? {
+                reports.push(report);
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Drives a session to completion: broadcast, answer, submit, repeat.
+    /// The session is ready for `finish`/`finish_labeled` afterwards.
+    pub fn drive(&mut self, session: &mut Session) -> Result<()> {
+        while let Some(spec) = session.next_round()? {
+            let reports = self.answer(&spec)?;
+            session.submit(&reports)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privshape_ldp::Epsilon;
+    use privshape_protocol::PrivShapeConfig;
+    use privshape_timeseries::SaxParams;
+
+    fn series(n: usize) -> Vec<TimeSeries> {
+        (0..n)
+            .map(|i| {
+                let mut v = vec![-1.0 + (i % 7) as f64 * 1e-3; 20];
+                v.extend(vec![1.0; 20]);
+                TimeSeries::new(v).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fleet_drives_a_session_end_to_end() {
+        let mut cfg = PrivShapeConfig::new(
+            Epsilon::new(4.0).unwrap(),
+            1,
+            SaxParams::new(10, 3).unwrap(),
+        );
+        cfg.length_range = (1, 4);
+        let data = series(400);
+        let mut session = Session::privshape(cfg, data.len()).unwrap();
+        let mut fleet = SimulatedFleet::new(&data, None, session.params(), 4);
+        assert_eq!(fleet.len(), 400);
+        assert!(!fleet.is_empty());
+        fleet.drive(&mut session).unwrap();
+        let out = session.finish().unwrap();
+        assert_eq!(out.shapes[0].shape.to_string(), "ac");
+    }
+}

@@ -18,6 +18,19 @@
 //! the preprocessing is deterministic, so parallel composition gives every
 //! user the full ε (Theorems 1 and 3).
 //!
+//! # Two APIs, one mechanism
+//!
+//! `PrivShape::run(&[TimeSeries])` is a convenience facade for
+//! single-process use. Underneath it drives the round-based protocol of
+//! [`privshape_protocol`] ([`protocol`] here): a server-side
+//! [`protocol::Session`] broadcasts round specs, one simulated
+//! [`protocol::UserClient`] per series answers the rounds addressed to its
+//! group, and mergeable [`protocol::ShardAggregator`]s combine the
+//! perturbed reports. Code that needs the boundary explicitly — streamed
+//! report ingestion, sharded aggregation, fleet simulation — drives the
+//! session loop directly (see `examples/federated_rounds.rs`); both paths
+//! are bit-identical by construction and by test.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -47,40 +60,39 @@
 //!
 //! # Crate map
 //!
-//! The mechanisms sit on four substrate crates, re-exported here for
-//! convenience: [`privshape_timeseries`] (SAX / Compressive SAX),
+//! The mechanisms sit on the protocol crate and four substrate crates,
+//! re-exported here for convenience: [`privshape_protocol`]
+//! (Session / UserClient / ShardAggregator plus configs and result types),
+//! [`privshape_timeseries`] (SAX / Compressive SAX),
 //! [`privshape_distance`] (DTW / SED / Euclidean / Hausdorff),
 //! [`privshape_ldp`] (GRR / OUE / EM / PM), and [`privshape_trie`]
 //! (the candidate trie).
 
 mod baseline;
-mod config;
-mod error;
-mod expand;
-mod length;
+mod fleet;
 mod par;
-mod population;
-mod postprocess;
 mod privshape;
-mod refine;
-mod report;
-mod rng;
 mod shapelet;
-mod subshape;
 mod transform;
 
 pub use baseline::Baseline;
-pub use config::{BaselineConfig, PopulationSplit, Preprocessing, PrivShapeConfig};
-pub use error::{Error, Result};
-pub use population::{split_population, split_rounds, Groups};
-pub use postprocess::select_distinct_top_k;
+pub use fleet::SimulatedFleet;
 pub use privshape::PrivShape;
-pub use report::{ClassShapes, Diagnostics, ExtractedShape, Extraction, LabeledExtraction};
 pub use shapelet::ShapeletTransform;
-pub use transform::{transform_population, transform_series};
+pub use transform::transform_population;
+
+// The protocol layer owns the configs, result types, population split, and
+// per-series preprocessing; re-exported so `privshape`'s public API is a
+// superset of what it was before the protocol crate existed.
+pub use privshape_protocol::{
+    select_distinct_top_k, split_population, split_rounds, transform_series, BaselineConfig,
+    ClassShapes, Diagnostics, Error, ExtractedShape, Extraction, Groups, LabeledExtraction,
+    PopulationSplit, Preprocessing, PrivShapeConfig, Result,
+};
 
 // Substrate re-exports so `privshape` is a one-stop dependency.
 pub use privshape_distance as distance;
 pub use privshape_ldp as ldp;
+pub use privshape_protocol as protocol;
 pub use privshape_timeseries as timeseries;
 pub use privshape_trie as trie;

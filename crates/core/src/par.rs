@@ -31,6 +31,39 @@ where
         .collect()
 }
 
+/// Applies `f` to every item of a mutable slice using up to `threads`
+/// workers, collecting the results in item order. The mutable-access
+/// counterpart of [`map_indexed`], used to drive fleets of stateful
+/// clients deterministically.
+pub(crate) fn map_slice_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 || n < 64 {
+        return items.iter_mut().map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (items, slots) in items.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (item, slot) in items.iter_mut().zip(slots.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    out.into_iter()
+        .map(|slot| slot.expect("all slots filled"))
+        .collect()
+}
+
 /// Default worker count: available parallelism, capped.
 pub(crate) fn default_threads() -> usize {
     std::thread::available_parallelism()
@@ -57,6 +90,19 @@ mod tests {
         let a = map_indexed(500, 4, |i| i * 3);
         let b: Vec<usize> = (0..500).map(|i| i * 3).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_slice_mut_mutates_and_collects_in_order() {
+        let mut items: Vec<usize> = (0..500).collect();
+        let doubled = map_slice_mut(&mut items, 4, |x| {
+            *x += 1;
+            *x * 2
+        });
+        assert_eq!(items[0], 1);
+        assert_eq!(items[499], 500);
+        let expected: Vec<usize> = (1..=500).map(|x| x * 2).collect();
+        assert_eq!(doubled, expected);
     }
 
     #[test]

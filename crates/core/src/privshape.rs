@@ -11,20 +11,18 @@
 //!    expansion path.
 //! 3. **Similar-shape suppression** (§IV-C): the final candidates are
 //!    clustered into `k` groups and one representative per group is output.
+//!
+//! This type is a *driver*: the mechanism itself lives in the protocol
+//! layer. `run` spins up a server-side [`Session`], seals each series
+//! inside a simulated [`privshape_protocol::UserClient`], and pumps
+//! broadcast → answer → submit until the session completes — the same
+//! loop a federated deployment would run over the network, so its output
+//! is bit-identical to driving [`Session`] by hand.
 
-use crate::config::PrivShapeConfig;
-use crate::error::{Error, Result};
-use crate::expand::select_candidates;
-use crate::length::estimate_length;
+use crate::fleet::SimulatedFleet;
 use crate::par;
-use crate::population::{split_population, split_rounds, Groups};
-use crate::postprocess::select_distinct_top_k;
-use crate::refine::{refine_labeled, refine_unlabeled};
-use crate::report::{ClassShapes, Diagnostics, ExtractedShape, Extraction, LabeledExtraction};
-use crate::subshape::estimate_subshapes;
-use crate::transform::transform_population;
-use privshape_timeseries::{SymbolSeq, TimeSeries};
-use privshape_trie::{BigramSet, ShapeTrie};
+use privshape_protocol::{Error, Extraction, LabeledExtraction, PrivShapeConfig, Result, Session};
+use privshape_timeseries::TimeSeries;
 use std::time::Instant;
 
 /// The PrivShape mechanism.
@@ -48,40 +46,13 @@ impl PrivShape {
     /// Extracts the top-k frequent shapes (clustering-oriented output).
     pub fn run(&self, series: &[TimeSeries]) -> Result<Extraction> {
         let started = Instant::now();
-        let state = self.expand(series)?;
+        let mut session = Session::privshape(self.config.clone(), series.len())?;
         let threads = par::resolve_threads(self.config.threads);
-
-        // Two-level refinement: re-estimate the (already ≤ c·k) leaves from
-        // the reserved population Pd, scoring full sequences.
-        let leaf_seqs: Vec<SymbolSeq> = state
-            .trie
-            .leaves_by_freq()
-            .into_iter()
-            .map(|(_, s, _)| s)
-            .collect();
-        let refined = refine_unlabeled(
-            &state.seqs,
-            &state.groups.pd,
-            &leaf_seqs,
-            self.config.distance,
-            self.config.epsilon,
-            self.config.seed,
-            threads,
-        )?;
-        let candidates: Vec<(SymbolSeq, f64)> = leaf_seqs.into_iter().zip(refined).collect();
-
-        // Post-processing: suppress similar shapes, keep k distinct ones.
-        let shapes = select_distinct_top_k(&candidates, self.config.k, self.config.distance)
-            .into_iter()
-            .map(|(shape, frequency)| ExtractedShape { shape, frequency })
-            .collect();
-
-        let mut diagnostics = state.diagnostics;
-        diagnostics.elapsed = started.elapsed();
-        Ok(Extraction {
-            shapes,
-            diagnostics,
-        })
+        let mut fleet = SimulatedFleet::new(series, None, session.params(), threads);
+        fleet.drive(&mut session)?;
+        let mut out = session.finish()?;
+        out.diagnostics.elapsed = started.elapsed();
+        Ok(out)
     }
 
     /// Classification variant (§V-E): the refinement reports go through OUE
@@ -98,169 +69,19 @@ impl PrivShape {
                 series.len()
             )));
         }
-        let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
-        let started = Instant::now();
-        let state = self.expand(series)?;
-        let threads = par::resolve_threads(self.config.threads);
-
-        let leaf_seqs: Vec<SymbolSeq> = state
-            .trie
-            .leaves_by_freq()
-            .into_iter()
-            .map(|(_, s, _)| s)
-            .collect();
-        let freqs = refine_labeled(
-            &state.seqs,
-            labels,
-            &state.groups.pd,
-            &leaf_seqs,
-            n_classes,
-            self.config.distance,
-            self.config.epsilon,
-            self.config.seed,
-            threads,
-        )?;
-
-        let classes = freqs
-            .into_iter()
-            .enumerate()
-            .map(|(label, class_freqs)| {
-                let candidates: Vec<(SymbolSeq, f64)> =
-                    leaf_seqs.iter().cloned().zip(class_freqs).collect();
-                // Per class, suppress similar shapes then keep the top-k.
-                let shapes =
-                    select_distinct_top_k(&candidates, self.config.k, self.config.distance)
-                        .into_iter()
-                        .map(|(shape, frequency)| ExtractedShape { shape, frequency })
-                        .collect();
-                ClassShapes { label, shapes }
-            })
-            .collect();
-
-        let mut diagnostics = state.diagnostics;
-        diagnostics.elapsed = started.elapsed();
-        Ok(LabeledExtraction {
-            classes,
-            diagnostics,
-        })
-    }
-
-    /// Stages 1–3: preprocessing, population split, length estimation,
-    /// sub-shape estimation, and pruned trie expansion.
-    fn expand(&self, series: &[TimeSeries]) -> Result<ExpandState> {
         if series.is_empty() {
             return Err(Error::NotEnoughUsers { needed: 1, got: 0 });
         }
-        let cfg = &self.config;
-        let threads = par::resolve_threads(cfg.threads);
-        let alphabet = cfg.preprocessing.alphabet(&cfg.sax);
-        let top_m = cfg.c * cfg.k;
-
-        let seqs = transform_population(series, &cfg.sax, &cfg.preprocessing, threads);
-        let groups = split_population(seqs.len(), &cfg.split, cfg.seed);
-
-        let ell_s = estimate_length(
-            &seqs,
-            &groups.pa,
-            cfg.length_range,
-            cfg.epsilon,
-            cfg.seed,
-            threads,
-        )?;
-
-        let bigram_sets = estimate_subshapes(
-            &seqs,
-            &groups.pb,
-            ell_s,
-            alphabet,
-            top_m,
-            cfg.epsilon,
-            cfg.seed,
-            threads,
-        )?;
-
-        let rounds = split_rounds(&groups.pc, ell_s);
-        let mut trie = ShapeTrie::new(alphabet)?;
-        let mut candidates_per_level = Vec::with_capacity(ell_s);
-        for level in 1..=ell_s {
-            let allowed = if level == 1 {
-                None
-            } else {
-                let set = &bigram_sets[level - 2];
-                // Engineering fallback: if LDP noise produced a bigram set
-                // disjoint from the live frontier, expanding with it would
-                // dead-end the trie; fall back to unconstrained expansion
-                // for this level (DESIGN.md §2).
-                if frontier_has_allowed_edge(&trie, level - 1, set)? {
-                    Some(set)
-                } else {
-                    None
-                }
-            };
-            trie.expand_next_level(allowed);
-            let candidates = trie.candidates(level)?;
-            let cand_seqs: Vec<SymbolSeq> = candidates.iter().map(|(_, s)| s.clone()).collect();
-            let counts = select_candidates(
-                &seqs,
-                &rounds[level - 1],
-                &cand_seqs,
-                cfg.distance,
-                Some(level),
-                cfg.epsilon,
-                cfg.seed,
-                threads,
-            )?;
-            for ((id, _), count) in candidates.iter().zip(counts) {
-                trie.set_freq(*id, count);
-            }
-            trie.prune_top_m(level, top_m)?;
-            candidates_per_level.push(trie.live_nodes(level)?.len());
-        }
-
-        let diagnostics = Diagnostics {
-            ell_s,
-            candidates_per_level,
-            trie_nodes: trie.node_count(),
-            group_sizes: [
-                groups.pa.len(),
-                groups.pb.len(),
-                groups.pc.len(),
-                groups.pd.len(),
-            ],
-            elapsed: Default::default(),
-        };
-        Ok(ExpandState {
-            trie,
-            seqs,
-            groups,
-            diagnostics,
-        })
+        let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let started = Instant::now();
+        let mut session = Session::privshape_labeled(self.config.clone(), series.len(), n_classes)?;
+        let threads = par::resolve_threads(self.config.threads);
+        let mut fleet = SimulatedFleet::new(series, Some(labels), session.params(), threads);
+        fleet.drive(&mut session)?;
+        let mut out = session.finish_labeled()?;
+        out.diagnostics.elapsed = started.elapsed();
+        Ok(out)
     }
-}
-
-/// Intermediate state shared by the unlabeled and labeled runs.
-struct ExpandState {
-    trie: ShapeTrie,
-    seqs: Vec<SymbolSeq>,
-    groups: Groups,
-    diagnostics: Diagnostics,
-}
-
-/// Whether any live node at `level` has at least one outgoing edge in
-/// `set` — i.e. whether constrained expansion can make progress.
-fn frontier_has_allowed_edge(trie: &ShapeTrie, level: usize, set: &BigramSet) -> Result<bool> {
-    let alphabet = trie.alphabet();
-    for (_, shape) in trie.candidates(level)? {
-        if let Some(x) = shape.last() {
-            for y in 0..alphabet {
-                let y = privshape_timeseries::Symbol::from_index(y as u8);
-                if set.contains(x, y) {
-                    return Ok(true);
-                }
-            }
-        }
-    }
-    Ok(false)
 }
 
 #[cfg(test)]
@@ -327,7 +148,24 @@ mod tests {
         // top-c·k pruning caps every level at 6 candidates.
         assert!(d.candidates_per_level.iter().all(|&c| c <= 6), "{d:?}");
         assert_eq!(d.group_sizes.iter().sum::<usize>(), 3000);
+        assert_eq!(d.unassigned_users, 0);
         assert!(d.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn partial_split_surfaces_unassigned_users() {
+        let (series, _) = planted_population(1000);
+        let mut cfg = config(2.0);
+        // Only 40% of users participate: the rest must be reported, not
+        // silently dropped.
+        cfg.split.pa = 0.1;
+        cfg.split.pb = 0.1;
+        cfg.split.pc = 0.1;
+        cfg.split.pd = 0.1;
+        let out = PrivShape::new(cfg).unwrap().run(&series).unwrap();
+        let d = &out.diagnostics;
+        assert_eq!(d.group_sizes.iter().sum::<usize>(), 400);
+        assert_eq!(d.unassigned_users, 600);
     }
 
     #[test]
@@ -357,6 +195,10 @@ mod tests {
     fn empty_population_rejected() {
         let mech = PrivShape::new(config(1.0)).unwrap();
         assert!(matches!(mech.run(&[]), Err(Error::NotEnoughUsers { .. })));
+        assert!(matches!(
+            mech.run_labeled(&[], &[]),
+            Err(Error::NotEnoughUsers { .. })
+        ));
     }
 
     #[test]

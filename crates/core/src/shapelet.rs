@@ -10,12 +10,11 @@
 //! can then train on the features — the original series never leave the
 //! users, and the shapelets themselves were discovered privately.
 
-use crate::config::Preprocessing;
-use crate::error::{Error, Result};
 use crate::par;
-use crate::report::{Extraction, LabeledExtraction};
-use crate::transform::transform_series;
 use privshape_distance::DistanceKind;
+use privshape_protocol::{
+    transform_series, Error, Extraction, LabeledExtraction, Preprocessing, Result,
+};
 use privshape_timeseries::{SaxParams, SymbolSeq, TimeSeries};
 
 /// A shapelet transform built from privately extracted shapes.

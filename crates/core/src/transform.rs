@@ -1,49 +1,14 @@
-//! User-side preprocessing: raw series → symbol sequence.
+//! Population-wide preprocessing: raw series → symbol sequences, in
+//! parallel.
 //!
-//! This is the deterministic, randomness-free transformation step of the
-//! privacy analysis (Theorems 1 and 3): it happens entirely on the user's
-//! device before any perturbed report is produced.
+//! The per-series transformation itself lives in the protocol layer
+//! ([`privshape_protocol::transform_series`]) because it runs on the
+//! user's device; this module only adds the fork/join fan-out used by the
+//! single-process simulation drivers.
 
-use crate::config::Preprocessing;
 use crate::par;
-use privshape_timeseries::{compress, sax, SaxParams, Symbol, SymbolSeq, TimeSeries};
-
-/// Transforms one series according to the preprocessing mode.
-///
-/// The series is z-normalized first (the paper's datasets are already
-/// z-scored; re-normalizing is idempotent for them and makes the API safe
-/// for raw inputs).
-pub fn transform_series(
-    series: &TimeSeries,
-    sax_params: &SaxParams,
-    mode: &Preprocessing,
-) -> SymbolSeq {
-    let z = series.z_normalized();
-    match mode {
-        Preprocessing::Sax {
-            compress: do_compress,
-        } => {
-            let seq = sax(z.values(), sax_params);
-            if *do_compress {
-                compress(&seq)
-            } else {
-                seq
-            }
-        }
-        Preprocessing::UniformGrid {
-            step,
-            bound,
-            compress: do_compress,
-        } => {
-            let seq = uniform_grid(z.values(), *step, *bound);
-            if *do_compress {
-                compress(&seq)
-            } else {
-                seq
-            }
-        }
-    }
-}
+use privshape_protocol::{transform_series, Preprocessing};
+use privshape_timeseries::{SaxParams, SymbolSeq, TimeSeries};
 
 /// Transforms a whole population in parallel.
 pub fn transform_population(
@@ -57,23 +22,6 @@ pub fn transform_population(
     })
 }
 
-/// Uniform-grid discretization (the Fig. 18a "Without SAX" ablation): bin
-/// boundaries at every multiple of `step` in `[-bound, bound]` (including
-/// 0), with two unbounded edge bins.
-fn uniform_grid(values: &[f64], step: f64, bound: f64) -> SymbolSeq {
-    let per_side = (bound / step).round() as i64;
-    values
-        .iter()
-        .map(|&v| {
-            // Bin index counted from the lowest bin.
-            let raw = (v / step).floor() as i64; // …, -1 ⇒ [-step, 0), 0 ⇒ [0, step), …
-            let clamped = raw.clamp(-(per_side + 1), per_side);
-            let idx = (clamped + per_side + 1) as u8;
-            Symbol::from_index(idx)
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,63 +30,6 @@ mod tests {
         let mut v = vec![-1.0; 40];
         v.extend(vec![1.0; 40]);
         TimeSeries::new(v).unwrap()
-    }
-
-    #[test]
-    fn sax_mode_compresses() {
-        let p = SaxParams::new(10, 3).unwrap();
-        let compressed =
-            transform_series(&step_series(), &p, &Preprocessing::Sax { compress: true });
-        let uncompressed =
-            transform_series(&step_series(), &p, &Preprocessing::Sax { compress: false });
-        assert_eq!(compressed.to_string(), "ac");
-        assert_eq!(uncompressed.to_string(), "aaaacccc");
-    }
-
-    #[test]
-    fn uniform_grid_has_eight_bins_with_paper_settings() {
-        let values: Vec<f64> = (-30..=30).map(|i| i as f64 * 0.1).collect();
-        let seq = uniform_grid(&values, 0.33, 0.99);
-        let max = seq.max_index().unwrap();
-        assert_eq!(max, 7, "paper grid should top out at symbol index 7");
-        // Monotone input ⇒ monotone symbols.
-        let idx: Vec<usize> = seq.symbols().iter().map(|s| s.index()).collect();
-        assert!(idx.windows(2).all(|w| w[0] <= w[1]));
-    }
-
-    #[test]
-    fn uniform_grid_bin_edges() {
-        // per_side = 3: bins are (-∞,-.99) [.,-.66) [.,-.33) [.,0) [0,.33)
-        // [.33,.66) [.66,.99) [.99,∞) — check representative points.
-        let seq = uniform_grid(&[-2.0, -0.5, -0.1, 0.0, 0.1, 0.5, 2.0], 0.33, 0.99);
-        let idx: Vec<usize> = seq.symbols().iter().map(|s| s.index()).collect();
-        assert_eq!(idx, vec![0, 2, 3, 4, 4, 5, 7]);
-    }
-
-    #[test]
-    fn grid_mode_without_sax_skips_paa() {
-        // 80 points stay 80 symbols before compression (no segmentation).
-        let p = SaxParams::new(10, 3).unwrap();
-        let seq = transform_series(
-            &step_series(),
-            &p,
-            &Preprocessing::UniformGrid {
-                step: 0.33,
-                bound: 0.99,
-                compress: false,
-            },
-        );
-        assert_eq!(seq.len(), 80);
-        let compressed = transform_series(
-            &step_series(),
-            &p,
-            &Preprocessing::UniformGrid {
-                step: 0.33,
-                bound: 0.99,
-                compress: true,
-            },
-        );
-        assert_eq!(compressed.len(), 2); // two plateaus
     }
 
     #[test]

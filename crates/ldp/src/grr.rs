@@ -118,6 +118,32 @@ impl GrrAggregator {
         self.total
     }
 
+    /// Domain size this aggregator was built for.
+    pub fn domain(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Folds another aggregator's counts into this one. Raw counts are
+    /// plain integer sums, so merging is associative and commutative —
+    /// shards can aggregate independently and combine in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two aggregators were built for different domains
+    /// (merging them would be meaningless).
+    pub fn merge(&mut self, other: &GrrAggregator) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge GRR aggregators over different domains"
+        );
+        debug_assert!(self.p == other.p && self.q == other.q);
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
     /// Unbiased estimate of the number of users holding `v`.
     pub fn estimate(&self, v: usize) -> f64 {
         let n = self.total as f64;
@@ -233,6 +259,37 @@ mod tests {
         }
         let sum: f64 = agg.estimates().iter().sum();
         assert!((sum - 5000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_equals_single_aggregation() {
+        let g = Grr::new(5, eps(1.0)).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(6);
+        let reports: Vec<usize> = (0..999).map(|i| g.perturb(&mut rng, i % 5)).collect();
+        let mut whole = GrrAggregator::new(&g);
+        for &r in &reports {
+            whole.add(r);
+        }
+        // Split into three shards, merge the last two into the first in
+        // reverse order.
+        let mut shards: Vec<GrrAggregator> = (0..3).map(|_| GrrAggregator::new(&g)).collect();
+        for (i, &r) in reports.iter().enumerate() {
+            shards[i % 3].add(r);
+        }
+        let (first, rest) = shards.split_at_mut(1);
+        for shard in rest.iter().rev() {
+            first[0].merge(shard);
+        }
+        assert_eq!(first[0].total(), whole.total());
+        assert_eq!(first[0].estimates(), whole.estimates());
+    }
+
+    #[test]
+    #[should_panic(expected = "different domains")]
+    fn merge_rejects_mismatched_domains() {
+        let mut a = GrrAggregator::new(&Grr::new(3, eps(1.0)).unwrap());
+        let b = GrrAggregator::new(&Grr::new(4, eps(1.0)).unwrap());
+        a.merge(&b);
     }
 
     #[test]

@@ -124,6 +124,31 @@ impl OueAggregator {
         self.total
     }
 
+    /// Domain size this aggregator was built for.
+    pub fn domain(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Folds another aggregator's bit counts into this one. Raw counts are
+    /// plain integer sums, so merging is associative and commutative —
+    /// shards can aggregate independently and combine in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two aggregators were built for different domains.
+    pub fn merge(&mut self, other: &OueAggregator) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge OUE aggregators over different domains"
+        );
+        debug_assert!(self.q == other.q);
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
     /// Unbiased estimate of the number of users holding `v`.
     pub fn estimate(&self, v: usize) -> f64 {
         let n = self.total as f64;
@@ -222,6 +247,27 @@ mod tests {
         assert!(agg.estimate(0).abs() < 0.03 * n as f64);
         let top = agg.top_m(2);
         assert!(top.contains(&1) && top.contains(&3));
+    }
+
+    #[test]
+    fn merge_equals_single_aggregation() {
+        let o = Oue::new(6, eps(1.0)).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let reports: Vec<OueReport> = (0..500).map(|i| o.perturb(&mut rng, i % 6)).collect();
+        let mut whole = OueAggregator::new(&o);
+        let mut left = OueAggregator::new(&o);
+        let mut right = OueAggregator::new(&o);
+        for (i, r) in reports.iter().enumerate() {
+            whole.add(r);
+            if i % 2 == 0 {
+                left.add(r);
+            } else {
+                right.add(r);
+            }
+        }
+        right.merge(&left); // merge in the "wrong" order on purpose
+        assert_eq!(right.total(), whole.total());
+        assert_eq!(right.estimates(), whole.estimates());
     }
 
     #[test]

@@ -1,0 +1,553 @@
+//! The user side of the protocol: one device, one series, one report.
+//!
+//! A [`UserClient`] owns a single user's (already symbolized) sequence and
+//! answers at most one [`RoundSpec`] per mechanism run — the one addressed
+//! to its group. Everything the client does is derived locally from the
+//! broadcast [`ProtocolParams`] and its own `user_id`:
+//!
+//! * its **group assignment** replays the server's seeded shuffle
+//!   ([`GroupAssignment::derive`]), so no roster ever has to be sent;
+//! * its **randomness** comes from the per-`(seed, stage, user)` ChaCha
+//!   stream of [`crate::rng::user_rng`];
+//! * its **report** is perturbed on-device under the full budget ε before
+//!   anything is uploaded.
+//!
+//! Raw series and symbol sequences never cross this boundary.
+
+use crate::error::{Error, Result};
+use crate::params::{MechanismKind, ProtocolParams};
+use crate::population::{chunk_of_rank, split_population};
+use crate::rng::{user_rng, Stage};
+use crate::round::{Audience, GroupId, Report, RoundSpec};
+use crate::transform::transform_series;
+use privshape_distance::em_score;
+use privshape_ldp::{ExpMech, Grr, Oue};
+use privshape_timeseries::{SymbolSeq, TimeSeries};
+use privshape_trie::BigramSet;
+use rand::{Rng, RngExt};
+
+/// A user's place in the population partition, derived locally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupAssignment {
+    /// The group this user reports in; `None` if the split fractions left
+    /// the user unassigned (they stay silent for the whole session).
+    pub group: Option<GroupId>,
+    /// The user's rank (position) inside its group — determines which
+    /// chunked round addresses it.
+    pub rank: usize,
+    /// Total size of the user's group.
+    pub group_len: usize,
+}
+
+impl GroupAssignment {
+    /// Derives the assignment of every user in the population.
+    ///
+    /// This replays the server's seeded Fisher–Yates shuffle, so it is a
+    /// pure function of the broadcast parameters: any client (or shard)
+    /// computes the identical partition without communication.
+    pub fn derive_all(params: &ProtocolParams) -> Vec<GroupAssignment> {
+        let mut out = vec![
+            GroupAssignment {
+                group: None,
+                rank: 0,
+                group_len: 0,
+            };
+            params.n
+        ];
+        let mut place = |users: &[usize], group: GroupId| {
+            for (rank, &user) in users.iter().enumerate() {
+                out[user] = GroupAssignment {
+                    group: Some(group),
+                    rank,
+                    group_len: users.len(),
+                };
+            }
+        };
+        match &params.kind {
+            MechanismKind::PrivShape { split } => {
+                let groups = split_population(params.n, split, params.seed);
+                place(&groups.pa, GroupId::Pa);
+                place(&groups.pb, GroupId::Pb);
+                place(&groups.pc, GroupId::Pc);
+                place(&groups.pd, GroupId::Pd);
+            }
+            MechanismKind::Baseline { pa } => {
+                let (group_a, group_b) = baseline_split(params.n, *pa, params.seed);
+                place(&group_a, GroupId::Pa);
+                place(&group_b, GroupId::Pb);
+            }
+        }
+        out
+    }
+
+    /// Derives one user's assignment (O(n): replays the full shuffle).
+    /// Simulated fleets should call [`GroupAssignment::derive_all`] once
+    /// and share the result.
+    pub fn derive(params: &ProtocolParams, user: usize) -> GroupAssignment {
+        Self::derive_all(params)[user]
+    }
+
+    /// Whether a round addressed to `audience` is addressed to this user.
+    pub fn addressed_by(&self, audience: Audience) -> bool {
+        let Some(group) = self.group else {
+            return false;
+        };
+        if group != audience.group {
+            return false;
+        }
+        match audience.chunk {
+            None => true,
+            // A zero-chunk audience is malformed: addressed to no one
+            // rather than a panic — the client must survive bad broadcasts.
+            Some(chunk) => {
+                chunk.of >= 1
+                    && self.rank < self.group_len
+                    && chunk_of_rank(self.rank, self.group_len, chunk.of) == chunk.index
+            }
+        }
+    }
+}
+
+/// The baseline's two-way split: a seeded shuffle, first `round(n·pa)`
+/// users to length estimation, the rest to trie expansion.
+pub(crate) fn baseline_split(n: usize, pa: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = user_rng(seed, Stage::Server, 1);
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let na = (((n as f64) * pa).round() as usize).min(n);
+    let group_b = order.split_off(na);
+    (order, group_b)
+}
+
+/// One user's device in the protocol.
+#[derive(Debug, Clone)]
+pub struct UserClient {
+    user: usize,
+    seq: SymbolSeq,
+    label: Option<usize>,
+    params: ProtocolParams,
+    assignment: GroupAssignment,
+    answered: bool,
+}
+
+impl UserClient {
+    /// Enrolls a user: transforms the raw series on-device and derives the
+    /// group assignment from the broadcast parameters (O(n); fleets should
+    /// precompute assignments via [`GroupAssignment::derive_all`] and use
+    /// [`UserClient::with_assignment`]).
+    pub fn new(user: usize, series: &TimeSeries, params: &ProtocolParams) -> Self {
+        let assignment = GroupAssignment::derive(params, user);
+        Self::with_assignment(user, series, None, params, assignment)
+    }
+
+    /// Enrolls a user with a class label (classification variant).
+    pub fn labeled(
+        user: usize,
+        series: &TimeSeries,
+        label: usize,
+        params: &ProtocolParams,
+    ) -> Self {
+        let assignment = GroupAssignment::derive(params, user);
+        Self::with_assignment(user, series, Some(label), params, assignment)
+    }
+
+    /// Enrolls a user with a precomputed assignment (the fleet-simulation
+    /// path: derive all assignments once, then construct clients in
+    /// parallel).
+    pub fn with_assignment(
+        user: usize,
+        series: &TimeSeries,
+        label: Option<usize>,
+        params: &ProtocolParams,
+        assignment: GroupAssignment,
+    ) -> Self {
+        let seq = transform_series(series, &params.sax, &params.preprocessing);
+        Self::from_sequence(user, seq, label, params, assignment)
+    }
+
+    /// Enrolls a user whose series is already symbolized (tests, ablations
+    /// that bypass SAX, or devices that preprocess separately).
+    pub fn from_sequence(
+        user: usize,
+        seq: SymbolSeq,
+        label: Option<usize>,
+        params: &ProtocolParams,
+        assignment: GroupAssignment,
+    ) -> Self {
+        Self {
+            user,
+            seq,
+            label,
+            params: params.clone(),
+            assignment,
+            answered: false,
+        }
+    }
+
+    /// The user's id.
+    pub fn user_id(&self) -> usize {
+        self.user
+    }
+
+    /// The locally derived group assignment.
+    pub fn assignment(&self) -> GroupAssignment {
+        self.assignment
+    }
+
+    /// Whether this client has already spent its one report.
+    pub fn has_answered(&self) -> bool {
+        self.answered
+    }
+
+    /// Answers a round if (and only if) it is addressed to this user.
+    ///
+    /// Returns `Ok(None)` for rounds addressed elsewhere. Each client
+    /// answers at most once per session — a second addressed round is a
+    /// protocol violation (the server double-spent this user's budget) and
+    /// is refused with [`Error::Protocol`].
+    pub fn answer(&mut self, spec: &RoundSpec) -> Result<Option<Report>> {
+        if !self.assignment.addressed_by(spec.audience()) {
+            return Ok(None);
+        }
+        if self.answered {
+            return Err(Error::Protocol(format!(
+                "user {} addressed twice (round {:?} would double-spend its budget)",
+                self.user,
+                spec.name()
+            )));
+        }
+        let report = match spec {
+            RoundSpec::Length { range, .. } => self.answer_length(*range)?,
+            RoundSpec::SubShape {
+                ell_s, alphabet, ..
+            } => self.answer_subshape(*ell_s, *alphabet)?,
+            RoundSpec::Expand {
+                level, candidates, ..
+            } => Report::Expand(self.em_select(candidates, Some(*level))?),
+            RoundSpec::RefineUnlabeled { candidates, .. } => {
+                Report::RefineSelect(self.em_select(candidates, None)?)
+            }
+            RoundSpec::RefineLabeled {
+                candidates,
+                n_classes,
+                ..
+            } => self.answer_refine_labeled(candidates, *n_classes)?,
+        };
+        self.answered = true;
+        Ok(Some(report))
+    }
+
+    /// GRR report of the clipped compressed length (Eq. (1)).
+    fn answer_length(&self, range: (usize, usize)) -> Result<Report> {
+        let (lo, hi) = range;
+        if lo >= hi {
+            return Err(Error::Protocol(format!(
+                "length round needs a non-degenerate range, got [{lo}, {hi}]"
+            )));
+        }
+        let grr = Grr::new(hi - lo + 1, self.params.epsilon)?;
+        let clipped = self.seq.len().clamp(lo, hi);
+        let mut rng = user_rng(self.params.seed, Stage::Length, self.user);
+        Ok(Report::Length(grr.perturb(&mut rng, clipped - lo)))
+    }
+
+    /// GRR report of the bigram at a uniformly self-sampled level (§IV-B).
+    /// The level choice is data-independent, so only the GRR report
+    /// consumes budget.
+    fn answer_subshape(&self, ell_s: usize, alphabet: usize) -> Result<Report> {
+        if ell_s <= 1 {
+            return Err(Error::Protocol(format!(
+                "sub-shape round with ell_s = {ell_s} has no levels to sample"
+            )));
+        }
+        let levels = ell_s - 1;
+        let grr = Grr::new(alphabet * (alphabet - 1), self.params.epsilon)?;
+        let mut rng = user_rng(self.params.seed, Stage::SubShape, self.user);
+        // Uniform level choice (independent of the data).
+        let level = rng.random_range(1..=levels);
+        let value = bigram_at(&self.seq, level, alphabet, &mut rng);
+        Ok(Report::SubShape {
+            level,
+            value: grr.perturb(&mut rng, value),
+        })
+    }
+
+    /// EM selection among candidates (Eq. (2)): prefix-clipped during
+    /// expansion (`Some(level)`), full-sequence in refinement (`None`).
+    fn em_select(&self, candidates: &[SymbolSeq], prefix_len: Option<usize>) -> Result<usize> {
+        if candidates.is_empty() {
+            return Err(Error::Protocol(
+                "selection round broadcast with no candidates".into(),
+            ));
+        }
+        let own = match prefix_len {
+            Some(len) => self.seq.prefix(len),
+            None => self.seq.clone(),
+        };
+        let scores: Vec<f64> = candidates
+            .iter()
+            .map(|c| em_score(self.params.distance.dist(&own, c)))
+            .collect();
+        let em = ExpMech::new(self.params.epsilon);
+        let mut rng = user_rng(self.params.seed, Stage::Expand, self.user);
+        Ok(em.select(&mut rng, &scores)?)
+    }
+
+    /// OUE report of `(nearest candidate, class label)` over the
+    /// candidate × class grid (§V-E).
+    fn answer_refine_labeled(&self, candidates: &[SymbolSeq], n_classes: usize) -> Result<Report> {
+        let label = self.label.ok_or_else(|| {
+            Error::BadLabels(format!(
+                "user {} has no label for a labeled round",
+                self.user
+            ))
+        })?;
+        if n_classes == 0 {
+            return Err(Error::BadLabels("n_classes must be >= 1".into()));
+        }
+        if label >= n_classes {
+            return Err(Error::BadLabels(format!(
+                "user {} has label {label} >= n_classes {n_classes}",
+                self.user
+            )));
+        }
+        // Nearest candidate under the configured distance (ties toward the
+        // earlier candidate — deterministic).
+        let mut best = (0usize, f64::INFINITY);
+        for (c, cand) in candidates.iter().enumerate() {
+            let d = self.params.distance.dist(&self.seq, cand);
+            if d < best.1 {
+                best = (c, d);
+            }
+        }
+        let cell = best.0 * n_classes + label;
+        let mut rng = user_rng(self.params.seed, Stage::Refine, self.user);
+        let cells = candidates.len() * n_classes;
+        let report = if cells >= 2 {
+            Oue::new(cells, self.params.epsilon)?.perturb(&mut rng, cell)
+        } else {
+            // Single-cell degenerate grid: the report carries no
+            // information, so emit an empty-domain OUE report.
+            Oue::new(2, self.params.epsilon)?.perturb(&mut rng, 0)
+        };
+        Ok(Report::RefineLabeled(report))
+    }
+}
+
+/// The user-side sub-shape at `level` (1-based): `(s_level, s_{level+1})`
+/// of the sequence padded to ℓ_S.
+///
+/// Positions beyond the user's actual length are filled with a uniformly
+/// random valid pair, keeping the report domain at `t(t−1)` and spreading
+/// padding mass evenly so it cancels in the estimator's *ranking*
+/// (DESIGN.md §2). A boundary pair with one real and one padded symbol is
+/// completed by drawing the padded side uniformly from the symbols ≠ the
+/// real one.
+fn bigram_at<R: Rng + ?Sized>(
+    seq: &SymbolSeq,
+    level: usize,
+    alphabet: usize,
+    rng: &mut R,
+) -> usize {
+    let first = seq.get(level - 1);
+    let second = seq.get(level);
+    let (x, y) = match (first, second) {
+        (Some(a), Some(b)) if a != b => (a, b),
+        (Some(a), Some(_)) | (Some(a), None) => {
+            // Degenerate equal pair (possible only for uncompressed ablation
+            // input) or a boundary pair: draw the successor uniformly among
+            // the other symbols.
+            let mut other = rng.random_range(0..alphabet - 1);
+            if other >= a.index() {
+                other += 1;
+            }
+            (a, privshape_timeseries::Symbol::from_index(other as u8))
+        }
+        _ => {
+            // Fully padded level: uniform valid pair.
+            let idx = rng.random_range(0..alphabet * (alphabet - 1));
+            BigramSet::domain_index_to_pair(alphabet, idx).expect("index in domain")
+        }
+    };
+    BigramSet::pair_to_domain_index(alphabet, x, y).expect("distinct pair")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrivShapeConfig;
+    use privshape_ldp::Epsilon;
+    use privshape_timeseries::SaxParams;
+
+    fn params(n: usize) -> ProtocolParams {
+        let cfg = PrivShapeConfig::new(
+            Epsilon::new(4.0).unwrap(),
+            2,
+            SaxParams::new(10, 3).unwrap(),
+        );
+        ProtocolParams::privshape(&cfg, n)
+    }
+
+    fn seq_client(user: usize, seq: &str, p: &ProtocolParams) -> UserClient {
+        UserClient::from_sequence(
+            user,
+            SymbolSeq::parse(seq).unwrap(),
+            None,
+            p,
+            GroupAssignment {
+                group: Some(GroupId::Pa),
+                rank: 0,
+                group_len: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn assignments_partition_the_population() {
+        let p = params(1000);
+        let all = GroupAssignment::derive_all(&p);
+        assert_eq!(all.len(), 1000);
+        // Default split sums to 1: everyone is assigned, ranks are unique
+        // within each group.
+        let mut per_group: std::collections::HashMap<GroupId, Vec<usize>> = Default::default();
+        for a in &all {
+            let g = a.group.expect("default split assigns everyone");
+            per_group.entry(g).or_default().push(a.rank);
+        }
+        for (g, mut ranks) in per_group {
+            ranks.sort_unstable();
+            let len = ranks.len();
+            assert_eq!(ranks, (0..len).collect::<Vec<_>>(), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn derive_matches_derive_all() {
+        let p = params(64);
+        let all = GroupAssignment::derive_all(&p);
+        for (u, &a) in all.iter().enumerate() {
+            assert_eq!(GroupAssignment::derive(&p, u), a);
+        }
+    }
+
+    #[test]
+    fn addressing_respects_group_and_chunk() {
+        let a = GroupAssignment {
+            group: Some(GroupId::Pc),
+            rank: 5,
+            group_len: 10,
+        };
+        assert!(a.addressed_by(Audience::group(GroupId::Pc)));
+        assert!(!a.addressed_by(Audience::group(GroupId::Pa)));
+        // 10 users, 3 chunks: sizes 4/3/3 — rank 5 sits in chunk 1.
+        assert!(a.addressed_by(Audience::chunk(GroupId::Pc, 1, 3)));
+        assert!(!a.addressed_by(Audience::chunk(GroupId::Pc, 0, 3)));
+        let unassigned = GroupAssignment {
+            group: None,
+            rank: 0,
+            group_len: 0,
+        };
+        assert!(!unassigned.addressed_by(Audience::group(GroupId::Pa)));
+    }
+
+    #[test]
+    fn client_ignores_rounds_for_other_groups() {
+        let p = params(4);
+        let mut c = seq_client(0, "ab", &p);
+        let spec = RoundSpec::RefineUnlabeled {
+            audience: Audience::group(GroupId::Pd),
+            candidates: vec![SymbolSeq::parse("ab").unwrap()],
+        };
+        assert!(c.answer(&spec).unwrap().is_none());
+        assert!(!c.has_answered());
+    }
+
+    #[test]
+    fn client_refuses_second_addressed_round() {
+        let p = params(4);
+        let mut c = seq_client(0, "ab", &p);
+        let spec = RoundSpec::Length {
+            audience: Audience::group(GroupId::Pa),
+            range: (1, 6),
+        };
+        assert!(c.answer(&spec).unwrap().is_some());
+        assert!(matches!(c.answer(&spec), Err(Error::Protocol(_))));
+    }
+
+    #[test]
+    fn client_refuses_malformed_broadcasts_without_panicking() {
+        let p = params(4);
+        // Degenerate length range: refused, not a panic/overflow.
+        let mut c = seq_client(0, "ab", &p);
+        let spec = RoundSpec::Length {
+            audience: Audience::group(GroupId::Pa),
+            range: (6, 1),
+        };
+        assert!(matches!(c.answer(&spec), Err(Error::Protocol(_))));
+        // Zero-chunk audience: addressed to no one, not an assert failure.
+        let a = GroupAssignment {
+            group: Some(GroupId::Pc),
+            rank: 0,
+            group_len: 4,
+        };
+        assert!(!a.addressed_by(Audience::chunk(GroupId::Pc, 0, 0)));
+    }
+
+    #[test]
+    fn length_report_is_in_domain_and_deterministic() {
+        let p = params(4);
+        let spec = RoundSpec::Length {
+            audience: Audience::group(GroupId::Pa),
+            range: (1, 6),
+        };
+        let r1 = seq_client(3, "abab", &p).answer(&spec).unwrap().unwrap();
+        let r2 = seq_client(3, "abab", &p).answer(&spec).unwrap().unwrap();
+        assert_eq!(r1, r2, "same (seed, user) must give the same report");
+        match r1 {
+            Report::Length(v) => assert!(v < 6),
+            other => panic!("wrong report kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labeled_round_validates_labels() {
+        let p = params(4);
+        let spec = RoundSpec::RefineLabeled {
+            audience: Audience::group(GroupId::Pa),
+            candidates: vec![SymbolSeq::parse("ab").unwrap()],
+            n_classes: 2,
+        };
+        // No label at all.
+        assert!(matches!(
+            seq_client(0, "ab", &p).answer(&spec),
+            Err(Error::BadLabels(_))
+        ));
+        // Label out of range.
+        let mut c = UserClient::from_sequence(
+            0,
+            SymbolSeq::parse("ab").unwrap(),
+            Some(7),
+            &p,
+            GroupAssignment {
+                group: Some(GroupId::Pa),
+                rank: 0,
+                group_len: 1,
+            },
+        );
+        assert!(matches!(c.answer(&spec), Err(Error::BadLabels(_))));
+    }
+
+    #[test]
+    fn baseline_split_covers_everyone() {
+        let (pa, pb) = baseline_split(1000, 0.02, 9);
+        assert_eq!(pa.len(), 20);
+        assert_eq!(pb.len(), 980);
+        let mut all: Vec<usize> = pa.iter().chain(&pb).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1000);
+    }
+}

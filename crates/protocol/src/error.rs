@@ -20,6 +20,10 @@ pub enum Error {
     },
     /// Labels were required (classification variant) but missing/mismatched.
     BadLabels(String),
+    /// The round-based protocol was violated: a report of the wrong kind or
+    /// domain for the open round, shard aggregates over mismatched rounds,
+    /// or session methods called out of order.
+    Protocol(String),
     /// Propagated time-series error.
     Ts(TsError),
     /// Propagated LDP-primitive error.
@@ -36,6 +40,7 @@ impl fmt::Display for Error {
                 write!(f, "mechanism needs at least {needed} users, got {got}")
             }
             Error::BadLabels(msg) => write!(f, "bad labels: {msg}"),
+            Error::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             Error::Ts(e) => write!(f, "time series error: {e}"),
             Error::Ldp(e) => write!(f, "LDP error: {e}"),
             Error::Trie(e) => write!(f, "trie error: {e}"),
@@ -84,6 +89,9 @@ mod tests {
         assert!(Error::NotEnoughUsers { needed: 10, got: 2 }
             .to_string()
             .contains("10"));
+        assert!(Error::Protocol("wrong report kind".into())
+            .to_string()
+            .contains("protocol violation"));
         let e: Error = TsError::EmptySeries.into();
         assert!(e.to_string().contains("time series"));
         let e: Error = LdpError::InvalidEpsilon(0.0).into();

@@ -1,0 +1,108 @@
+//! The public protocol agreement broadcast once at session setup.
+//!
+//! [`ProtocolParams`] carries every *data-independent* constant both sides
+//! need: the mechanism variant and its population split, the master seed,
+//! the budget, and the preprocessing settings. A client derives its group
+//! assignment and all of its randomness from these plus its own user id —
+//! the server never tells a user anything about other users' data.
+
+use crate::config::{BaselineConfig, PopulationSplit, Preprocessing, PrivShapeConfig};
+use privshape_distance::DistanceKind;
+use privshape_ldp::Epsilon;
+use privshape_timeseries::SaxParams;
+
+/// Which mechanism the session runs, with its population-partition rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MechanismKind {
+    /// PrivShape (Algorithm 2): four disjoint groups Pa/Pb/Pc/Pd.
+    PrivShape {
+        /// Fractions of the population per group.
+        split: PopulationSplit,
+    },
+    /// The baseline (Algorithm 1): Pa for length estimation, the rest (Pb)
+    /// for trie expansion.
+    Baseline {
+        /// Fraction of the population reserved for length estimation.
+        pa: f64,
+    },
+}
+
+/// Everything public that the server broadcasts at session setup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolParams {
+    /// Mechanism variant and population split.
+    pub kind: MechanismKind,
+    /// Total number of enrolled users.
+    pub n: usize,
+    /// Master seed for the deterministic per-user RNG streams and the
+    /// server-side population shuffle.
+    pub seed: u64,
+    /// Per-user privacy budget ε.
+    pub epsilon: Epsilon,
+    /// SAX parameters for the on-device preprocessing.
+    pub sax: SaxParams,
+    /// On-device preprocessing mode.
+    pub preprocessing: Preprocessing,
+    /// Distance measure for EM scoring and nearest-candidate matching.
+    pub distance: DistanceKind,
+    /// Inclusive clipping range for length estimation.
+    pub length_range: (usize, usize),
+}
+
+impl ProtocolParams {
+    /// The broadcast parameters of a PrivShape session over `n` users.
+    pub fn privshape(config: &PrivShapeConfig, n: usize) -> Self {
+        Self {
+            kind: MechanismKind::PrivShape {
+                split: config.split,
+            },
+            n,
+            seed: config.seed,
+            epsilon: config.epsilon,
+            sax: config.sax.clone(),
+            preprocessing: config.preprocessing.clone(),
+            distance: config.distance,
+            length_range: config.length_range,
+        }
+    }
+
+    /// The broadcast parameters of a baseline session over `n` users.
+    pub fn baseline(config: &BaselineConfig, n: usize) -> Self {
+        Self {
+            kind: MechanismKind::Baseline { pa: config.pa },
+            n,
+            seed: config.seed,
+            epsilon: config.epsilon,
+            sax: config.sax.clone(),
+            preprocessing: config.preprocessing.clone(),
+            distance: config.distance,
+            length_range: config.length_range,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_capture_config_fields() {
+        let cfg = PrivShapeConfig::new(
+            Epsilon::new(2.0).unwrap(),
+            3,
+            SaxParams::new(10, 4).unwrap(),
+        );
+        let p = ProtocolParams::privshape(&cfg, 500);
+        assert_eq!(p.n, 500);
+        assert_eq!(p.seed, cfg.seed);
+        assert!(matches!(p.kind, MechanismKind::PrivShape { .. }));
+
+        let bcfg = BaselineConfig::new(
+            Epsilon::new(2.0).unwrap(),
+            3,
+            SaxParams::new(10, 4).unwrap(),
+        );
+        let p = ProtocolParams::baseline(&bcfg, 10);
+        assert!(matches!(p.kind, MechanismKind::Baseline { pa } if pa == bcfg.pa));
+    }
+}

@@ -17,6 +17,18 @@ pub struct Groups {
     pub pc: Vec<usize>,
     /// Two-level refinement.
     pub pd: Vec<usize>,
+    /// Users left out of every group. Non-zero whenever the configured
+    /// fractions sum to less than 1 (plus rounding slack); surfaced in
+    /// [`crate::Diagnostics::unassigned_users`] so silently idle users are
+    /// visible instead of discarded.
+    pub unassigned: usize,
+}
+
+impl Groups {
+    /// Total number of users assigned to some group.
+    pub fn assigned(&self) -> usize {
+        self.pa.len() + self.pb.len() + self.pc.len() + self.pd.len()
+    }
 }
 
 /// Splits `n` users into the four groups with a seeded Fisher–Yates
@@ -45,7 +57,36 @@ pub fn split_population(n: usize, split: &PopulationSplit, seed: u64) -> Groups 
     let pb: Vec<usize> = cursor.by_ref().take(nb).collect();
     let pc: Vec<usize> = cursor.by_ref().take(nc).collect();
     let pd: Vec<usize> = cursor.by_ref().take(nd).collect();
-    Groups { pa, pb, pc, pd }
+    let groups = Groups {
+        unassigned: n - (pa.len() + pb.len() + pc.len() + pd.len()),
+        pa,
+        pb,
+        pc,
+        pd,
+    };
+    debug_assert!(
+        groups_disjoint_within(&groups, n),
+        "groups overlap or exceed n={n}"
+    );
+    groups
+}
+
+/// Debug-only invariant: every assigned index is unique and `< n`.
+fn groups_disjoint_within(groups: &Groups, n: usize) -> bool {
+    let mut seen = vec![false; n];
+    for &u in groups
+        .pa
+        .iter()
+        .chain(&groups.pb)
+        .chain(&groups.pc)
+        .chain(&groups.pd)
+    {
+        if u >= n || seen[u] {
+            return false;
+        }
+        seen[u] = true;
+    }
+    groups.assigned() + groups.unassigned == n
 }
 
 /// Splits a group into `rounds` near-equal chunks (one per trie level); the
@@ -64,6 +105,35 @@ pub fn split_rounds(group: &[usize], rounds: usize) -> Vec<Vec<usize>> {
     out
 }
 
+/// The chunk a member of a `len`-sized group falls into when the group is
+/// split into `chunks` rounds by [`split_rounds`], given the member's rank
+/// (position) inside the group. This is the client-side inverse of
+/// [`split_rounds`]: a [`crate::UserClient`] uses it to recognize which
+/// expansion round is addressed to it without seeing the group roster.
+pub fn chunk_of_rank(rank: usize, len: usize, chunks: usize) -> usize {
+    assert!(chunks >= 1, "need at least one chunk");
+    assert!(rank < len, "rank {rank} outside group of {len}");
+    let base = len / chunks;
+    let extra = len % chunks;
+    // The first `extra` chunks have `base + 1` members.
+    let fat = extra * (base + 1);
+    if rank < fat {
+        rank / (base + 1)
+    } else {
+        extra + (rank - fat) / base
+    }
+}
+
+/// Size of chunk `index` when `len` users are split into `chunks` rounds —
+/// the server-side counterpart of [`chunk_of_rank`], kept next to it (and
+/// to [`split_rounds`]) because round addressing depends on all three
+/// agreeing on the same "earlier chunks take the remainder" rule.
+pub(crate) fn chunk_len(len: usize, chunks: usize, index: usize) -> usize {
+    let base = len / chunks;
+    let extra = len % chunks;
+    base + usize::from(index < extra)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +146,7 @@ mod tests {
         assert_eq!(g.pb.len(), 800);
         assert_eq!(g.pd.len(), 2000);
         assert_eq!(g.pc.len(), 7000);
+        assert_eq!(g.unassigned, 0);
         let mut all: Vec<usize> =
             g.pa.iter()
                 .chain(&g.pb)
@@ -100,7 +171,7 @@ mod tests {
     }
 
     #[test]
-    fn partial_usage_leaves_users_out() {
+    fn partial_usage_surfaces_unassigned_users() {
         let split = PopulationSplit {
             pa: 0.1,
             pb: 0.1,
@@ -108,17 +179,19 @@ mod tests {
             pd: 0.1,
         };
         let g = split_population(100, &split, 0);
-        assert_eq!(g.pa.len() + g.pb.len() + g.pc.len() + g.pd.len(), 40);
+        assert_eq!(g.assigned(), 40);
+        assert_eq!(g.unassigned, 60);
     }
 
     #[test]
     fn tiny_populations_do_not_panic() {
         let split = PopulationSplit::default();
         let g = split_population(3, &split, 0);
-        let total = g.pa.len() + g.pb.len() + g.pc.len() + g.pd.len();
-        assert!(total <= 3);
+        assert!(g.assigned() <= 3);
+        assert_eq!(g.assigned() + g.unassigned, 3);
         let g = split_population(0, &split, 0);
         assert!(g.pa.is_empty() && g.pc.is_empty());
+        assert_eq!(g.unassigned, 0);
     }
 
     #[test]
@@ -138,5 +211,37 @@ mod tests {
         let rounds = split_rounds(&[1, 2], 5);
         assert_eq!(rounds.iter().filter(|r| !r.is_empty()).count(), 2);
         assert_eq!(rounds.iter().map(|r| r.len()).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn chunk_len_matches_split_rounds() {
+        for len in [0usize, 1, 5, 10, 23] {
+            for chunks in [1usize, 2, 3, 7] {
+                let group: Vec<usize> = (0..len).collect();
+                let rounds = split_rounds(&group, chunks);
+                for (i, members) in rounds.iter().enumerate() {
+                    assert_eq!(chunk_len(len, chunks, i), members.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_of_rank_inverts_split_rounds() {
+        for len in [0usize, 1, 2, 7, 10, 23] {
+            for chunks in [1usize, 2, 3, 5, 11] {
+                let group: Vec<usize> = (0..len).collect();
+                let rounds = split_rounds(&group, chunks);
+                for (chunk, members) in rounds.iter().enumerate() {
+                    for &rank in members {
+                        assert_eq!(
+                            chunk_of_rank(rank, len, chunks),
+                            chunk,
+                            "rank {rank} len {len} chunks {chunks}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -27,6 +27,10 @@ pub struct Diagnostics {
     /// Users in each task group (`[Pa, Pb, Pc, Pd]`; the baseline uses
     /// `[Pa, Pb, 0, 0]`).
     pub group_sizes: [usize; 4],
+    /// Users assigned to no group at all — non-zero whenever the population
+    /// fractions sum to less than 1, in which case that many users sit idle
+    /// instead of contributing reports.
+    pub unassigned_users: usize,
     /// Wall-clock time of the full run.
     pub elapsed: Duration,
 }

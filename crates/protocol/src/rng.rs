@@ -5,20 +5,27 @@
 //! reproducible and independent of thread scheduling, and guarantees no
 //! stream reuse across mechanism stages (a user participating in stage A
 //! never shares randomness with stage B).
+//!
+//! The derivation is public API: a [`crate::UserClient`] running on a real
+//! device derives exactly the same stream from `(seed, stage, user_id)`
+//! that the simulation harness uses, so a federated deployment and a
+//! single-process simulation are bit-identical.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
 /// Mechanism stages, used as domain separators for RNG derivation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Stage {
+pub enum Stage {
     /// Frequent-length estimation (population Pa).
     Length,
     /// Sub-shape estimation (population Pb).
     SubShape,
-    /// Trie-expansion selection (population Pc / baseline Pb).
+    /// Trie-expansion selection (population Pc / baseline Pb). Also used by
+    /// the unlabeled two-level refinement: Pd users never drew from this
+    /// stream during expansion, so there is no reuse.
     Expand,
-    /// Two-level refinement (population Pd).
+    /// Labeled two-level refinement (population Pd).
     Refine,
     /// Server-side randomness (population shuffling).
     Server,
@@ -45,7 +52,7 @@ fn mix(mut z: u64) -> u64 {
 }
 
 /// Derives the RNG stream for `(seed, stage, user)`.
-pub(crate) fn user_rng(seed: u64, stage: Stage, user: usize) -> ChaCha12Rng {
+pub fn user_rng(seed: u64, stage: Stage, user: usize) -> ChaCha12Rng {
     let derived = mix(seed ^ mix(stage.tag()) ^ mix(user as u64));
     ChaCha12Rng::seed_from_u64(derived)
 }

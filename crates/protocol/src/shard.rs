@@ -1,0 +1,407 @@
+//! Mergeable per-round aggregation state.
+//!
+//! Reports from millions of users do not arrive as one slice: ingestion
+//! nodes (shards) each absorb their stream of reports into a local
+//! [`ShardAggregator`] and periodically ship the partial sums upstream.
+//! Every aggregate in the protocol is a vector of integer counts, so
+//! [`ShardAggregator::merge`] is associative and commutative — chunking
+//! and merge order can never change the final extraction (enforced by the
+//! shard-merge property test).
+
+use crate::error::{Error, Result};
+use crate::round::{Report, RoundSpec};
+use privshape_ldp::{Epsilon, Grr, GrrAggregator, Oue, OueAggregator};
+
+/// Partial aggregation state for one round, mergeable across shards.
+#[derive(Debug, Clone)]
+pub struct ShardAggregator {
+    reports: u64,
+    inner: Inner,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    /// GRR counts over the clipped-length domain.
+    Length { agg: GrrAggregator, domain: usize },
+    /// Per-level GRR counts over the distinct-bigram domain.
+    SubShape {
+        aggs: Vec<GrrAggregator>,
+        domain: usize,
+    },
+    /// EM selection counts for one expansion level.
+    Expand { counts: Vec<u64>, level: usize },
+    /// EM selection counts for the unlabeled refinement.
+    RefineSelect { counts: Vec<u64> },
+    /// OUE bit counts over the candidate × class grid (`None` for the
+    /// degenerate single-cell grid, whose reports carry no information).
+    RefineLabeled {
+        agg: Option<OueAggregator>,
+        n_candidates: usize,
+        n_classes: usize,
+    },
+}
+
+impl ShardAggregator {
+    /// Creates the empty aggregation state matching a round broadcast.
+    /// Every shard answering the same round builds an identical (hence
+    /// mergeable) state from the spec alone.
+    pub fn for_round(spec: &RoundSpec, epsilon: Epsilon) -> Result<Self> {
+        let inner = match spec {
+            RoundSpec::Length { range, .. } => {
+                let (lo, hi) = *range;
+                if lo >= hi {
+                    return Err(Error::Protocol(format!(
+                        "length round needs a non-degenerate range, got [{lo}, {hi}]"
+                    )));
+                }
+                let domain = hi - lo + 1;
+                Inner::Length {
+                    agg: GrrAggregator::new(&Grr::new(domain, epsilon)?),
+                    domain,
+                }
+            }
+            RoundSpec::SubShape {
+                ell_s, alphabet, ..
+            } => {
+                if *ell_s <= 1 {
+                    return Err(Error::Protocol(format!(
+                        "sub-shape round with ell_s = {ell_s} has no levels"
+                    )));
+                }
+                let domain = alphabet * (alphabet - 1);
+                let grr = Grr::new(domain, epsilon)?;
+                Inner::SubShape {
+                    aggs: (0..ell_s - 1).map(|_| GrrAggregator::new(&grr)).collect(),
+                    domain,
+                }
+            }
+            RoundSpec::Expand {
+                level, candidates, ..
+            } => Inner::Expand {
+                counts: vec![0; candidates.len()],
+                level: *level,
+            },
+            RoundSpec::RefineUnlabeled { candidates, .. } => Inner::RefineSelect {
+                counts: vec![0; candidates.len()],
+            },
+            RoundSpec::RefineLabeled {
+                candidates,
+                n_classes,
+                ..
+            } => {
+                let cells = candidates.len() * n_classes;
+                let agg = if cells >= 2 {
+                    Some(OueAggregator::new(&Oue::new(cells, epsilon)?))
+                } else {
+                    None
+                };
+                Inner::RefineLabeled {
+                    agg,
+                    n_candidates: candidates.len(),
+                    n_classes: *n_classes,
+                }
+            }
+        };
+        Ok(Self { reports: 0, inner })
+    }
+
+    /// Number of reports absorbed (including merged-in shards).
+    pub fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    /// Absorbs one report, validating that its kind and domain match the
+    /// round this aggregator was built for.
+    pub fn absorb(&mut self, report: &Report) -> Result<()> {
+        match (&mut self.inner, report) {
+            (Inner::Length { agg, domain }, Report::Length(v)) => {
+                if *v >= *domain {
+                    return Err(Error::Protocol(format!(
+                        "length report {v} outside domain {domain}"
+                    )));
+                }
+                agg.add(*v);
+            }
+            (Inner::SubShape { aggs, domain }, Report::SubShape { level, value }) => {
+                if *level == 0 || *level > aggs.len() {
+                    return Err(Error::Protocol(format!(
+                        "sub-shape report for level {level}, round has {}",
+                        aggs.len()
+                    )));
+                }
+                if *value >= *domain {
+                    return Err(Error::Protocol(format!(
+                        "sub-shape report {value} outside domain {domain}"
+                    )));
+                }
+                aggs[*level - 1].add(*value);
+            }
+            (Inner::Expand { counts, .. }, Report::Expand(sel))
+            | (Inner::RefineSelect { counts }, Report::RefineSelect(sel)) => {
+                if *sel >= counts.len() {
+                    return Err(Error::Protocol(format!(
+                        "selection report {sel} outside {} candidates",
+                        counts.len()
+                    )));
+                }
+                counts[*sel] += 1;
+            }
+            (Inner::RefineLabeled { agg, .. }, Report::RefineLabeled(r)) => {
+                if let Some(agg) = agg {
+                    if r.set_bits().iter().any(|&b| b >= agg.domain()) {
+                        return Err(Error::Protocol(
+                            "labeled report has bits outside the grid".into(),
+                        ));
+                    }
+                    agg.add(r);
+                }
+            }
+            (inner, report) => {
+                return Err(Error::Protocol(format!(
+                    "report kind '{}' does not match round aggregate {}",
+                    report.kind(),
+                    inner.kind(),
+                )));
+            }
+        }
+        self.reports += 1;
+        Ok(())
+    }
+
+    /// Folds another shard's partial sums into this one. Counts add
+    /// elementwise, so `a.merge(b)` equals absorbing b's reports into `a`
+    /// in any order.
+    pub fn merge(&mut self, other: &ShardAggregator) -> Result<()> {
+        match (&mut self.inner, &other.inner) {
+            (
+                Inner::Length { agg, domain },
+                Inner::Length {
+                    agg: other_agg,
+                    domain: other_domain,
+                },
+            ) if domain == other_domain => agg.merge(other_agg),
+            (
+                Inner::SubShape { aggs, domain },
+                Inner::SubShape {
+                    aggs: other_aggs,
+                    domain: other_domain,
+                },
+            ) if aggs.len() == other_aggs.len() && domain == other_domain => {
+                for (mine, theirs) in aggs.iter_mut().zip(other_aggs) {
+                    mine.merge(theirs);
+                }
+            }
+            (
+                Inner::Expand { counts, level },
+                Inner::Expand {
+                    counts: other_counts,
+                    level: other_level,
+                },
+            ) if counts.len() == other_counts.len() && level == other_level => {
+                for (mine, theirs) in counts.iter_mut().zip(other_counts) {
+                    *mine += theirs;
+                }
+            }
+            (
+                Inner::RefineSelect { counts },
+                Inner::RefineSelect {
+                    counts: other_counts,
+                },
+            ) if counts.len() == other_counts.len() => {
+                for (mine, theirs) in counts.iter_mut().zip(other_counts) {
+                    *mine += theirs;
+                }
+            }
+            (
+                Inner::RefineLabeled {
+                    agg,
+                    n_candidates,
+                    n_classes,
+                },
+                Inner::RefineLabeled {
+                    agg: other_agg,
+                    n_candidates: other_cand,
+                    n_classes: other_classes,
+                },
+            ) if n_candidates == other_cand && n_classes == other_classes => {
+                if let (Some(mine), Some(theirs)) = (agg.as_mut(), other_agg.as_ref()) {
+                    mine.merge(theirs);
+                }
+            }
+            (mine, theirs) => {
+                return Err(Error::Protocol(format!(
+                    "cannot merge shard aggregate {} into {} (different rounds or domains)",
+                    theirs.kind(),
+                    mine.kind(),
+                )));
+            }
+        }
+        self.reports += other.reports;
+        Ok(())
+    }
+
+    /// The length estimate `ℓ_S = lo + argmax` once all shards are in.
+    pub fn finalize_length(&self, lo: usize) -> Result<usize> {
+        match &self.inner {
+            Inner::Length { agg, .. } => Ok(lo + agg.argmax()),
+            other => Err(wrong_finalize("length", other)),
+        }
+    }
+
+    /// The per-level GRR aggregators of a sub-shape round.
+    pub fn finalize_subshape(&self) -> Result<&[GrrAggregator]> {
+        match &self.inner {
+            Inner::SubShape { aggs, .. } => Ok(aggs),
+            other => Err(wrong_finalize("sub-shape", other)),
+        }
+    }
+
+    /// The per-candidate selection counts of an expand / unlabeled-refine
+    /// round, as the f64 counts the trie and post-processing consume.
+    pub fn finalize_selections(&self) -> Result<Vec<f64>> {
+        match &self.inner {
+            Inner::Expand { counts, .. } | Inner::RefineSelect { counts } => {
+                Ok(counts.iter().map(|&c| c as f64).collect())
+            }
+            other => Err(wrong_finalize("selection", other)),
+        }
+    }
+
+    /// The per-class per-candidate unbiased estimates of a labeled
+    /// refinement round. `group_len` is the size of the addressed group,
+    /// used verbatim for the degenerate single-cell grid (whose reports
+    /// carry no information).
+    pub fn finalize_labeled(&self, group_len: usize) -> Result<Vec<Vec<f64>>> {
+        match &self.inner {
+            Inner::RefineLabeled {
+                agg,
+                n_candidates,
+                n_classes,
+            } => {
+                let mut freqs = vec![vec![0.0; *n_candidates]; *n_classes];
+                if let Some(agg) = agg {
+                    for (class, class_freqs) in freqs.iter_mut().enumerate() {
+                        for (cand, slot) in class_freqs.iter_mut().enumerate() {
+                            *slot = agg.estimate(cand * n_classes + class);
+                        }
+                    }
+                } else if *n_candidates == 1 && *n_classes == 1 {
+                    // One candidate, one class: everyone matches it.
+                    freqs[0][0] = group_len as f64;
+                }
+                Ok(freqs)
+            }
+            other => Err(wrong_finalize("labeled", other)),
+        }
+    }
+}
+
+fn wrong_finalize(wanted: &str, got: &Inner) -> Error {
+    Error::Protocol(format!(
+        "finalizing {wanted} round but aggregate holds {} state",
+        got.kind()
+    ))
+}
+
+impl Inner {
+    fn kind(&self) -> &'static str {
+        match self {
+            Inner::Length { .. } => "length",
+            Inner::SubShape { .. } => "sub-shape",
+            Inner::Expand { .. } => "expand",
+            Inner::RefineSelect { .. } => "refine-select",
+            Inner::RefineLabeled { .. } => "refine-labeled",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round::{Audience, GroupId};
+    use privshape_timeseries::SymbolSeq;
+
+    fn eps() -> Epsilon {
+        Epsilon::new(2.0).unwrap()
+    }
+
+    fn length_spec() -> RoundSpec {
+        RoundSpec::Length {
+            audience: Audience::group(GroupId::Pa),
+            range: (1, 6),
+        }
+    }
+
+    fn expand_spec(n: usize) -> RoundSpec {
+        RoundSpec::Expand {
+            audience: Audience::chunk(GroupId::Pc, 0, 1),
+            level: 1,
+            candidates: (0..n)
+                .map(|i| SymbolSeq::parse(if i % 2 == 0 { "a" } else { "b" }).unwrap())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn absorb_validates_kind_and_domain() {
+        let mut agg = ShardAggregator::for_round(&length_spec(), eps()).unwrap();
+        assert!(agg.absorb(&Report::Length(5)).is_ok());
+        assert!(matches!(
+            agg.absorb(&Report::Length(6)),
+            Err(Error::Protocol(_))
+        ));
+        assert!(matches!(
+            agg.absorb(&Report::Expand(0)),
+            Err(Error::Protocol(_))
+        ));
+        assert_eq!(agg.reports(), 1);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let spec = expand_spec(4);
+        let reports = [0usize, 1, 2, 3, 0, 0, 2];
+        let mut whole = ShardAggregator::for_round(&spec, eps()).unwrap();
+        for &r in &reports {
+            whole.absorb(&Report::Expand(r)).unwrap();
+        }
+        let mut a = ShardAggregator::for_round(&spec, eps()).unwrap();
+        let mut b = ShardAggregator::for_round(&spec, eps()).unwrap();
+        let mut c = ShardAggregator::for_round(&spec, eps()).unwrap();
+        for (i, &r) in reports.iter().enumerate() {
+            [&mut a, &mut b, &mut c][i % 3]
+                .absorb(&Report::Expand(r))
+                .unwrap();
+        }
+        // c ← a, then b ← c: arbitrary association.
+        c.merge(&a).unwrap();
+        b.merge(&c).unwrap();
+        assert_eq!(b.reports(), whole.reports());
+        assert_eq!(
+            b.finalize_selections().unwrap(),
+            whole.finalize_selections().unwrap()
+        );
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_rounds() {
+        let mut a = ShardAggregator::for_round(&length_spec(), eps()).unwrap();
+        let b = ShardAggregator::for_round(&expand_spec(2), eps()).unwrap();
+        assert!(matches!(a.merge(&b), Err(Error::Protocol(_))));
+        let c = ShardAggregator::for_round(&expand_spec(3), eps()).unwrap();
+        let mut d = ShardAggregator::for_round(&expand_spec(2), eps()).unwrap();
+        assert!(matches!(d.merge(&c), Err(Error::Protocol(_))));
+    }
+
+    #[test]
+    fn degenerate_length_round_is_rejected() {
+        let spec = RoundSpec::Length {
+            audience: Audience::group(GroupId::Pa),
+            range: (3, 3),
+        };
+        assert!(matches!(
+            ShardAggregator::for_round(&spec, eps()),
+            Err(Error::Protocol(_))
+        ));
+    }
+}

@@ -6,6 +6,8 @@
 //! dependency:
 //!
 //! * [`privshape`] — the mechanisms (Algorithm 1 and Algorithm 2);
+//! * [`privshape_protocol`] — the round-based client/aggregator protocol
+//!   (Session / UserClient / ShardAggregator) the mechanisms drive;
 //! * [`privshape_timeseries`] — series, SAX, Compressive SAX, datasets I/O;
 //! * [`privshape_distance`] — DTW / SED / Euclidean / Hausdorff;
 //! * [`privshape_ldp`] — GRR / OUE / EM / Piecewise Mechanism;
@@ -20,5 +22,6 @@ pub use privshape_distance;
 pub use privshape_eval;
 pub use privshape_ldp;
 pub use privshape_patternldp;
+pub use privshape_protocol;
 pub use privshape_timeseries;
 pub use privshape_trie;
