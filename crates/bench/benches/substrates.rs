@@ -4,9 +4,9 @@
 //! analysis of §IV-F.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use privshape_distance::{dtw, euclidean_padded, sed};
+use privshape_distance::{dtw, euclidean_padded, sed, DistanceKind, DistanceWorkspace};
 use privshape_ldp::{Epsilon, ExpMech, Grr, Oue, PiecewiseMechanism};
-use privshape_timeseries::{compressive_sax, sax, SaxParams, SymbolSeq};
+use privshape_timeseries::{compressive_sax, sax, CandidateTable, SaxParams, SymbolSeq};
 use privshape_trie::ShapeTrie;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -57,6 +57,63 @@ fn bench_distances(c: &mut Criterion) {
     group.finish();
 }
 
+/// The claim behind the columnar refactor, measured rather than asserted:
+/// scoring through a reused [`DistanceWorkspace`] must beat the allocating
+/// `DistanceKind::dist` path (which rebuilds index vectors and DTW rows on
+/// every call).
+fn bench_distance_workspace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/distance_workspace");
+    for len in [8usize, 15, 64] {
+        let sa = SymbolSeq::parse(&"abcdef".repeat(len / 6 + 1)[..len]).unwrap();
+        let sb = SymbolSeq::parse(&"fedcba".repeat(len / 6 + 1)[..len]).unwrap();
+        for kind in [DistanceKind::Dtw, DistanceKind::Euclidean] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind}_alloc"), len),
+                &len,
+                |bch, _| {
+                    bch.iter(|| black_box(kind.dist(&sa, &sb)));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind}_workspace"), len),
+                &len,
+                |bch, _| {
+                    let mut ws = DistanceWorkspace::new();
+                    bch.iter(|| black_box(kind.dist_with(&mut ws, sa.symbols(), sb.symbols())));
+                },
+            );
+        }
+    }
+    // The round-shaped batch: one user sequence scored against a packed
+    // 18-row candidate table (the paper's c·k at k = 6), allocating vs
+    // workspace-batched.
+    let own = SymbolSeq::parse("acbdcfeab").unwrap();
+    let cand_seqs: Vec<SymbolSeq> = (0..18)
+        .map(|i| {
+            let rotated: String = "abcdef".chars().cycle().skip(i % 6).take(6).collect();
+            SymbolSeq::parse(&rotated).unwrap()
+        })
+        .collect();
+    let table = CandidateTable::from_seqs(&cand_seqs);
+    group.bench_function("dtw_batch18_alloc", |bch| {
+        bch.iter(|| {
+            let scores: Vec<f64> = cand_seqs
+                .iter()
+                .map(|c| DistanceKind::Dtw.dist(&own, c))
+                .collect();
+            black_box(scores)
+        });
+    });
+    group.bench_function("dtw_batch18_workspace", |bch| {
+        let mut ws = DistanceWorkspace::new();
+        bch.iter(|| {
+            let scores = DistanceKind::Dtw.dist_batch_with(&mut ws, own.symbols(), table.rows());
+            black_box(scores.last().copied())
+        });
+    });
+    group.finish();
+}
+
 fn bench_ldp(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate/ldp");
     let eps = Epsilon::new(4.0).unwrap();
@@ -103,5 +160,12 @@ fn bench_trie(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sax, bench_distances, bench_ldp, bench_trie);
+criterion_group!(
+    benches,
+    bench_sax,
+    bench_distances,
+    bench_distance_workspace,
+    bench_ldp,
+    bench_trie
+);
 criterion_main!(benches);

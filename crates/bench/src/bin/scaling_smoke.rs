@@ -1,0 +1,159 @@
+//! Scaling smoke test for the round hot path: sweeps fleet size × candidate
+//! pressure and records per-stage ingestion rates, so CI accumulates a
+//! perf trajectory (`BENCH_scaling.json`) for the columnar scoring
+//! substrate specifically (the per-user × per-candidate loop).
+//!
+//! Usage: `cargo run --release -p privshape-bench --bin scaling_smoke
+//!         [--users N] [--seed N] [--eps X] [--out DIR] [--full|--quick]`
+//!
+//! `--users` sets the largest fleet in the sweep (smaller points are N/4
+//! and N/2); candidate pressure is swept via `k` (the per-level candidate
+//! cap is `c·k`).
+
+use privshape::protocol::Session;
+use privshape::{PrivShapeConfig, SimulatedFleet};
+use privshape_bench::ExpCtx;
+use privshape_datasets::{generate_symbols_like, SymbolsLikeConfig};
+use privshape_ldp::Epsilon;
+use privshape_timeseries::SaxParams;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Per-stage timing of one session run.
+#[derive(Debug, Default)]
+struct StageStats {
+    rounds: usize,
+    reports: usize,
+    secs: f64,
+}
+
+/// One sweep point: a full session at a given fleet size / candidate cap.
+struct SweepPoint {
+    users: usize,
+    k: usize,
+    max_candidates: usize,
+    enroll_secs: f64,
+    loop_secs: f64,
+    reports: usize,
+    stages: BTreeMap<&'static str, StageStats>,
+}
+
+/// JSON-safe stage key (`refine (unlabeled)` → `refine`).
+fn stage_key(name: &'static str) -> &'static str {
+    match name {
+        "sub-shape" => "subshape",
+        "refine (unlabeled)" | "refine (labeled)" => "refine",
+        other => other,
+    }
+}
+
+fn run_point(users: usize, k: usize, eps: f64, seed: u64) -> SweepPoint {
+    let (w, t, _) = privshape_bench::symbols_settings();
+    let data = generate_symbols_like(&SymbolsLikeConfig {
+        n_per_class: (users / 6).max(1),
+        seed,
+        ..Default::default()
+    });
+    let n = data.series().len();
+
+    let mut config = PrivShapeConfig::new(
+        Epsilon::new(eps).expect("positive eps"),
+        k,
+        SaxParams::new(w, t).expect("valid SAX parameters"),
+    );
+    config.seed = seed;
+    let max_candidates = config.c * config.k;
+
+    let started = Instant::now();
+    let mut session = Session::privshape(config, n).expect("valid session");
+    let mut fleet = SimulatedFleet::new(data.series(), None, session.params(), 0);
+    let enroll_secs = started.elapsed().as_secs_f64();
+
+    let mut stages: BTreeMap<&'static str, StageStats> = BTreeMap::new();
+    let mut reports = 0usize;
+    let loop_started = Instant::now();
+    while let Some(spec) = session.next_round().expect("protocol advances") {
+        let stage_started = Instant::now();
+        let batch = fleet.answer(&spec).expect("clients answer");
+        let answered_secs = stage_started.elapsed().as_secs_f64();
+        session.submit(&batch).expect("reports match round");
+        let entry = stages.entry(stage_key(spec.name())).or_default();
+        entry.rounds += 1;
+        entry.reports += batch.len();
+        entry.secs += answered_secs;
+        reports += batch.len();
+    }
+    session.finish().expect("session complete");
+    let loop_secs = loop_started.elapsed().as_secs_f64();
+
+    SweepPoint {
+        users: n,
+        k,
+        max_candidates,
+        enroll_secs,
+        loop_secs,
+        reports,
+        stages,
+    }
+}
+
+fn main() {
+    let ctx = ExpCtx::from_env(2400, 1);
+    let eps = ctx.eps.unwrap_or(4.0);
+
+    let fleet_sizes = [ctx.users / 4, ctx.users / 2, ctx.users];
+    let ks = [2usize, 6];
+
+    let mut points = Vec::new();
+    println!("== scaling smoke (max users={}, eps={eps}) ==", ctx.users);
+    println!(
+        "{:>8} {:>4} {:>6} {:>10} {:>12} {:>14}",
+        "users", "k", "cands", "reports", "loop secs", "reports/sec"
+    );
+    for &users in &fleet_sizes {
+        for &k in &ks {
+            let p = run_point(users, k, eps, ctx.seed);
+            let rps = p.reports as f64 / p.loop_secs.max(1e-9);
+            println!(
+                "{:>8} {:>4} {:>6} {:>10} {:>12.3} {:>14.0}",
+                p.users, p.k, p.max_candidates, p.reports, p.loop_secs, rps
+            );
+            points.push(p);
+        }
+    }
+
+    // Hand-rolled JSON (the workspace is offline — no serde).
+    let mut json = String::from("{\n  \"sweeps\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let rps = p.reports as f64 / p.loop_secs.max(1e-9);
+        json.push_str(&format!(
+            "    {{\n      \"users\": {}, \"k\": {}, \"max_candidates\": {},\n      \
+             \"enroll_secs\": {:.6}, \"round_loop_secs\": {:.6},\n      \
+             \"reports\": {}, \"reports_per_sec\": {:.1},\n      \"stages\": {{\n",
+            p.users, p.k, p.max_candidates, p.enroll_secs, p.loop_secs, p.reports, rps
+        ));
+        let n_stages = p.stages.len();
+        for (j, (stage, s)) in p.stages.iter().enumerate() {
+            let stage_rps = s.reports as f64 / s.secs.max(1e-9);
+            json.push_str(&format!(
+                "        \"{stage}\": {{\"rounds\": {}, \"reports\": {}, \
+                 \"secs\": {:.6}, \"reports_per_sec\": {:.1}}}{}\n",
+                s.rounds,
+                s.reports,
+                s.secs,
+                stage_rps,
+                if j + 1 < n_stages { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "      }}\n    }}{}\n",
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::create_dir_all(&ctx.out_dir).expect("create output dir");
+    let path = ctx.out_dir.join("BENCH_scaling.json");
+    std::fs::write(&path, json).expect("write BENCH_scaling.json");
+    println!("\nwrote {}", path.display());
+}

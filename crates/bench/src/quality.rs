@@ -5,7 +5,7 @@
 use privshape_datasets::{
     symbols_template, trace_template, SYMBOLS_CLASSES, SYMBOLS_LEN, TRACE_CLASSES, TRACE_LEN,
 };
-use privshape_distance::DistanceKind;
+use privshape_distance::{DistanceKind, DistanceWorkspace};
 use privshape_timeseries::{compressive_sax, SaxParams, SymbolSeq, TimeSeries};
 
 /// Mean distances between extracted shapes and the ground truth under the
@@ -61,13 +61,15 @@ pub fn shape_quality(extracted: &[SymbolSeq], ground_truth: &[SymbolSeq]) -> Opt
     if extracted.is_empty() || ground_truth.is_empty() {
         return None;
     }
-    let mean_min = |kind: DistanceKind| -> f64 {
+    // One workspace across the full ground-truth × extracted grid.
+    let mut ws = DistanceWorkspace::new();
+    let mut mean_min = |kind: DistanceKind| -> f64 {
         ground_truth
             .iter()
             .map(|gt| {
                 extracted
                     .iter()
-                    .map(|e| kind.dist(gt, e))
+                    .map(|e| kind.dist_with(&mut ws, gt.symbols(), e.symbols()))
                     .fold(f64::INFINITY, f64::min)
             })
             .sum::<f64>()

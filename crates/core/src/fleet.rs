@@ -8,6 +8,7 @@
 //! `baseline.rs` only ever see [`RoundSpec`]s and [`Report`]s.
 
 use crate::par;
+use privshape_distance::DistanceWorkspace;
 use privshape_protocol::{
     GroupAssignment, ProtocolParams, Report, Result, RoundSpec, Session, UserClient,
 };
@@ -17,7 +18,11 @@ use privshape_timeseries::TimeSeries;
 #[derive(Debug)]
 pub struct SimulatedFleet {
     clients: Vec<UserClient>,
-    threads: usize,
+    /// One persistent scoring workspace per worker thread: the DTW rows and
+    /// index buffers grow once and stay warm across every round of the
+    /// session (workspaces never influence results — per-user RNG streams
+    /// keep the fleet deterministic for any thread count).
+    workspaces: Vec<DistanceWorkspace>,
 }
 
 impl SimulatedFleet {
@@ -40,7 +45,11 @@ impl SimulatedFleet {
                 assignments[user],
             )
         });
-        Self { clients, threads }
+        let workers = par::resolve_threads(threads).min(clients.len().max(1));
+        Self {
+            clients,
+            workspaces: vec![DistanceWorkspace::new(); workers],
+        }
     }
 
     /// Number of enrolled clients.
@@ -54,11 +63,13 @@ impl SimulatedFleet {
     }
 
     /// Collects the reports of every client the round is addressed to, in
-    /// user order.
+    /// user order. Each worker thread scores through its own persistent
+    /// workspace, so steady-state rounds allocate nothing per candidate.
     pub fn answer(&mut self, spec: &RoundSpec) -> Result<Vec<Report>> {
-        let answers = par::map_slice_mut(&mut self.clients, self.threads, |client| {
-            client.answer(spec)
-        });
+        let answers =
+            par::map_slice_mut_scratch(&mut self.clients, &mut self.workspaces, |client, ws| {
+                client.answer_with(spec, ws)
+            });
         let mut reports = Vec::new();
         for answer in answers {
             if let Some(report) = answer? {

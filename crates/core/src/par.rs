@@ -31,29 +31,40 @@ where
         .collect()
 }
 
-/// Applies `f` to every item of a mutable slice using up to `threads`
-/// workers, collecting the results in item order. The mutable-access
-/// counterpart of [`map_indexed`], used to drive fleets of stateful
-/// clients deterministically.
-pub(crate) fn map_slice_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+/// The mutable-access counterpart of [`map_indexed`], used to drive
+/// fleets of stateful clients deterministically: applies `f` to every
+/// item of a mutable slice, collecting the results in item order, and
+/// hands every worker one persistent scratch slot from `scratch` (one per
+/// worker; `scratch.len()` sets the worker count). The scratch slots
+/// outlive the call, so buffers grown inside them amortize across rounds —
+/// this is how the fleet keeps one warmed-up `DistanceWorkspace` per
+/// thread.
+pub(crate) fn map_slice_mut_scratch<T, W, R, F>(items: &mut [T], scratch: &mut [W], f: F) -> Vec<R>
 where
     T: Send,
+    W: Send,
     R: Send,
-    F: Fn(&mut T) -> R + Sync,
+    F: Fn(&mut T, &mut W) -> R + Sync,
 {
+    assert!(!scratch.is_empty(), "need at least one scratch slot");
     let n = items.len();
-    let threads = threads.max(1).min(n.max(1));
+    let threads = scratch.len().min(n.max(1));
     if threads == 1 || n < 64 {
-        return items.iter_mut().map(f).collect();
+        let ws = &mut scratch[0];
+        return items.iter_mut().map(|item| f(item, ws)).collect();
     }
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let chunk = n.div_ceil(threads);
     crossbeam::thread::scope(|scope| {
-        for (items, slots) in items.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
+        for ((items, slots), ws) in items
+            .chunks_mut(chunk)
+            .zip(out.chunks_mut(chunk))
+            .zip(scratch.iter_mut())
+        {
             let f = &f;
             scope.spawn(move |_| {
                 for (item, slot) in items.iter_mut().zip(slots.iter_mut()) {
-                    *slot = Some(f(item));
+                    *slot = Some(f(item, ws));
                 }
             });
         }
@@ -93,9 +104,10 @@ mod tests {
     }
 
     #[test]
-    fn map_slice_mut_mutates_and_collects_in_order() {
+    fn scratch_map_mutates_and_collects_in_order() {
         let mut items: Vec<usize> = (0..500).collect();
-        let doubled = map_slice_mut(&mut items, 4, |x| {
+        let mut scratch = vec![(); 4];
+        let doubled = map_slice_mut_scratch(&mut items, &mut scratch, |x, ()| {
             *x += 1;
             *x * 2
         });
@@ -109,5 +121,21 @@ mod tests {
     fn resolve_zero_is_auto() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn scratch_map_matches_plain_map_for_any_worker_count() {
+        for workers in [1usize, 2, 5] {
+            let mut items: Vec<usize> = (0..300).collect();
+            let mut scratch = vec![0usize; workers];
+            let got = map_slice_mut_scratch(&mut items, &mut scratch, |x, acc| {
+                *acc += 1; // scratch is per-worker state, not part of results
+                *x * 2
+            });
+            let expected: Vec<usize> = (0..300).map(|x| x * 2).collect();
+            assert_eq!(got, expected, "workers={workers}");
+            // Every item was visited exactly once across all workers.
+            assert_eq!(scratch.iter().sum::<usize>(), 300);
+        }
     }
 }

@@ -60,7 +60,7 @@ pub fn dtw_banded(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
 
 /// Reusable DTW engine: configuration (band) plus scratch buffers, avoiding
 /// per-call allocation in hot population loops.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Dtw {
     band: Option<usize>,
     prev: Vec<f64>,

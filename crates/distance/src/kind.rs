@@ -1,7 +1,8 @@
 //! Runtime-selectable distance over symbol sequences.
 
-use crate::{dtw, euclidean_padded, hausdorff, sed};
-use privshape_timeseries::SymbolSeq;
+use crate::workspace::DistanceWorkspace;
+use crate::{euclidean_padded, hausdorff, sed};
+use privshape_timeseries::{Symbol, SymbolSeq};
 
 /// A distance measure over [`SymbolSeq`]s.
 ///
@@ -38,13 +39,60 @@ impl DistanceKind {
     ];
 
     /// Distance between two symbol sequences under this measure.
+    ///
+    /// Convenience wrapper that builds a throwaway [`DistanceWorkspace`];
+    /// loops should hold one workspace and call
+    /// [`DistanceKind::dist_with`] instead.
     pub fn dist(&self, a: &SymbolSeq, b: &SymbolSeq) -> f64 {
+        let mut ws = DistanceWorkspace::new();
+        self.dist_with(&mut ws, a.symbols(), b.symbols())
+    }
+
+    /// Distance between two symbol slices, reusing the workspace's DTW
+    /// rows and index buffers — no allocation once the buffers have grown
+    /// to the population's longest sequence. Bit-identical to
+    /// [`DistanceKind::dist`].
+    pub fn dist_with(&self, ws: &mut DistanceWorkspace, a: &[Symbol], b: &[Symbol]) -> f64 {
         match self {
-            DistanceKind::Dtw => dtw(&a.as_indices(), &b.as_indices()),
-            DistanceKind::Sed => sed(a.symbols(), b.symbols()),
-            DistanceKind::Euclidean => euclidean_padded(&a.as_indices(), &b.as_indices()),
-            DistanceKind::Hausdorff => hausdorff(&a.as_indices(), &b.as_indices()),
+            DistanceKind::Sed => sed(a, b),
+            DistanceKind::Dtw => {
+                ws.load_indices(a, b);
+                let DistanceWorkspace { dtw, ia, ib, .. } = ws;
+                dtw.dist(ia, ib)
+            }
+            DistanceKind::Euclidean => {
+                ws.load_indices(a, b);
+                euclidean_padded(&ws.ia, &ws.ib)
+            }
+            DistanceKind::Hausdorff => {
+                ws.load_indices(a, b);
+                hausdorff(&ws.ia, &ws.ib)
+            }
         }
+    }
+
+    /// Distances from `own` to every candidate row, written into the
+    /// workspace's batch buffer and returned as a mutable slice (callers
+    /// typically transform the distances into selection scores in place).
+    ///
+    /// Equivalent to mapping [`DistanceKind::dist_with`] over the rows,
+    /// with zero allocation in steady state.
+    pub fn dist_batch_with<'w, 'a, I>(
+        &self,
+        ws: &'w mut DistanceWorkspace,
+        own: &[Symbol],
+        candidates: I,
+    ) -> &'w mut [f64]
+    where
+        I: IntoIterator<Item = &'a [Symbol]>,
+    {
+        let mut batch = std::mem::take(&mut ws.batch);
+        batch.clear();
+        for row in candidates {
+            batch.push(self.dist_with(ws, own, row));
+        }
+        ws.batch = batch;
+        &mut ws.batch
     }
 
     /// Short lowercase name used in experiment output (`dtw`, `sed`, …).
@@ -134,5 +182,48 @@ mod tests {
     fn trait_object_dispatch_works() {
         let d: &dyn SymbolDistance = &DistanceKind::Sed;
         assert_eq!(d.dist(&seq("ab"), &seq("ba")), 2.0);
+    }
+
+    #[test]
+    fn workspace_path_matches_allocating_path() {
+        let pairs = [
+            ("acba", "abdc"),
+            ("a", "zyx"),
+            ("abab", "abab"),
+            ("", "ab"),
+            ("", ""),
+        ];
+        let mut ws = DistanceWorkspace::new();
+        for kind in DistanceKind::ALL {
+            for (a, b) in pairs {
+                let (a, b) = (seq(a), seq(b));
+                let fast = kind.dist_with(&mut ws, a.symbols(), b.symbols());
+                let slow = kind.dist(&a, &b);
+                assert!(
+                    fast == slow || (fast.is_infinite() && slow.is_infinite()),
+                    "{kind} {a} {b}: {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_pairwise() {
+        let own = seq("acb");
+        let cands = [seq("ab"), seq("cba"), seq("a")];
+        let mut ws = DistanceWorkspace::new();
+        for kind in DistanceKind::ALL {
+            let rows: Vec<&[_]> = cands.iter().map(|c| c.symbols()).collect();
+            let batch = kind
+                .dist_batch_with(&mut ws, own.symbols(), rows.iter().copied())
+                .to_vec();
+            let pairwise: Vec<f64> = cands.iter().map(|c| kind.dist(&own, c)).collect();
+            assert_eq!(batch, pairwise, "{kind}");
+        }
+        // A second batch with fewer rows must not retain stale entries.
+        let batch = DistanceKind::Sed
+            .dist_batch_with(&mut ws, own.symbols(), std::iter::once(cands[0].symbols()))
+            .to_vec();
+        assert_eq!(batch.len(), 1);
     }
 }

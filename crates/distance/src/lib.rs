@@ -11,6 +11,12 @@
 //! indices (`'a' = 0, 'b' = 1, …`), so DTW/Euclidean costs reflect *how far
 //! apart* two symbols are, while SED only counts edits.
 //!
+//! Hot loops score through a reusable [`DistanceWorkspace`]
+//! ([`DistanceKind::dist_with`], [`DistanceKind::dist_batch_with`]) that
+//! keeps DTW rows and index buffers alive across calls; the plain
+//! [`DistanceKind::dist`] is a convenience wrapper over the same code
+//! path, so both produce bit-identical results.
+//!
 //! # Example
 //!
 //! ```
@@ -29,6 +35,7 @@ mod hausdorff;
 mod kind;
 mod score;
 mod sed;
+mod workspace;
 
 pub use dtw::{dtw, dtw_banded, Dtw};
 pub use euclidean::{euclidean, euclidean_padded};
@@ -36,3 +43,4 @@ pub use hausdorff::hausdorff;
 pub use kind::{DistanceKind, SymbolDistance};
 pub use score::{em_score, em_scores};
 pub use sed::sed;
+pub use workspace::DistanceWorkspace;

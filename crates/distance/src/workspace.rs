@@ -1,0 +1,78 @@
+//! Reusable scratch state for allocation-free distance evaluation.
+//!
+//! Every distance in this crate except SED works on numeric index vectors,
+//! and DTW additionally needs two DP rows. The plain
+//! [`DistanceKind::dist`](crate::DistanceKind::dist) entry point used to
+//! rebuild all of those on every call — three heap allocations per
+//! user × candidate pair on the protocol hot path. A [`DistanceWorkspace`]
+//! owns the buffers once and is reused across calls (and across rounds,
+//! when held per worker thread), so steady-state scoring performs no
+//! allocation at all.
+
+use crate::dtw::Dtw;
+use privshape_timeseries::Symbol;
+
+/// Scratch buffers for [`DistanceKind::dist_with`](crate::DistanceKind::dist_with)
+/// and [`DistanceKind::dist_batch_with`](crate::DistanceKind::dist_batch_with).
+///
+/// Holds the DTW rolling rows, the two symbol→`f64` index buffers, and a
+/// batch-score output buffer. Buffers only ever grow, so a workspace that
+/// has seen the longest sequence in a population never allocates again.
+/// Results are bit-identical to the allocating path (enforced by the
+/// workspace-equality property test).
+///
+/// # Example
+///
+/// ```
+/// use privshape_distance::{DistanceKind, DistanceWorkspace};
+/// use privshape_timeseries::SymbolSeq;
+///
+/// let a = SymbolSeq::parse("acba").unwrap();
+/// let b = SymbolSeq::parse("aba").unwrap();
+/// let mut ws = DistanceWorkspace::new();
+/// let fast = DistanceKind::Dtw.dist_with(&mut ws, a.symbols(), b.symbols());
+/// assert_eq!(fast, DistanceKind::Dtw.dist(&a, &b));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DistanceWorkspace {
+    pub(crate) dtw: Dtw,
+    pub(crate) ia: Vec<f64>,
+    pub(crate) ib: Vec<f64>,
+    pub(crate) batch: Vec<f64>,
+}
+
+impl DistanceWorkspace {
+    /// An empty workspace; buffers are grown lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fills the two index buffers with the numeric view of `a` and `b`
+    /// (the allocation-free counterpart of `SymbolSeq::as_indices`).
+    pub(crate) fn load_indices(&mut self, a: &[Symbol], b: &[Symbol]) {
+        self.ia.clear();
+        self.ia.extend(a.iter().map(|s| s.index() as f64));
+        self.ib.clear();
+        self.ib.extend(b.iter().map(|s| s.index() as f64));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privshape_timeseries::SymbolSeq;
+
+    #[test]
+    fn load_indices_matches_as_indices() {
+        let a = SymbolSeq::parse("acb").unwrap();
+        let b = SymbolSeq::parse("za").unwrap();
+        let mut ws = DistanceWorkspace::new();
+        ws.load_indices(a.symbols(), b.symbols());
+        assert_eq!(ws.ia, a.as_indices());
+        assert_eq!(ws.ib, b.as_indices());
+        // Reuse with shorter inputs truncates, never leaves stale tails.
+        ws.load_indices(b.symbols(), &[]);
+        assert_eq!(ws.ia, b.as_indices());
+        assert!(ws.ib.is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests for the allocation-free scoring path: a workspace that
+//! is reused across arbitrary call sequences must always return exactly
+//! what the allocating path returns, for every distance kind.
+
+use privshape_distance::{DistanceKind, DistanceWorkspace};
+use privshape_timeseries::{Symbol, SymbolSeq};
+use proptest::prelude::*;
+
+fn seq_strategy() -> impl Strategy<Value = SymbolSeq> {
+    prop::collection::vec(0u8..6, 0..24)
+        .prop_map(|v| SymbolSeq::from_symbols(v.into_iter().map(Symbol::from_index).collect()))
+}
+
+/// Exact equality that also accepts two infinities (empty-input cases).
+fn same(a: f64, b: f64) -> bool {
+    a == b || (a.is_infinite() && b.is_infinite() && a.signum() == b.signum())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// One workspace, reused across every kind and pair in the batch, is
+    /// bit-identical to a fresh allocating `dist` per pair — i.e. no state
+    /// leaks between calls, lengths may shrink and grow freely.
+    #[test]
+    fn workspace_equals_allocating_for_all_kinds(
+        pairs in prop::collection::vec((seq_strategy(), seq_strategy()), 1..12),
+    ) {
+        let mut ws = DistanceWorkspace::new();
+        for kind in DistanceKind::ALL {
+            for (a, b) in &pairs {
+                let fast = kind.dist_with(&mut ws, a.symbols(), b.symbols());
+                let slow = kind.dist(a, b);
+                prop_assert!(same(fast, slow), "{kind} on {a} vs {b}: {fast} != {slow}");
+            }
+        }
+    }
+
+    /// The batched entry point equals the per-pair entry point, row for
+    /// row, and reports exactly one distance per candidate.
+    #[test]
+    fn batch_equals_pairwise(
+        own in seq_strategy(),
+        candidates in prop::collection::vec(seq_strategy(), 0..10),
+    ) {
+        let mut ws = DistanceWorkspace::new();
+        for kind in DistanceKind::ALL {
+            let rows: Vec<&[Symbol]> = candidates.iter().map(|c| c.symbols()).collect();
+            let batch = kind
+                .dist_batch_with(&mut ws, own.symbols(), rows.iter().copied())
+                .to_vec();
+            prop_assert_eq!(batch.len(), candidates.len());
+            for (b, c) in batch.iter().zip(&candidates) {
+                let pairwise = kind.dist(&own, c);
+                prop_assert!(same(*b, pairwise), "{} on {} vs {}", kind, own, c);
+            }
+        }
+    }
+}

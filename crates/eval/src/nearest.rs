@@ -2,7 +2,7 @@
 //! (§V-D) or classification criteria (§V-E), plus DTW-based matching of
 //! extracted shapes to ground-truth centers (Figs. 8/10).
 
-use privshape_distance::{dtw, DistanceKind};
+use privshape_distance::{DistanceKind, DistanceWorkspace, Dtw};
 use privshape_timeseries::SymbolSeq;
 
 /// A 1-NN classifier whose prototypes are extracted shapes.
@@ -46,10 +46,24 @@ impl NearestShape {
     }
 
     /// `(prototype index, label, distance)` of the nearest prototype.
+    /// One workspace is reused across the prototype loop.
     pub fn nearest(&self, query: &SymbolSeq) -> (usize, usize, f64) {
+        let mut ws = DistanceWorkspace::new();
+        self.nearest_with(&mut ws, query)
+    }
+
+    /// [`NearestShape::nearest`] scoring through a caller-provided
+    /// workspace (batch loops keep one workspace across all queries).
+    pub fn nearest_with(
+        &self,
+        ws: &mut DistanceWorkspace,
+        query: &SymbolSeq,
+    ) -> (usize, usize, f64) {
         let mut best = (0usize, self.shapes[0].1, f64::INFINITY);
         for (i, (shape, label)) in self.shapes.iter().enumerate() {
-            let d = self.distance.dist(query, shape);
+            let d = self
+                .distance
+                .dist_with(ws, query.symbols(), shape.symbols());
             if d < best.2 {
                 best = (i, *label, d);
             }
@@ -57,9 +71,14 @@ impl NearestShape {
         best
     }
 
-    /// Classifies a batch.
+    /// Classifies a batch through one shared workspace (no per-pair
+    /// allocation).
     pub fn classify_batch(&self, queries: &[SymbolSeq]) -> Vec<usize> {
-        queries.iter().map(|q| self.classify(q)).collect()
+        let mut ws = DistanceWorkspace::new();
+        queries
+            .iter()
+            .map(|q| self.nearest_with(&mut ws, q).1)
+            .collect()
     }
 }
 
@@ -68,10 +87,13 @@ impl NearestShape {
 /// `matches[i] = Some(j)`: extracted center `i` ↔ truth center `j`; extras
 /// on either side stay unmatched.
 pub fn match_centers(extracted: &[Vec<f64>], truth: &[Vec<f64>]) -> Vec<Option<usize>> {
+    // One DTW engine across the |extracted| × |truth| grid: the DP rows
+    // are allocated once, not per pair.
+    let mut engine = Dtw::new();
     let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
     for (i, e) in extracted.iter().enumerate() {
         for (j, t) in truth.iter().enumerate() {
-            pairs.push((dtw(e, t), i, j));
+            pairs.push((engine.dist(e, t), i, j));
         }
     }
     pairs.sort_by(|a, b| {

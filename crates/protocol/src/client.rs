@@ -20,9 +20,9 @@ use crate::population::{chunk_of_rank, split_population};
 use crate::rng::{user_rng, Stage};
 use crate::round::{Audience, GroupId, Report, RoundSpec};
 use crate::transform::transform_series;
-use privshape_distance::em_score;
+use privshape_distance::{em_score, DistanceWorkspace};
 use privshape_ldp::{ExpMech, Grr, Oue};
-use privshape_timeseries::{SymbolSeq, TimeSeries};
+use privshape_timeseries::{CandidateTable, Symbol, SymbolSeq, TimeSeries};
 use privshape_trie::BigramSet;
 use rand::{Rng, RngExt};
 
@@ -208,7 +208,27 @@ impl UserClient {
     /// answers at most once per session — a second addressed round is a
     /// protocol violation (the server double-spent this user's budget) and
     /// is refused with [`Error::Protocol`].
+    ///
+    /// Convenience wrapper over [`UserClient::answer_with`] with a
+    /// throwaway scoring workspace; fleets that pump many clients should
+    /// hold one [`DistanceWorkspace`] per worker thread and call
+    /// `answer_with` so the scoring buffers persist across clients and
+    /// rounds.
     pub fn answer(&mut self, spec: &RoundSpec) -> Result<Option<Report>> {
+        let mut ws = DistanceWorkspace::new();
+        self.answer_with(spec, &mut ws)
+    }
+
+    /// [`UserClient::answer`] scoring through a caller-provided workspace.
+    ///
+    /// All candidates of a selection round are scored through `ws` with
+    /// zero steady-state allocation; the workspace never influences the
+    /// report (results are bit-identical for any sharing pattern).
+    pub fn answer_with(
+        &mut self,
+        spec: &RoundSpec,
+        ws: &mut DistanceWorkspace,
+    ) -> Result<Option<Report>> {
         if !self.assignment.addressed_by(spec.audience()) {
             return Ok(None);
         }
@@ -226,15 +246,15 @@ impl UserClient {
             } => self.answer_subshape(*ell_s, *alphabet)?,
             RoundSpec::Expand {
                 level, candidates, ..
-            } => Report::Expand(self.em_select(candidates, Some(*level))?),
+            } => Report::Expand(self.em_select(ws, candidates, Some(*level))?),
             RoundSpec::RefineUnlabeled { candidates, .. } => {
-                Report::RefineSelect(self.em_select(candidates, None)?)
+                Report::RefineSelect(self.em_select(ws, candidates, None)?)
             }
             RoundSpec::RefineLabeled {
                 candidates,
                 n_classes,
                 ..
-            } => self.answer_refine_labeled(candidates, *n_classes)?,
+            } => self.answer_refine_labeled(ws, candidates, *n_classes)?,
         };
         self.answered = true;
         Ok(Some(report))
@@ -277,28 +297,47 @@ impl UserClient {
 
     /// EM selection among candidates (Eq. (2)): prefix-clipped during
     /// expansion (`Some(level)`), full-sequence in refinement (`None`).
-    fn em_select(&self, candidates: &[SymbolSeq], prefix_len: Option<usize>) -> Result<usize> {
+    ///
+    /// Scores every table row through the workspace — the own-sequence
+    /// prefix is a borrow, each candidate is a borrowed row, and the
+    /// distances land in the workspace's batch buffer, so a warmed-up
+    /// client allocates nothing here.
+    fn em_select(
+        &self,
+        ws: &mut DistanceWorkspace,
+        candidates: &CandidateTable,
+        prefix_len: Option<usize>,
+    ) -> Result<usize> {
         if candidates.is_empty() {
             return Err(Error::Protocol(
                 "selection round broadcast with no candidates".into(),
             ));
         }
-        let own = match prefix_len {
-            Some(len) => self.seq.prefix(len),
-            None => self.seq.clone(),
+        let symbols = self.seq.symbols();
+        let own: &[Symbol] = match prefix_len {
+            Some(len) => &symbols[..len.min(symbols.len())],
+            None => symbols,
         };
-        let scores: Vec<f64> = candidates
-            .iter()
-            .map(|c| em_score(self.params.distance.dist(&own, c)))
-            .collect();
+        let scores = self
+            .params
+            .distance
+            .dist_batch_with(ws, own, candidates.rows());
+        for s in scores.iter_mut() {
+            *s = em_score(*s);
+        }
         let em = ExpMech::new(self.params.epsilon);
         let mut rng = user_rng(self.params.seed, Stage::Expand, self.user);
-        Ok(em.select(&mut rng, &scores)?)
+        Ok(em.select(&mut rng, scores)?)
     }
 
     /// OUE report of `(nearest candidate, class label)` over the
     /// candidate × class grid (§V-E).
-    fn answer_refine_labeled(&self, candidates: &[SymbolSeq], n_classes: usize) -> Result<Report> {
+    fn answer_refine_labeled(
+        &self,
+        ws: &mut DistanceWorkspace,
+        candidates: &CandidateTable,
+        n_classes: usize,
+    ) -> Result<Report> {
         let label = self.label.ok_or_else(|| {
             Error::BadLabels(format!(
                 "user {} has no label for a labeled round",
@@ -317,8 +356,8 @@ impl UserClient {
         // Nearest candidate under the configured distance (ties toward the
         // earlier candidate — deterministic).
         let mut best = (0usize, f64::INFINITY);
-        for (c, cand) in candidates.iter().enumerate() {
-            let d = self.params.distance.dist(&self.seq, cand);
+        for (c, cand) in candidates.rows().enumerate() {
+            let d = self.params.distance.dist_with(ws, self.seq.symbols(), cand);
             if d < best.1 {
                 best = (c, d);
             }
@@ -391,6 +430,10 @@ mod tests {
         ProtocolParams::privshape(&cfg, n)
     }
 
+    fn table(rows: &[&str]) -> std::sync::Arc<CandidateTable> {
+        std::sync::Arc::new(CandidateTable::parse_rows(rows).unwrap())
+    }
+
     fn seq_client(user: usize, seq: &str, p: &ProtocolParams) -> UserClient {
         UserClient::from_sequence(
             user,
@@ -459,7 +502,7 @@ mod tests {
         let mut c = seq_client(0, "ab", &p);
         let spec = RoundSpec::RefineUnlabeled {
             audience: Audience::group(GroupId::Pd),
-            candidates: vec![SymbolSeq::parse("ab").unwrap()],
+            candidates: table(&["ab"]),
         };
         assert!(c.answer(&spec).unwrap().is_none());
         assert!(!c.has_answered());
@@ -517,7 +560,7 @@ mod tests {
         let p = params(4);
         let spec = RoundSpec::RefineLabeled {
             audience: Audience::group(GroupId::Pa),
-            candidates: vec![SymbolSeq::parse("ab").unwrap()],
+            candidates: table(&["ab"]),
             n_classes: 2,
         };
         // No label at all.

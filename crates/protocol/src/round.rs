@@ -8,7 +8,8 @@
 //! series, no symbol sequences, and no unperturbed statistics.
 
 use privshape_ldp::OueReport;
-use privshape_timeseries::SymbolSeq;
+use privshape_timeseries::CandidateTable;
+use std::sync::Arc;
 
 /// The disjoint user groups of the mechanisms, used to address rounds.
 ///
@@ -96,24 +97,28 @@ pub enum RoundSpec {
         audience: Audience,
         /// Trie level being expanded (candidates have this length).
         level: usize,
-        /// This level's candidate shapes, in server order.
-        candidates: Vec<SymbolSeq>,
+        /// This level's candidate shapes, in server order. Packed and
+        /// `Arc`-shared: cloning the spec (or re-broadcasting it to any
+        /// number of clients/shards) is a reference-count bump, never a
+        /// copy of the candidate list.
+        candidates: Arc<CandidateTable>,
     },
     /// Unlabeled two-level refinement: EM selection among the pruned leaf
     /// candidates, scored on full sequences (§IV-C).
     RefineUnlabeled {
         /// Addressed users.
         audience: Audience,
-        /// The pruned leaf candidates, in server order.
-        candidates: Vec<SymbolSeq>,
+        /// The pruned leaf candidates, in server order (packed,
+        /// `Arc`-shared).
+        candidates: Arc<CandidateTable>,
     },
     /// Labeled two-level refinement: OUE over the candidate × class grid
     /// (§V-E).
     RefineLabeled {
         /// Addressed users.
         audience: Audience,
-        /// The leaf candidates, in server order.
-        candidates: Vec<SymbolSeq>,
+        /// The leaf candidates, in server order (packed, `Arc`-shared).
+        candidates: Arc<CandidateTable>,
         /// Number of classes `L`; the OUE domain is
         /// `candidates.len() · n_classes`.
         n_classes: usize,
@@ -205,7 +210,7 @@ mod tests {
         let spec = RoundSpec::Expand {
             audience: Audience::chunk(GroupId::Pc, 0, 3),
             level: 1,
-            candidates: Vec::new(),
+            candidates: Arc::new(CandidateTable::new()),
         };
         assert_eq!(spec.name(), "expand");
         assert_eq!(spec.audience().chunk.unwrap().of, 3);

@@ -38,8 +38,9 @@ use crate::postprocess::select_distinct_top_k;
 use crate::report::{ClassShapes, Diagnostics, ExtractedShape, Extraction, LabeledExtraction};
 use crate::round::{Audience, GroupId, Report, RoundSpec};
 use crate::shard::ShardAggregator;
-use privshape_timeseries::SymbolSeq;
+use privshape_timeseries::{CandidateTable, SymbolSeq};
 use privshape_trie::{BigramSet, NodeId, ShapeTrie};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Mechanism-specific pruning plan.
@@ -280,21 +281,22 @@ impl Session {
                     let allowed = self.allowed_edges(level)?;
                     let trie = self.trie.as_mut().expect("trie initialized on entry");
                     trie.expand_next_level(allowed.as_ref());
-                    let candidates = trie.candidates(level)?;
-                    if candidates.is_empty() {
+                    // One packed table per level, emitted straight from the
+                    // trie's flat path buffer and broadcast behind an Arc —
+                    // every later clone of the spec is a refcount bump.
+                    let (nodes, table) = trie.candidate_table(level)?;
+                    if table.is_empty() {
                         // Dead-ended frontier: nothing to broadcast; prune
                         // bookkeeping still runs so diagnostics line up.
                         self.apply_expand_counts(level, &[], &[])?;
                         continue;
                     }
-                    let (nodes, cand_seqs): (Vec<NodeId>, Vec<SymbolSeq>) =
-                        candidates.into_iter().unzip();
                     let (audience, audience_len) = self.expand_audience(level);
                     return self.open_round(
                         RoundSpec::Expand {
                             audience,
                             level,
-                            candidates: cand_seqs,
+                            candidates: Arc::new(table),
                         },
                         nodes,
                         audience_len,
@@ -420,7 +422,10 @@ impl Session {
             }
             RoundSpec::RefineUnlabeled { candidates, .. } => {
                 let counts = open.agg.finalize_selections()?;
-                let scored: Vec<(SymbolSeq, f64)> = candidates.into_iter().zip(counts).collect();
+                // Cold path (once per session): unpack the table into owned
+                // sequences for the k-medoids suppression step.
+                let scored: Vec<(SymbolSeq, f64)> =
+                    candidates.to_seqs().into_iter().zip(counts).collect();
                 let shapes = select_distinct_top_k(&scored, self.k, self.params.distance)
                     .into_iter()
                     .map(|(shape, frequency)| ExtractedShape { shape, frequency })
@@ -430,7 +435,7 @@ impl Session {
             }
             RoundSpec::RefineLabeled { candidates, .. } => {
                 let freqs = open.agg.finalize_labeled(open.audience_len)?;
-                let classes = self.labeled_classes(&candidates, freqs);
+                let classes = self.labeled_classes(&candidates.to_seqs(), freqs);
                 self.output = Some(Output::Labeled(classes));
                 self.phase = Phase::Complete;
             }
@@ -541,7 +546,7 @@ impl Session {
                 Ok(None)
             }
             (Plan::PrivShape, Mode::Unlabeled) => {
-                let candidates: Vec<SymbolSeq> = leaves.into_iter().map(|(_, s, _)| s).collect();
+                let candidates: CandidateTable = leaves.into_iter().map(|(_, s, _)| s).collect();
                 if candidates.is_empty() {
                     self.output = Some(Output::Unlabeled(Vec::new()));
                     self.phase = Phase::Complete;
@@ -549,11 +554,11 @@ impl Session {
                 }
                 Ok(Some(RoundSpec::RefineUnlabeled {
                     audience: Audience::group(GroupId::Pd),
-                    candidates,
+                    candidates: Arc::new(candidates),
                 }))
             }
             (Plan::PrivShape, Mode::Labeled { n_classes }) => {
-                let candidates: Vec<SymbolSeq> = leaves.into_iter().map(|(_, s, _)| s).collect();
+                let candidates: CandidateTable = leaves.into_iter().map(|(_, s, _)| s).collect();
                 if candidates.is_empty() {
                     self.output = Some(Output::Labeled(empty_classes(n_classes)));
                     self.phase = Phase::Complete;
@@ -561,12 +566,12 @@ impl Session {
                 }
                 Ok(Some(RoundSpec::RefineLabeled {
                     audience: Audience::group(GroupId::Pd),
-                    candidates,
+                    candidates: Arc::new(candidates),
                     n_classes,
                 }))
             }
             (Plan::Baseline { .. }, Mode::Labeled { n_classes }) => {
-                let candidates: Vec<SymbolSeq> = leaves
+                let candidates: CandidateTable = leaves
                     .into_iter()
                     .take(self.k.max(n_classes))
                     .map(|(_, s, _)| s)
@@ -579,7 +584,7 @@ impl Session {
                 let total = self.baseline_rounds();
                 Ok(Some(RoundSpec::RefineLabeled {
                     audience: Audience::chunk(GroupId::Pb, total - 1, total),
-                    candidates,
+                    candidates: Arc::new(candidates),
                     n_classes,
                 }))
             }
@@ -671,8 +676,8 @@ fn empty_classes(n_classes: usize) -> Vec<ClassShapes> {
 /// `set` — i.e. whether constrained expansion can make progress.
 fn frontier_has_allowed_edge(trie: &ShapeTrie, level: usize, set: &BigramSet) -> Result<bool> {
     let alphabet = trie.alphabet();
-    for (_, shape) in trie.candidates(level)? {
-        if let Some(x) = shape.last() {
+    for id in trie.live_nodes(level)? {
+        if let Some(&x) = trie.path_slice(id).last() {
             for y in 0..alphabet {
                 let y = privshape_timeseries::Symbol::from_index(y as u8);
                 if set.contains(x, y) {

@@ -336,9 +336,11 @@ mod tests {
         RoundSpec::Expand {
             audience: Audience::chunk(GroupId::Pc, 0, 1),
             level: 1,
-            candidates: (0..n)
-                .map(|i| SymbolSeq::parse(if i % 2 == 0 { "a" } else { "b" }).unwrap())
-                .collect(),
+            candidates: std::sync::Arc::new(
+                (0..n)
+                    .map(|i| SymbolSeq::parse(if i % 2 == 0 { "a" } else { "b" }).unwrap())
+                    .collect(),
+            ),
         }
     }
 

@@ -10,7 +10,8 @@ use privshape_protocol::{
     Audience, GroupAssignment, GroupId, PrivShapeConfig, ProtocolParams, RoundSpec,
     ShardAggregator, UserClient,
 };
-use privshape_timeseries::{SaxParams, SymbolSeq};
+use privshape_timeseries::{CandidateTable, SaxParams, SymbolSeq};
+use std::sync::Arc;
 
 /// Protocol params with a given budget (the SAX settings are irrelevant
 /// here: clients are constructed from explicit symbol sequences).
@@ -169,10 +170,7 @@ fn expand_round_concentrates_on_matching_candidate() {
         .map(|_| SymbolSeq::parse("acb").unwrap())
         .collect();
     let p = params(4.0, seqs.len());
-    let candidates: Vec<SymbolSeq> = ["ab", "ac", "ba", "ca"]
-        .iter()
-        .map(|s| SymbolSeq::parse(s).unwrap())
-        .collect();
+    let candidates = Arc::new(CandidateTable::parse_rows(&["ab", "ac", "ba", "ca"]).unwrap());
     let spec = RoundSpec::Expand {
         audience: Audience::chunk(GroupId::Pc, 0, 1),
         level: 2,
@@ -195,10 +193,7 @@ fn expand_round_concentrates_on_matching_candidate() {
 #[test]
 fn low_budget_flattens_selections() {
     let seqs: Vec<SymbolSeq> = (0..4000).map(|_| SymbolSeq::parse("ab").unwrap()).collect();
-    let candidates: Vec<SymbolSeq> = ["ab", "ba"]
-        .iter()
-        .map(|s| SymbolSeq::parse(s).unwrap())
-        .collect();
+    let candidates = Arc::new(CandidateTable::parse_rows(&["ab", "ba"]).unwrap());
     let frac_for = |eps: f64| {
         let p = params(eps, seqs.len());
         let spec = RoundSpec::Expand {
@@ -223,10 +218,7 @@ fn labeled_refine_round_recovers_class_structure() {
     // Class 0 holds "ab", class 1 holds "ba".
     let n = 8000;
     let p = params(4.0, n);
-    let candidates: Vec<SymbolSeq> = ["ab", "ba"]
-        .iter()
-        .map(|s| SymbolSeq::parse(s).unwrap())
-        .collect();
+    let candidates = Arc::new(CandidateTable::parse_rows(&["ab", "ba"]).unwrap());
     let spec = RoundSpec::RefineLabeled {
         audience: Audience::group(GroupId::Pd),
         candidates,
@@ -262,7 +254,7 @@ fn single_cell_labeled_grid_falls_back_to_group_size() {
     let p = params(1.0, 3);
     let spec = RoundSpec::RefineLabeled {
         audience: Audience::group(GroupId::Pd),
-        candidates: vec![SymbolSeq::parse("ab").unwrap()],
+        candidates: Arc::new(CandidateTable::parse_rows(&["ab"]).unwrap()),
         n_classes: 1,
     };
     let mut agg = ShardAggregator::for_round(&spec, p.epsilon).unwrap();

@@ -11,6 +11,9 @@
 //! * [`sax`] / [`compressive_sax`] — the SAX transform and the paper's
 //!   Compressive SAX (run-length removal of repeated symbols);
 //! * [`SymbolSeq`] — compact symbol sequences with parsing/formatting;
+//! * [`CandidateTable`] — packed columnar batches of candidate shapes
+//!   (one flat symbol buffer + offsets), the broadcast currency of the
+//!   round hot path;
 //! * [`Dataset`] — a labeled collection of series with UCR-format I/O.
 //!
 //! # Example
@@ -47,6 +50,7 @@ mod paa;
 mod sax;
 mod series;
 mod symbol;
+mod table;
 mod ucr;
 
 pub use breakpoints::{gaussian_breakpoints, inverse_normal_cdf};
@@ -57,4 +61,5 @@ pub use paa::{num_segments, paa, paa_into};
 pub use sax::{compressive_sax, sax, symbolize, SaxParams};
 pub use series::TimeSeries;
 pub use symbol::{Symbol, SymbolSeq, MAX_ALPHABET};
+pub use table::CandidateTable;
 pub use ucr::{parse_ucr, read_ucr_file, write_ucr, write_ucr_file};

@@ -1,7 +1,7 @@
 //! Arena-backed shape trie with level-wise expansion and pruning.
 
 use crate::bigram::BigramSet;
-use privshape_timeseries::{Symbol, SymbolSeq, MAX_ALPHABET};
+use privshape_timeseries::{CandidateTable, Symbol, SymbolSeq, MAX_ALPHABET};
 use std::fmt;
 
 /// Index of a node in the trie arena.
@@ -39,7 +39,13 @@ impl std::error::Error for TrieError {}
 #[derive(Debug, Clone)]
 struct Node {
     symbol: Symbol,
-    parent: Option<NodeId>,
+    /// Start of this node's full root-to-node path in the trie's flat
+    /// `paths` buffer; the path's length is the node's level. The path is
+    /// materialized at creation, so no parent pointer is needed — the
+    /// parent is simply the node owning the `level − 1` prefix.
+    path_start: usize,
+    /// 1-based level (= path length).
+    level: usize,
     /// Estimated frequency set by the server after a user round.
     freq: f64,
     /// Dead nodes are pruned: excluded from candidate lists and expansion.
@@ -58,6 +64,11 @@ pub struct ShapeTrie {
     /// `levels[ℓ]` lists the node ids at level `ℓ + 1` (level 0, the root,
     /// is implicit and not stored in the arena).
     levels: Vec<Vec<NodeId>>,
+    /// Every node's full root-to-node path, written once at creation
+    /// (`nodes[id]` owns `paths[path_start..path_start + level]`). Keeping
+    /// paths flat and incremental lets [`ShapeTrie::candidate_table`] emit
+    /// a whole level in O(total symbols) with no parent-pointer chasing.
+    paths: Vec<Symbol>,
 }
 
 impl ShapeTrie {
@@ -70,6 +81,7 @@ impl ShapeTrie {
             alphabet,
             nodes: Vec::new(),
             levels: Vec::new(),
+            paths: Vec::new(),
         })
     }
 
@@ -101,9 +113,13 @@ impl ShapeTrie {
             // Root → level 1: all symbols are candidates.
             for s in 0..self.alphabet {
                 let id = self.nodes.len();
+                let symbol = Symbol::from_index(s as u8);
+                let path_start = self.paths.len();
+                self.paths.push(symbol);
                 self.nodes.push(Node {
-                    symbol: Symbol::from_index(s as u8),
-                    parent: None,
+                    symbol,
+                    path_start,
+                    level: 1,
                     freq: 0.0,
                     alive: true,
                 });
@@ -120,6 +136,8 @@ impl ShapeTrie {
                 .collect();
             for parent_id in frontier {
                 let x = self.nodes[parent_id].symbol;
+                let parent_start = self.nodes[parent_id].path_start;
+                let parent_level = self.nodes[parent_id].level;
                 for s in 0..self.alphabet {
                     let y = Symbol::from_index(s as u8);
                     if y == x {
@@ -131,9 +149,16 @@ impl ShapeTrie {
                         }
                     }
                     let id = self.nodes.len();
+                    // Child path = parent path + own symbol, written once
+                    // at creation so later reads never chase pointers.
+                    let path_start = self.paths.len();
+                    self.paths
+                        .extend_from_within(parent_start..parent_start + parent_level);
+                    self.paths.push(y);
                     self.nodes.push(Node {
                         symbol: y,
-                        parent: Some(parent_id),
+                        path_start,
+                        level: parent_level + 1,
                         freq: 0.0,
                         alive: true,
                     });
@@ -155,22 +180,45 @@ impl ShapeTrie {
         })
     }
 
-    /// The candidate shape (root-to-node path) for a node.
-    pub fn path(&self, mut id: NodeId) -> SymbolSeq {
-        let mut rev = Vec::new();
-        loop {
-            let node = &self.nodes[id];
-            rev.push(node.symbol);
-            match node.parent {
-                Some(p) => id = p,
-                None => break,
-            }
-        }
-        rev.reverse();
-        SymbolSeq::from_symbols(rev)
+    /// The candidate shape (root-to-node path) for a node, borrowed from
+    /// the trie's flat path buffer — O(1), no allocation, no
+    /// parent-pointer walk.
+    pub fn path_slice(&self, id: NodeId) -> &[Symbol] {
+        let node = &self.nodes[id];
+        &self.paths[node.path_start..node.path_start + node.level]
     }
 
-    /// Live candidates (id + shape) at `level`, in creation order.
+    /// The candidate shape (root-to-node path) for a node, as an owned
+    /// sequence.
+    ///
+    /// Compatibility shim over [`ShapeTrie::path_slice`]; prefer the slice
+    /// (or [`ShapeTrie::candidate_table`] for whole levels) on hot paths —
+    /// this allocates per call.
+    pub fn path(&self, id: NodeId) -> SymbolSeq {
+        SymbolSeq::from_symbols(self.path_slice(id).to_vec())
+    }
+
+    /// Live candidates at `level` as a packed [`CandidateTable`] plus the
+    /// node ids backing each row, in creation order.
+    ///
+    /// Runs in O(total symbols at the level): each row is one `memcpy`
+    /// out of the flat path buffer.
+    pub fn candidate_table(
+        &self,
+        level: usize,
+    ) -> Result<(Vec<NodeId>, CandidateTable), TrieError> {
+        let nodes = self.live_nodes(level)?;
+        let mut table = CandidateTable::with_capacity(nodes.len(), nodes.len() * level);
+        for &id in &nodes {
+            table.push(self.path_slice(id));
+        }
+        Ok((nodes, table))
+    }
+
+    /// Live candidates (id + owned shape) at `level`, in creation order.
+    ///
+    /// Compatibility shim (allocates one `SymbolSeq` per row); hot paths
+    /// use [`ShapeTrie::candidate_table`].
     pub fn candidates(&self, level: usize) -> Result<Vec<(NodeId, SymbolSeq)>, TrieError> {
         Ok(self
             .live_nodes(level)?
@@ -197,11 +245,13 @@ impl ShapeTrie {
         if live.len() <= m {
             return Ok(0);
         }
+        // `total_cmp`, not `partial_cmp(..).unwrap()`: a NaN frequency
+        // estimate must never panic the server mid-session (NaN orders
+        // above every finite value here, i.e. it sorts as most frequent).
         live.sort_by(|&a, &b| {
             self.nodes[b]
                 .freq
-                .partial_cmp(&self.nodes[a].freq)
-                .unwrap()
+                .total_cmp(&self.nodes[a].freq)
                 .then(a.cmp(&b))
         });
         let mut pruned = 0;
@@ -229,8 +279,7 @@ impl ShapeTrie {
             let keep = live.iter().copied().max_by(|&a, &b| {
                 self.nodes[a]
                     .freq
-                    .partial_cmp(&self.nodes[b].freq)
-                    .unwrap()
+                    .total_cmp(&self.nodes[b].freq)
                     .then(b.cmp(&a))
             });
             let mut pruned = 0;
@@ -264,7 +313,7 @@ impl ShapeTrie {
             .filter(|&id| self.nodes[id].alive)
             .map(|id| (id, self.path(id), self.nodes[id].freq))
             .collect();
-        out.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
         out
     }
 
@@ -430,5 +479,51 @@ mod tests {
         let t = ShapeTrie::new(3).unwrap();
         assert!(t.leaves_by_freq().is_empty());
         assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn candidate_table_matches_candidates() {
+        let mut t = ShapeTrie::new(4).unwrap();
+        for level in 1..=3 {
+            let created = t.expand_next_level(None);
+            for (j, &id) in created.iter().enumerate() {
+                t.set_freq(id, (j % 5) as f64);
+            }
+            t.prune_top_m(level, 7).unwrap();
+            let (ids, table) = t.candidate_table(level).unwrap();
+            let legacy = t.candidates(level).unwrap();
+            assert_eq!(ids.len(), legacy.len());
+            assert_eq!(table.len(), legacy.len());
+            for (row, (id, (legacy_id, shape))) in ids.iter().zip(&legacy).enumerate() {
+                assert_eq!(id, legacy_id);
+                assert_eq!(table.row(row), shape.symbols());
+                assert_eq!(t.path_slice(*id), shape.symbols());
+            }
+        }
+        assert!(t.candidate_table(0).is_err());
+        assert!(t.candidate_table(4).is_err());
+    }
+
+    #[test]
+    fn nan_frequencies_never_panic_pruning() {
+        let mut t = ShapeTrie::new(3).unwrap();
+        let ids = t.expand_next_level(None);
+        t.set_freq(ids[0], f64::NAN);
+        t.set_freq(ids[1], 2.0);
+        t.set_freq(ids[2], 1.0);
+        // total_cmp orders NaN above every finite value, so it survives
+        // top-m pruning deterministically instead of panicking.
+        t.prune_top_m(1, 2).unwrap();
+        assert_eq!(t.live_nodes(1).unwrap().len(), 2);
+
+        let mut t2 = ShapeTrie::new(3).unwrap();
+        let ids2 = t2.expand_next_level(None);
+        for &id in &ids2 {
+            t2.set_freq(id, f64::NAN);
+        }
+        t2.prune_threshold(1, 5.0).unwrap();
+        assert_eq!(t2.live_nodes(1).unwrap().len(), 1);
+        t2.expand_next_level(None);
+        let _ = t2.leaves_by_freq();
     }
 }

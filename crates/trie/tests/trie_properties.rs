@@ -100,6 +100,51 @@ proptest! {
         }
     }
 
+    /// The packed candidate table must agree with the per-node `path()`
+    /// reconstruction (rows, ids, and order) for arbitrary expand/prune
+    /// schedules, and its rows must stay prefix-closed in the flat buffer:
+    /// every level-ℓ row's (ℓ−1)-prefix is the path of some level-(ℓ−1)
+    /// node.
+    #[test]
+    fn candidate_table_matches_path_reconstruction(
+        t in 2usize..7,
+        rounds in rounds_strategy(),
+    ) {
+        let mut trie = ShapeTrie::new(t).unwrap();
+        for (i, round) in rounds.iter().enumerate() {
+            let level = i + 1;
+            let created = trie.expand_next_level(None);
+            for (j, &id) in created.iter().enumerate() {
+                trie.set_freq(id, ((j * 31 + level * 7) % 19) as f64);
+            }
+            if let Some(keep) = round.keep {
+                trie.prune_top_m(level, keep).unwrap();
+            }
+            let (ids, table) = trie.candidate_table(level).unwrap();
+            let legacy = trie.candidates(level).unwrap();
+            prop_assert_eq!(table.len(), legacy.len());
+            prop_assert_eq!(table.total_symbols(), legacy.len() * level);
+            for (row, (&id, (legacy_id, shape))) in ids.iter().zip(&legacy).enumerate() {
+                prop_assert_eq!(id, *legacy_id);
+                prop_assert_eq!(table.row(row), shape.symbols());
+                prop_assert_eq!(trie.path_slice(id), shape.symbols());
+            }
+            if level >= 2 {
+                // Prefix closure through the flat buffer: each row's
+                // prefix is some previous level's path (parent may be
+                // pruned dead, so search all nodes via the previous
+                // level's table built before pruning is irrelevant —
+                // check against every node id's path at level − 1).
+                for row in table.rows() {
+                    let prefix = &row[..level - 1];
+                    let found = (0..trie.node_count())
+                        .any(|id| trie.path_slice(id) == prefix);
+                    prop_assert!(found, "orphan row prefix");
+                }
+            }
+        }
+    }
+
     #[test]
     fn bigram_constrained_expansion_is_a_subset(
         t in 3usize..6,
