@@ -114,6 +114,70 @@ fn bench_distance_workspace(c: &mut Criterion) {
     group.finish();
 }
 
+/// An 18-row table of depth-`depth` trie siblings (6 live parents × 3
+/// children), the candidate shape a deep expand round broadcasts at k = 6.
+fn sibling_table(depth: usize) -> CandidateTable {
+    let mut trie = ShapeTrie::new(4).expect("valid alphabet");
+    for level in 1..=depth {
+        let created = trie.expand_next_level(None);
+        for (i, &id) in created.iter().enumerate() {
+            trie.set_freq(id, (i % 7) as f64);
+        }
+        trie.prune_top_m(level, if level < depth { 6 } else { 18 })
+            .expect("level exists");
+    }
+    trie.candidate_table(depth).expect("level exists").1
+}
+
+/// The tentpole claim, measured: scoring a prefix-ordered sibling batch
+/// through the LCP-resuming table scorer must beat recomputing every DP
+/// table from row zero (`dist_batch_with` over the same rows), and the
+/// early-abandoned argmin must beat both when only the nearest row is
+/// needed.
+fn bench_prefix_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/prefix_batch");
+    let own = SymbolSeq::parse("acbdcbadcbab").unwrap();
+    for depth in [3usize, 6] {
+        let table = sibling_table(depth);
+        assert_eq!(table.len(), 18, "sibling batch should be 18 rows");
+        for kind in [DistanceKind::Dtw, DistanceKind::Sed] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind}_flat"), depth),
+                &depth,
+                |bch, _| {
+                    let mut ws = DistanceWorkspace::new();
+                    bch.iter(|| {
+                        let scores = kind.dist_batch_with(&mut ws, own.symbols(), table.rows());
+                        black_box(scores.last().copied())
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind}_prefix"), depth),
+                &depth,
+                |bch, _| {
+                    let mut ws = DistanceWorkspace::new();
+                    bch.iter(|| {
+                        let scores = kind.dist_batch_table(&mut ws, own.symbols(), &table);
+                        black_box(scores.last().copied())
+                    });
+                },
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("dtw_argmin_abandon", depth),
+            &depth,
+            |bch, _| {
+                let mut ws = DistanceWorkspace::new();
+                bch.iter(|| {
+                    black_box(DistanceKind::Dtw.argmin_table(&mut ws, own.symbols(), &table))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_ldp(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate/ldp");
     let eps = Epsilon::new(4.0).unwrap();
@@ -165,6 +229,7 @@ criterion_group!(
     bench_sax,
     bench_distances,
     bench_distance_workspace,
+    bench_prefix_batch,
     bench_ldp,
     bench_trie
 );

@@ -8,9 +8,13 @@
 //!
 //! `--users` sets the largest fleet in the sweep (smaller points are N/4
 //! and N/2); candidate pressure is swept via `k` (the per-level candidate
-//! cap is `c·k`).
+//! cap is `c·k`). On top of the grid, one *deep-level* point runs the
+//! largest fleet at k = 6 with a doubled SAX word length, pushing the trie
+//! to deeper levels where the prefix-sharing batch scorer has the most
+//! shared DP state to reuse; every point records the per-level candidate
+//! row counts so the sharing opportunity is visible in the artifact.
 
-use privshape::protocol::Session;
+use privshape::protocol::{RoundSpec, Session};
 use privshape::{PrivShapeConfig, SimulatedFleet};
 use privshape_bench::ExpCtx;
 use privshape_datasets::{generate_symbols_like, SymbolsLikeConfig};
@@ -32,10 +36,16 @@ struct SweepPoint {
     users: usize,
     k: usize,
     max_candidates: usize,
+    /// Whether this is the deep-level point (doubled SAX word length ⇒
+    /// longer symbol sequences ⇒ deeper trie).
+    deep: bool,
     enroll_secs: f64,
     loop_secs: f64,
     reports: usize,
     stages: BTreeMap<&'static str, StageStats>,
+    /// Candidate rows broadcast per expand level (`level → rows`): the
+    /// prefix-sharing opportunity at each depth.
+    level_candidates: BTreeMap<usize, usize>,
 }
 
 /// JSON-safe stage key (`refine (unlabeled)` → `refine`).
@@ -47,8 +57,9 @@ fn stage_key(name: &'static str) -> &'static str {
     }
 }
 
-fn run_point(users: usize, k: usize, eps: f64, seed: u64) -> SweepPoint {
+fn run_point(users: usize, k: usize, eps: f64, seed: u64, deep: bool) -> SweepPoint {
     let (w, t, _) = privshape_bench::symbols_settings();
+    let w = if deep { w * 2 } else { w };
     let data = generate_symbols_like(&SymbolsLikeConfig {
         n_per_class: (users / 6).max(1),
         seed,
@@ -70,9 +81,16 @@ fn run_point(users: usize, k: usize, eps: f64, seed: u64) -> SweepPoint {
     let enroll_secs = started.elapsed().as_secs_f64();
 
     let mut stages: BTreeMap<&'static str, StageStats> = BTreeMap::new();
+    let mut level_candidates: BTreeMap<usize, usize> = BTreeMap::new();
     let mut reports = 0usize;
     let loop_started = Instant::now();
     while let Some(spec) = session.next_round().expect("protocol advances") {
+        if let RoundSpec::Expand {
+            level, candidates, ..
+        } = &spec
+        {
+            level_candidates.insert(*level, candidates.len());
+        }
         let stage_started = Instant::now();
         let batch = fleet.answer(&spec).expect("clients answer");
         let answered_secs = stage_started.elapsed().as_secs_f64();
@@ -90,10 +108,12 @@ fn run_point(users: usize, k: usize, eps: f64, seed: u64) -> SweepPoint {
         users: n,
         k,
         max_candidates,
+        deep,
         enroll_secs,
         loop_secs,
         reports,
         stages,
+        level_candidates,
     }
 }
 
@@ -107,30 +127,59 @@ fn main() {
     let mut points = Vec::new();
     println!("== scaling smoke (max users={}, eps={eps}) ==", ctx.users);
     println!(
-        "{:>8} {:>4} {:>6} {:>10} {:>12} {:>14}",
-        "users", "k", "cands", "reports", "loop secs", "reports/sec"
+        "{:>8} {:>4} {:>6} {:>6} {:>7} {:>10} {:>12} {:>14}",
+        "users", "k", "cands", "deep", "levels", "reports", "loop secs", "reports/sec"
     );
+    let mut grid: Vec<(usize, usize, bool)> = Vec::new();
     for &users in &fleet_sizes {
         for &k in &ks {
-            let p = run_point(users, k, eps, ctx.seed);
-            let rps = p.reports as f64 / p.loop_secs.max(1e-9);
-            println!(
-                "{:>8} {:>4} {:>6} {:>10} {:>12.3} {:>14.0}",
-                p.users, p.k, p.max_candidates, p.reports, p.loop_secs, rps
-            );
-            points.push(p);
+            grid.push((users, k, false));
         }
+    }
+    // The deep-level point: largest fleet, heaviest candidate pressure,
+    // doubled SAX word ⇒ deeper trie levels with more shared prefix per
+    // sibling batch.
+    grid.push((ctx.users, 6, true));
+    for (users, k, deep) in grid {
+        let p = run_point(users, k, eps, ctx.seed, deep);
+        let rps = p.reports as f64 / p.loop_secs.max(1e-9);
+        println!(
+            "{:>8} {:>4} {:>6} {:>6} {:>7} {:>10} {:>12.3} {:>14.0}",
+            p.users,
+            p.k,
+            p.max_candidates,
+            p.deep,
+            p.level_candidates.len(),
+            p.reports,
+            p.loop_secs,
+            rps
+        );
+        points.push(p);
     }
 
     // Hand-rolled JSON (the workspace is offline — no serde).
     let mut json = String::from("{\n  \"sweeps\": [\n");
     for (i, p) in points.iter().enumerate() {
         let rps = p.reports as f64 / p.loop_secs.max(1e-9);
+        let levels: Vec<String> = p
+            .level_candidates
+            .iter()
+            .map(|(level, rows)| format!("[{level}, {rows}]"))
+            .collect();
         json.push_str(&format!(
-            "    {{\n      \"users\": {}, \"k\": {}, \"max_candidates\": {},\n      \
+            "    {{\n      \"users\": {}, \"k\": {}, \"max_candidates\": {}, \"deep\": {},\n      \
              \"enroll_secs\": {:.6}, \"round_loop_secs\": {:.6},\n      \
-             \"reports\": {}, \"reports_per_sec\": {:.1},\n      \"stages\": {{\n",
-            p.users, p.k, p.max_candidates, p.enroll_secs, p.loop_secs, p.reports, rps
+             \"reports\": {}, \"reports_per_sec\": {:.1},\n      \
+             \"level_candidates\": [{}],\n      \"stages\": {{\n",
+            p.users,
+            p.k,
+            p.max_candidates,
+            p.deep,
+            p.enroll_secs,
+            p.loop_secs,
+            p.reports,
+            rps,
+            levels.join(", ")
         ));
         let n_stages = p.stages.len();
         for (j, (stage, s)) in p.stages.iter().enumerate() {

@@ -18,10 +18,13 @@ use privshape_timeseries::TimeSeries;
 #[derive(Debug)]
 pub struct SimulatedFleet {
     clients: Vec<UserClient>,
-    /// One persistent scoring workspace per worker thread: the DTW rows and
-    /// index buffers grow once and stay warm across every round of the
-    /// session (workspaces never influence results — per-user RNG streams
-    /// keep the fleet deterministic for any thread count).
+    /// One persistent scoring workspace per worker thread: the DP row
+    /// stack, index buffers, and batch buffer grow once and stay warm
+    /// across every round of the session, so each worker scores whole
+    /// prefix-ordered candidate tables with shared-state reuse and zero
+    /// steady-state allocation (workspaces never influence results —
+    /// per-user RNG streams keep the fleet deterministic for any thread
+    /// count).
     workspaces: Vec<DistanceWorkspace>,
 }
 

@@ -1,8 +1,9 @@
 //! Runtime-selectable distance over symbol sequences.
 
+use crate::prefix;
 use crate::workspace::DistanceWorkspace;
 use crate::{euclidean_padded, hausdorff, sed};
-use privshape_timeseries::{Symbol, SymbolSeq};
+use privshape_timeseries::{CandidateTable, Symbol, SymbolSeq};
 
 /// A distance measure over [`SymbolSeq`]s.
 ///
@@ -93,6 +94,98 @@ impl DistanceKind {
         }
         ws.batch = batch;
         &mut ws.batch
+    }
+
+    /// Distances from `own` to every row of a packed [`CandidateTable`],
+    /// written into the workspace's batch buffer.
+    ///
+    /// Same results as [`DistanceKind::dist_batch_with`] over
+    /// `table.rows()` — bit-identical, row for row — but the table's
+    /// precomputed LCP index ([`CandidateTable::lcp`]) lets DTW, SED, and
+    /// Euclidean *resume* dynamic-programming state shared between
+    /// consecutive rows instead of recomputing it: a prefix-ordered trie
+    /// level costs O(#distinct trie symbols · n) rather than
+    /// O(Σ|cᵢ| · n). Hausdorff has no prefix decomposition and takes the
+    /// flat path. Zero allocation in steady state.
+    pub fn dist_batch_table<'w>(
+        &self,
+        ws: &'w mut DistanceWorkspace,
+        own: &[Symbol],
+        table: &CandidateTable,
+    ) -> &'w mut [f64] {
+        match self {
+            DistanceKind::Dtw => {
+                ws.load_own(own);
+                let DistanceWorkspace {
+                    stack, ia, batch, ..
+                } = ws;
+                prefix::dtw_batch(stack, ia, table, batch);
+            }
+            DistanceKind::Sed => {
+                let DistanceWorkspace { stack, batch, .. } = ws;
+                prefix::sed_batch(stack, own, table, batch);
+            }
+            DistanceKind::Euclidean => {
+                ws.load_own(own);
+                let DistanceWorkspace {
+                    stack, ia, batch, ..
+                } = ws;
+                prefix::euc_batch(stack, ia, table, batch);
+            }
+            DistanceKind::Hausdorff => return self.dist_batch_with(ws, own, table.rows()),
+        }
+        &mut ws.batch
+    }
+
+    /// `(row, distance)` of the first table row nearest to `own` under
+    /// this measure, or `None` for an empty table.
+    ///
+    /// Equivalent to a full [`DistanceKind::dist_batch_table`] scan
+    /// followed by a first-strict-minimum fold, but the argmin-only
+    /// contract enables **early abandoning** on top of prefix reuse: DP
+    /// values only grow with candidate depth, so once a shared row's
+    /// minimum exceeds the running best, every candidate extending that
+    /// prefix is skipped without touching its suffix. Ties resolve to the
+    /// earlier row, exactly like the full scan.
+    pub fn argmin_table(
+        &self,
+        ws: &mut DistanceWorkspace,
+        own: &[Symbol],
+        table: &CandidateTable,
+    ) -> Option<(usize, f64)> {
+        if table.is_empty() {
+            return None;
+        }
+        Some(match self {
+            DistanceKind::Dtw => {
+                ws.load_own(own);
+                let DistanceWorkspace {
+                    stack, mins, ia, ..
+                } = ws;
+                prefix::dtw_argmin(stack, mins, ia, table)
+            }
+            DistanceKind::Sed => {
+                let DistanceWorkspace { stack, mins, .. } = ws;
+                prefix::sed_argmin(stack, mins, own, table)
+            }
+            DistanceKind::Euclidean => {
+                ws.load_own(own);
+                let DistanceWorkspace {
+                    stack, mins, ia, ..
+                } = ws;
+                prefix::euc_argmin(stack, mins, ia, table)
+            }
+            DistanceKind::Hausdorff => {
+                let mut best = (0usize, f64::INFINITY);
+                for (i, row) in table.rows().enumerate() {
+                    let d = self.dist_with(ws, own, row);
+                    if d < best.1 {
+                        best = (i, d);
+                    }
+                }
+                best
+            }
+        })
     }
 
     /// Short lowercase name used in experiment output (`dtw`, `sed`, …).

@@ -15,7 +15,12 @@
 //! ([`DistanceKind::dist_with`], [`DistanceKind::dist_batch_with`]) that
 //! keeps DTW rows and index buffers alive across calls; the plain
 //! [`DistanceKind::dist`] is a convenience wrapper over the same code
-//! path, so both produce bit-identical results.
+//! path, so both produce bit-identical results. Whole candidate batches
+//! are scored with [`DistanceKind::dist_batch_table`] /
+//! [`DistanceKind::argmin_table`], which exploit the packed table's LCP
+//! index to resume dynamic-programming state shared between
+//! prefix-ordered candidates (one trie walk instead of one DP table per
+//! sibling) — still bit-identical to the flat path.
 //!
 //! # Example
 //!
@@ -33,6 +38,7 @@ mod dtw;
 mod euclidean;
 mod hausdorff;
 mod kind;
+mod prefix;
 mod score;
 mod sed;
 mod workspace;

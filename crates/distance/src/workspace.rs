@@ -12,11 +12,16 @@
 use crate::dtw::Dtw;
 use privshape_timeseries::Symbol;
 
-/// Scratch buffers for [`DistanceKind::dist_with`](crate::DistanceKind::dist_with)
-/// and [`DistanceKind::dist_batch_with`](crate::DistanceKind::dist_batch_with).
+/// Scratch buffers for [`DistanceKind::dist_with`](crate::DistanceKind::dist_with),
+/// [`DistanceKind::dist_batch_with`](crate::DistanceKind::dist_batch_with),
+/// and the prefix-resumable table scorers
+/// ([`DistanceKind::dist_batch_table`](crate::DistanceKind::dist_batch_table),
+/// [`DistanceKind::argmin_table`](crate::DistanceKind::argmin_table)).
 ///
-/// Holds the DTW rolling rows, the two symbol→`f64` index buffers, and a
-/// batch-score output buffer. Buffers only ever grow, so a workspace that
+/// Holds the DTW rolling rows, the two symbol→`f64` index buffers, a
+/// batch-score output buffer, and the depth-indexed DP row stack (plus its
+/// per-depth minima) that lets table scoring resume shared state across
+/// prefix-ordered candidates. Buffers only ever grow, so a workspace that
 /// has seen the longest sequence in a population never allocates again.
 /// Results are bit-identical to the allocating path (enforced by the
 /// workspace-equality property test).
@@ -39,6 +44,11 @@ pub struct DistanceWorkspace {
     pub(crate) ia: Vec<f64>,
     pub(crate) ib: Vec<f64>,
     pub(crate) batch: Vec<f64>,
+    /// Depth-indexed DP rows (DTW / SED) or prefix sums (Euclidean) for
+    /// the prefix-resumable table scorers.
+    pub(crate) stack: Vec<f64>,
+    /// Per-depth row minima backing early-abandoned argmin scans.
+    pub(crate) mins: Vec<f64>,
 }
 
 impl DistanceWorkspace {
@@ -54,6 +64,13 @@ impl DistanceWorkspace {
         self.ia.extend(a.iter().map(|s| s.index() as f64));
         self.ib.clear();
         self.ib.extend(b.iter().map(|s| s.index() as f64));
+    }
+
+    /// Fills only the own-sequence index buffer (table scorers read the
+    /// candidate symbols straight out of the packed table).
+    pub(crate) fn load_own(&mut self, a: &[Symbol]) {
+        self.ia.clear();
+        self.ia.extend(a.iter().map(|s| s.index() as f64));
     }
 }
 

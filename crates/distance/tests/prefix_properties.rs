@@ -1,0 +1,117 @@
+//! Property tests for the prefix-resumable table scorers: resuming shared
+//! DP state across candidates must be a pure optimization — bit-identical
+//! distances and identical argmins versus the flat per-candidate path, for
+//! every distance kind, on prefix-ordered *and* arbitrarily ordered tables.
+
+use privshape_distance::{DistanceKind, DistanceWorkspace};
+use privshape_timeseries::{CandidateTable, Symbol, SymbolSeq};
+use proptest::prelude::*;
+
+fn seq_strategy() -> impl Strategy<Value = SymbolSeq> {
+    // A small alphabet over moderately long rows makes shared prefixes
+    // (and therefore real DP-state reuse) common rather than accidental.
+    prop::collection::vec(0u8..4, 0..16)
+        .prop_map(|v| SymbolSeq::from_symbols(v.into_iter().map(Symbol::from_index).collect()))
+}
+
+fn table_of(rows: &[SymbolSeq]) -> CandidateTable {
+    let mut t = CandidateTable::new();
+    for row in rows {
+        t.push_seq(row);
+    }
+    t
+}
+
+/// Lexicographically sorted rows — the maximal-prefix-sharing order, the
+/// shape of a trie level in creation order.
+fn trie_ordered(rows: &[SymbolSeq]) -> Vec<SymbolSeq> {
+    let mut sorted = rows.to_vec();
+    sorted.sort_by(|a, b| a.symbols().cmp(b.symbols()));
+    sorted
+}
+
+/// Exact equality that also accepts two same-signed infinities.
+fn same(a: f64, b: f64) -> bool {
+    a == b || (a.is_infinite() && b.is_infinite() && a.signum() == b.signum())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The table batch scorer equals the flat allocating path bit for bit,
+    /// row for row — whether or not the rows arrive in prefix order, and
+    /// with one workspace reused across every kind and both orders.
+    #[test]
+    fn prefix_batch_is_bit_identical_to_flat(
+        own in seq_strategy(),
+        rows in prop::collection::vec(seq_strategy(), 0..14),
+    ) {
+        let mut ws = DistanceWorkspace::new();
+        for ordered in [trie_ordered(&rows), rows.clone()] {
+            let table = table_of(&ordered);
+            for kind in DistanceKind::ALL {
+                let batch = kind.dist_batch_table(&mut ws, own.symbols(), &table).to_vec();
+                prop_assert_eq!(batch.len(), ordered.len());
+                for (got, cand) in batch.iter().zip(&ordered) {
+                    let want = kind.dist(&own, cand);
+                    prop_assert!(
+                        same(*got, want),
+                        "{} on {} vs {}: {} != {}", kind, own, cand, got, want
+                    );
+                }
+            }
+        }
+    }
+
+    /// The LCP index survives arbitrary interleavings of pushes: it never
+    /// exceeds either adjacent row length and always equals the true
+    /// common prefix.
+    #[test]
+    fn lcp_index_is_exact_for_any_insertion_order(
+        rows in prop::collection::vec(seq_strategy(), 1..14),
+    ) {
+        let table = table_of(&rows);
+        prop_assert_eq!(table.lcp(0), 0);
+        for i in 1..table.len() {
+            let want = table
+                .row(i - 1)
+                .iter()
+                .zip(table.row(i))
+                .take_while(|(a, b)| a == b)
+                .count();
+            prop_assert_eq!(table.lcp(i), want);
+            prop_assert!(table.lcp(i) <= table.row(i).len());
+            prop_assert!(table.lcp(i) <= table.row(i - 1).len());
+        }
+    }
+
+    /// Early-abandoned argmin returns exactly what a full scan folded with
+    /// first-strict-minimum returns: same row index, same distance.
+    #[test]
+    fn early_abandon_argmin_equals_full_scan(
+        own in seq_strategy(),
+        rows in prop::collection::vec(seq_strategy(), 1..14),
+    ) {
+        let mut ws = DistanceWorkspace::new();
+        for ordered in [trie_ordered(&rows), rows.clone()] {
+            let table = table_of(&ordered);
+            for kind in DistanceKind::ALL {
+                let mut want = (0usize, f64::INFINITY);
+                for (i, cand) in ordered.iter().enumerate() {
+                    let d = kind.dist(&own, cand);
+                    if d < want.1 {
+                        want = (i, d);
+                    }
+                }
+                let got = kind
+                    .argmin_table(&mut ws, own.symbols(), &table)
+                    .expect("non-empty table");
+                prop_assert_eq!(got.0, want.0, "{} on {}", kind, own);
+                prop_assert!(
+                    same(got.1, want.1),
+                    "{} on {}: {} != {}", kind, own, got.1, want.1
+                );
+            }
+        }
+    }
+}

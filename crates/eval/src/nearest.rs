@@ -3,12 +3,15 @@
 //! extracted shapes to ground-truth centers (Figs. 8/10).
 
 use privshape_distance::{DistanceKind, DistanceWorkspace, Dtw};
-use privshape_timeseries::SymbolSeq;
+use privshape_timeseries::{CandidateTable, SymbolSeq};
 
 /// A 1-NN classifier whose prototypes are extracted shapes.
 #[derive(Debug, Clone)]
 pub struct NearestShape {
     shapes: Vec<(SymbolSeq, usize)>,
+    /// The prototypes packed once at construction, so every query scores
+    /// through the prefix-resumable, early-abandoned table scorer.
+    table: CandidateTable,
     distance: DistanceKind,
 }
 
@@ -20,7 +23,16 @@ impl NearestShape {
     /// Panics if no prototype is given.
     pub fn new(shapes: Vec<(SymbolSeq, usize)>, distance: DistanceKind) -> Self {
         assert!(!shapes.is_empty(), "need at least one prototype shape");
-        Self { shapes, distance }
+        let mut table =
+            CandidateTable::with_capacity(shapes.len(), shapes.iter().map(|(s, _)| s.len()).sum());
+        for (shape, _) in &shapes {
+            table.push_seq(shape);
+        }
+        Self {
+            shapes,
+            table,
+            distance,
+        }
     }
 
     /// Builds an *unlabeled* variant where each shape is its own class —
@@ -54,21 +66,21 @@ impl NearestShape {
 
     /// [`NearestShape::nearest`] scoring through a caller-provided
     /// workspace (batch loops keep one workspace across all queries).
+    ///
+    /// Runs the prefix-resumable argmin scan over the packed prototype
+    /// table — shared-prefix prototypes reuse DP rows, and subtrees whose
+    /// shared rows already exceed the running best are abandoned early.
+    /// Ties resolve to the earlier prototype, as before.
     pub fn nearest_with(
         &self,
         ws: &mut DistanceWorkspace,
         query: &SymbolSeq,
     ) -> (usize, usize, f64) {
-        let mut best = (0usize, self.shapes[0].1, f64::INFINITY);
-        for (i, (shape, label)) in self.shapes.iter().enumerate() {
-            let d = self
-                .distance
-                .dist_with(ws, query.symbols(), shape.symbols());
-            if d < best.2 {
-                best = (i, *label, d);
-            }
-        }
-        best
+        let (i, d) = self
+            .distance
+            .argmin_table(ws, query.symbols(), &self.table)
+            .expect("table is non-empty by construction");
+        (i, self.shapes[i].1, d)
     }
 
     /// Classifies a batch through one shared workspace (no per-pair

@@ -298,10 +298,12 @@ impl UserClient {
     /// EM selection among candidates (Eq. (2)): prefix-clipped during
     /// expansion (`Some(level)`), full-sequence in refinement (`None`).
     ///
-    /// Scores every table row through the workspace — the own-sequence
-    /// prefix is a borrow, each candidate is a borrowed row, and the
-    /// distances land in the workspace's batch buffer, so a warmed-up
-    /// client allocates nothing here.
+    /// Scores every table row through the workspace's prefix-resumable
+    /// batch scorer — trie-level candidates are prefix-ordered siblings,
+    /// so shared DP rows are computed once per distinct trie symbol
+    /// instead of once per candidate, and the distances land in the
+    /// workspace's batch buffer: a warmed-up client allocates nothing
+    /// here.
     fn em_select(
         &self,
         ws: &mut DistanceWorkspace,
@@ -318,10 +320,7 @@ impl UserClient {
             Some(len) => &symbols[..len.min(symbols.len())],
             None => symbols,
         };
-        let scores = self
-            .params
-            .distance
-            .dist_batch_with(ws, own, candidates.rows());
+        let scores = self.params.distance.dist_batch_table(ws, own, candidates);
         for s in scores.iter_mut() {
             *s = em_score(*s);
         }
@@ -354,15 +353,17 @@ impl UserClient {
             )));
         }
         // Nearest candidate under the configured distance (ties toward the
-        // earlier candidate — deterministic).
-        let mut best = (0usize, f64::INFINITY);
-        for (c, cand) in candidates.rows().enumerate() {
-            let d = self.params.distance.dist_with(ws, self.seq.symbols(), cand);
-            if d < best.1 {
-                best = (c, d);
-            }
-        }
-        let cell = best.0 * n_classes + label;
+        // earlier candidate — deterministic). Same batch scorer as
+        // `em_select`, plus early abandoning: only the argmin is reported,
+        // so candidate subtrees whose shared DP rows already exceed the
+        // running best are skipped outright. An empty table degrades to
+        // candidate 0 (the report then carries no candidate information).
+        let best_c = self
+            .params
+            .distance
+            .argmin_table(ws, self.seq.symbols(), candidates)
+            .map_or(0, |(c, _)| c);
+        let cell = best_c * n_classes + label;
         let mut rng = user_rng(self.params.seed, Stage::Refine, self.user);
         let cells = candidates.len() * n_classes;
         let report = if cells >= 2 {

@@ -41,6 +41,14 @@ pub struct CandidateTable {
     /// representation is canonical — equal contents always compare equal
     /// under the derived `PartialEq`/`Hash`, including empty tables.
     offsets: Vec<usize>,
+    /// `lcp[i]` is the longest common prefix (in symbols) of rows `i − 1`
+    /// and `i`; `lcp[0]` is 0. Maintained by [`CandidateTable::push`] for
+    /// *any* insertion order, so it is a pure function of the row contents
+    /// and the derived `PartialEq`/`Hash` stay canonical. Prefix-ordered
+    /// producers (a trie level in creation order) yield large values and
+    /// let batch scorers resume shared DP state; arbitrary orders merely
+    /// yield small values, never wrong ones.
+    lcp: Vec<usize>,
 }
 
 impl CandidateTable {
@@ -55,6 +63,7 @@ impl CandidateTable {
         Self {
             symbols: Vec::with_capacity(symbols),
             offsets: Vec::with_capacity(rows),
+            lcp: Vec::with_capacity(rows),
         }
     }
 
@@ -78,10 +87,28 @@ impl CandidateTable {
         Ok(table)
     }
 
-    /// Appends one row.
+    /// Appends one row, extending the LCP index in O(|row|): the common
+    /// prefix with the previous row is measured by direct comparison, so
+    /// the index is correct for arbitrary (non-trie-ordered) insertion
+    /// orders — a whole table is still built in one O(total symbols) pass.
     pub fn push(&mut self, row: &[Symbol]) {
+        let lcp = match self.offsets.len() {
+            0 => 0,
+            rows => {
+                let prev = self.row(rows - 1);
+                let lcp = prev.iter().zip(row).take_while(|(a, b)| a == b).count();
+                debug_assert!(
+                    lcp <= prev.len() && lcp <= row.len(),
+                    "lcp {lcp} exceeds a row length ({} / {})",
+                    prev.len(),
+                    row.len()
+                );
+                lcp
+            }
+        };
         self.symbols.extend_from_slice(row);
         self.offsets.push(self.symbols.len());
+        self.lcp.push(lcp);
     }
 
     /// Appends one row from an owned sequence.
@@ -102,6 +129,23 @@ impl CandidateTable {
     /// Total symbols across all rows (the size of the flat buffer).
     pub fn total_symbols(&self) -> usize {
         self.symbols.len()
+    }
+
+    /// Longest common prefix of rows `i − 1` and `i` (0 for row 0).
+    ///
+    /// Never exceeds either row's length. Batch scorers use this to resume
+    /// shared dynamic-programming state instead of recomputing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn lcp(&self, i: usize) -> usize {
+        self.lcp[i]
+    }
+
+    /// The whole LCP index (`lcps().len() == len()`).
+    pub fn lcps(&self) -> &[usize] {
+        &self.lcp
     }
 
     /// Row `i` as a borrowed slice.
@@ -268,5 +312,41 @@ mod tests {
     #[test]
     fn parse_rows_propagates_errors() {
         assert!(CandidateTable::parse_rows(&["ab", "A!"]).is_err());
+    }
+
+    #[test]
+    fn lcp_tracks_shared_prefixes() {
+        let t = table(&["abc", "abd", "ab", "abda", "ca"]);
+        assert_eq!(t.lcps(), &[0, 2, 2, 2, 0]);
+        for i in 0..t.len() {
+            assert_eq!(t.lcp(i), t.lcps()[i]);
+        }
+    }
+
+    #[test]
+    fn lcp_is_bounded_by_both_row_lengths_in_any_order() {
+        // Shrinking, growing, duplicate, and empty rows — the index must
+        // stay within both neighbours for arbitrary insertion orders.
+        let t = table(&["abab", "ab", "abab", "abab", "", "ab"]);
+        assert_eq!(t.lcps(), &[0, 2, 2, 4, 0, 0]);
+        for i in 1..t.len() {
+            assert!(t.lcp(i) <= t.row(i).len());
+            assert!(t.lcp(i) <= t.row(i - 1).len());
+        }
+    }
+
+    #[test]
+    fn lcp_is_a_pure_function_of_contents() {
+        // Same rows via different constructors ⇒ same index (and therefore
+        // the derived Eq/Hash stay canonical).
+        let rows = ["ab", "abc", "ba"];
+        let a = table(&rows);
+        let seqs: Vec<SymbolSeq> = rows.iter().map(|s| SymbolSeq::parse(s).unwrap()).collect();
+        let b = CandidateTable::from_seqs(&seqs);
+        let c: CandidateTable = seqs.iter().cloned().collect();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a.lcps(), b.lcps());
+        assert_eq!(a.lcps(), c.lcps());
     }
 }

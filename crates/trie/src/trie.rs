@@ -202,7 +202,11 @@ impl ShapeTrie {
     /// node ids backing each row, in creation order.
     ///
     /// Runs in O(total symbols at the level): each row is one `memcpy`
-    /// out of the flat path buffer.
+    /// out of the flat path buffer, and the table's LCP index
+    /// ([`CandidateTable::lcp`]) is filled in the same pass. Creation
+    /// order groups siblings under their parent, so consecutive rows with
+    /// a common parent get `lcp = level − 1` by construction — exactly
+    /// the structure the prefix-resumable batch scorers exploit.
     pub fn candidate_table(
         &self,
         level: usize,
@@ -502,6 +506,39 @@ mod tests {
         }
         assert!(t.candidate_table(0).is_err());
         assert!(t.candidate_table(4).is_err());
+    }
+
+    #[test]
+    fn candidate_table_lcp_reflects_shared_parent_paths() {
+        let mut t = ShapeTrie::new(4).unwrap();
+        t.expand_next_level(None);
+        t.expand_next_level(None);
+        t.expand_next_level(None);
+        let level = 3;
+        let (ids, table) = t.candidate_table(level).unwrap();
+        // Row 0 has no predecessor; every later row shares at least the
+        // empty prefix and at most `level` symbols with its neighbour.
+        assert_eq!(table.lcp(0), 0);
+        for i in 1..table.len() {
+            let expect = table
+                .row(i - 1)
+                .iter()
+                .zip(table.row(i))
+                .take_while(|(a, b)| a == b)
+                .count();
+            assert_eq!(table.lcp(i), expect);
+            // Same-parent siblings (paths equal up to the last symbol)
+            // share exactly level − 1 symbols.
+            if t.path_slice(ids[i - 1])[..level - 1] == t.path_slice(ids[i])[..level - 1] {
+                assert_eq!(table.lcp(i), level - 1);
+            }
+        }
+        // Sibling grouping is real: most transitions at a full level are
+        // same-parent (alphabet 4 ⇒ 36 rows from 12 parents).
+        let deep = (1..table.len())
+            .filter(|&i| table.lcp(i) == level - 1)
+            .count();
+        assert_eq!(deep, 24);
     }
 
     #[test]
