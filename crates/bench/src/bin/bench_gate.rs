@@ -1,0 +1,138 @@
+//! CI perf-regression gate: compares the freshly written `BENCH_*.json`
+//! trajectory files against the committed baselines under
+//! `results/baselines/`, prints a before/after table, and exits non-zero
+//! on any throughput regression past the threshold — so a slow ingest or
+//! scoring path fails the build instead of merging silently.
+//!
+//! Usage: `cargo run --release -p privshape-bench --bin bench_gate
+//!         [--results DIR] [--baselines DIR] [--threshold PCT] [--bless]`
+//!
+//! * `--threshold PCT` — allowed throughput drop in percent (default 25).
+//! * `--bless` — copy the fresh results over the baselines (the refresh
+//!   workflow after an intentional perf change: run the smokes, eyeball
+//!   the table, bless, commit `results/baselines/`).
+//!
+//! A missing baseline file is reported and skipped (bootstrap); a missing
+//! *fresh* file for an existing baseline fails the gate — losing a
+//! benchmark is losing coverage.
+
+use privshape_bench::gate::{self, Json, Metrics};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Metric extractor for one trajectory-file shape.
+type Extractor = fn(&Json) -> Metrics;
+
+/// The gated trajectory files and their metric extractors.
+const FILES: [(&str, Extractor); 3] = [
+    ("BENCH_protocol.json", gate::protocol_metrics),
+    ("BENCH_scaling.json", gate::scaling_metrics),
+    ("BENCH_streaming.json", gate::streaming_metrics),
+];
+
+fn parse_args() -> (PathBuf, PathBuf, f64, bool) {
+    let mut results = PathBuf::from("results");
+    let mut baselines = PathBuf::from("results/baselines");
+    let mut threshold = 25.0f64;
+    let mut bless = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--results" => {
+                results = PathBuf::from(args.next().expect("--results needs a directory"))
+            }
+            "--baselines" => {
+                baselines = PathBuf::from(args.next().expect("--baselines needs a directory"))
+            }
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold needs a percentage")
+            }
+            "--bless" => bless = true,
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    (results, baselines, threshold, bless)
+}
+
+fn load_metrics(path: &Path, extract: Extractor) -> Result<Metrics, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(extract(&doc))
+}
+
+fn main() -> ExitCode {
+    let (results, baselines, threshold_pct, bless) = parse_args();
+    let threshold = threshold_pct / 100.0;
+
+    if bless {
+        std::fs::create_dir_all(&baselines).expect("create baselines dir");
+        for (file, _) in FILES {
+            let src = results.join(file);
+            if src.exists() {
+                std::fs::copy(&src, baselines.join(file)).expect("copy baseline");
+                println!("blessed {file}");
+            } else {
+                println!("skipping {file}: no fresh results at {}", src.display());
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!("== bench gate (threshold: -{threshold_pct}% throughput) ==");
+    println!(
+        "{:<44} {:>14} {:>14} {:>8}  status",
+        "metric", "baseline", "current", "delta"
+    );
+    let mut pass = true;
+    let mut gated_files = 0usize;
+    for (file, extract) in FILES {
+        let base_path = baselines.join(file);
+        if !base_path.exists() {
+            println!("-- {file}: no baseline committed, skipping (bootstrap with --bless)");
+            continue;
+        }
+        let baseline = match load_metrics(&base_path, extract) {
+            Ok(m) => m,
+            Err(e) => {
+                println!("-- {file}: unreadable baseline: {e}");
+                pass = false;
+                continue;
+            }
+        };
+        let fresh_path = results.join(file);
+        let current = match load_metrics(&fresh_path, extract) {
+            Ok(m) => m,
+            Err(e) => {
+                println!("-- {file}: FRESH RESULTS MISSING ({e}) — did the smoke run?");
+                pass = false;
+                continue;
+            }
+        };
+        gated_files += 1;
+        let (rows, file_pass) = gate::compare(&baseline, &current, threshold);
+        for row in &rows {
+            println!("{row}");
+        }
+        pass &= file_pass;
+    }
+
+    if gated_files == 0 {
+        println!(
+            "\nno baselines found under {} — nothing gated",
+            baselines.display()
+        );
+    }
+    if pass {
+        println!("\nbench gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\nbench gate: FAIL (a throughput metric dropped more than {threshold_pct}% \
+             below its committed baseline; if intentional, refresh with --bless and commit)"
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -13,6 +13,7 @@
 pub mod args;
 pub mod classification;
 pub mod clustering;
+pub mod gate;
 pub mod output;
 pub mod quality;
 

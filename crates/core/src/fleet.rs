@@ -10,22 +10,33 @@
 use crate::par;
 use privshape_distance::DistanceWorkspace;
 use privshape_protocol::{
-    GroupAssignment, ProtocolParams, Report, Result, RoundSpec, Session, UserClient,
+    GroupAssignment, ProtocolParams, Report, Result, RoundSpec, Session, ShardAggregator,
+    UserClient,
 };
 use privshape_timeseries::TimeSeries;
+
+/// Per-worker-thread state: the scoring workspace *and* a private shard
+/// aggregator, side by side. Scoring and aggregation overlap — a worker
+/// absorbs each of its clients' reports the moment it is produced instead
+/// of parking them in a `Vec` for a second, barriered aggregation phase.
+#[derive(Debug)]
+struct FleetWorker {
+    /// Persistent scoring workspace: DP row stack, index buffers, and
+    /// batch buffer grow once and stay warm across every round of the
+    /// session (never influences results — per-user RNG streams keep the
+    /// fleet deterministic for any thread count).
+    ws: DistanceWorkspace,
+    /// This worker's shard of the open round's aggregate; `None` between
+    /// rounds. Aggregation is exact integer addition, so per-worker
+    /// sharding is unobservable in the final counts.
+    shard: Option<ShardAggregator>,
+}
 
 /// A fleet of simulated user devices.
 #[derive(Debug)]
 pub struct SimulatedFleet {
     clients: Vec<UserClient>,
-    /// One persistent scoring workspace per worker thread: the DP row
-    /// stack, index buffers, and batch buffer grow once and stay warm
-    /// across every round of the session, so each worker scores whole
-    /// prefix-ordered candidate tables with shared-state reuse and zero
-    /// steady-state allocation (workspaces never influence results —
-    /// per-user RNG streams keep the fleet deterministic for any thread
-    /// count).
-    workspaces: Vec<DistanceWorkspace>,
+    workers: Vec<FleetWorker>,
 }
 
 impl SimulatedFleet {
@@ -48,11 +59,14 @@ impl SimulatedFleet {
                 assignments[user],
             )
         });
-        let workers = par::resolve_threads(threads).min(clients.len().max(1));
-        Self {
-            clients,
-            workspaces: vec![DistanceWorkspace::new(); workers],
-        }
+        let n_workers = par::resolve_threads(threads).min(clients.len().max(1));
+        let workers = (0..n_workers)
+            .map(|_| FleetWorker {
+                ws: DistanceWorkspace::new(),
+                shard: None,
+            })
+            .collect();
+        Self { clients, workers }
     }
 
     /// Number of enrolled clients.
@@ -68,10 +82,14 @@ impl SimulatedFleet {
     /// Collects the reports of every client the round is addressed to, in
     /// user order. Each worker thread scores through its own persistent
     /// workspace, so steady-state rounds allocate nothing per candidate.
+    ///
+    /// This is the inspection path (smoke tests, explicit protocol
+    /// loops); [`SimulatedFleet::drive`] uses the overlapped
+    /// [`SimulatedFleet::answer_into_shard`] instead.
     pub fn answer(&mut self, spec: &RoundSpec) -> Result<Vec<Report>> {
         let answers =
-            par::map_slice_mut_scratch(&mut self.clients, &mut self.workspaces, |client, ws| {
-                client.answer_with(spec, ws)
+            par::map_slice_mut_scratch(&mut self.clients, &mut self.workers, |client, worker| {
+                client.answer_with(spec, &mut worker.ws)
             });
         let mut reports = Vec::new();
         for answer in answers {
@@ -82,12 +100,52 @@ impl SimulatedFleet {
         Ok(reports)
     }
 
-    /// Drives a session to completion: broadcast, answer, submit, repeat.
-    /// The session is ready for `finish`/`finish_labeled` afterwards.
+    /// Answers a round with scoring and aggregation overlapped: every
+    /// worker thread scores its slice of clients through its persistent
+    /// workspace and absorbs each report into its private shard aggregator
+    /// as soon as it is produced — no fleet-wide "all clients scored"
+    /// barrier before aggregation begins, and no round-sized report `Vec`.
+    /// The per-worker shards then reduce through
+    /// [`ShardAggregator::merge_tree`] into the round's single aggregate,
+    /// bit-identical to collecting and submitting the reports serially.
+    pub fn answer_into_shard(
+        &mut self,
+        spec: &RoundSpec,
+        session: &Session,
+    ) -> Result<ShardAggregator> {
+        let template = session.shard_aggregator()?;
+        for worker in &mut self.workers {
+            worker.shard = Some(template.clone());
+        }
+        let outcomes =
+            par::map_slice_mut_scratch(&mut self.clients, &mut self.workers, |client, worker| {
+                match client.answer_with(spec, &mut worker.ws)? {
+                    Some(report) => worker
+                        .shard
+                        .as_mut()
+                        .expect("shard installed for this round")
+                        .absorb(&report),
+                    None => Ok(()),
+                }
+            });
+        for outcome in outcomes {
+            outcome?;
+        }
+        let shards: Vec<ShardAggregator> = self
+            .workers
+            .iter_mut()
+            .filter_map(|worker| worker.shard.take())
+            .collect();
+        Ok(ShardAggregator::merge_tree(shards)?.expect("fleet has at least one worker"))
+    }
+
+    /// Drives a session to completion: broadcast, answer-and-aggregate
+    /// (overlapped, per worker), submit the merged shard, repeat. The
+    /// session is ready for `finish`/`finish_labeled` afterwards.
     pub fn drive(&mut self, session: &mut Session) -> Result<()> {
         while let Some(spec) = session.next_round()? {
-            let reports = self.answer(&spec)?;
-            session.submit(&reports)?;
+            let shard = self.answer_into_shard(&spec, session)?;
+            session.submit_shard(&shard)?;
         }
         Ok(())
     }
@@ -108,6 +166,32 @@ mod tests {
                 TimeSeries::new(v).unwrap()
             })
             .collect()
+    }
+
+    #[test]
+    fn overlapped_shard_answer_equals_collect_then_absorb() {
+        let mut cfg = PrivShapeConfig::new(
+            Epsilon::new(4.0).unwrap(),
+            1,
+            SaxParams::new(10, 3).unwrap(),
+        );
+        cfg.length_range = (1, 4);
+        let data = series(500);
+        // Two identical fleets; one answers into a shard, the other
+        // collects reports that are absorbed serially.
+        let mut session = Session::privshape(cfg, data.len()).unwrap();
+        let mut overlapped = SimulatedFleet::new(&data, None, session.params(), 4);
+        let mut collected = SimulatedFleet::new(&data, None, session.params(), 4);
+        while let Some(spec) = session.next_round().unwrap() {
+            let shard = overlapped.answer_into_shard(&spec, &session).unwrap();
+            let mut serial = session.shard_aggregator().unwrap();
+            for report in collected.answer(&spec).unwrap() {
+                serial.absorb(&report).unwrap();
+            }
+            assert_eq!(shard, serial, "round {}", spec.name());
+            session.submit_shard(&shard).unwrap();
+        }
+        session.finish().unwrap();
     }
 
     #[test]

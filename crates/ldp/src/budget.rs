@@ -28,6 +28,9 @@ pub enum LdpError {
     },
     /// The candidate list for EM selection was empty.
     NoCandidates,
+    /// A report decoded from an untrusted source violated a structural
+    /// invariant (e.g. OUE set bits not strictly ascending).
+    MalformedReport(String),
 }
 
 impl fmt::Display for LdpError {
@@ -44,6 +47,7 @@ impl fmt::Display for LdpError {
                 write!(f, "value {value} outside [{lo}, {hi}]")
             }
             LdpError::NoCandidates => write!(f, "exponential mechanism needs >= 1 candidate"),
+            LdpError::MalformedReport(msg) => write!(f, "malformed report: {msg}"),
         }
     }
 }

@@ -88,7 +88,10 @@ impl Grr {
 
 /// Server-side accumulator producing unbiased count estimates
 /// `ĉ(v) = (n_v − n·q) / (p − q)` from GRR reports.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the raw counts (and the mechanism constants), so
+/// two aggregation pipelines can be asserted bit-identical.
+#[derive(Debug, Clone, PartialEq)]
 pub struct GrrAggregator {
     counts: Vec<u64>,
     total: u64,

@@ -22,6 +22,20 @@ impl OueReport {
     pub fn set_bits(&self) -> &[usize] {
         &self.set_bits
     }
+
+    /// Rebuilds a report from its set-bit positions — the decode side of a
+    /// wire codec. The positions must be strictly ascending (the invariant
+    /// [`Oue::perturb`] always produces); anything else is refused so a
+    /// corrupted buffer can never forge a structurally invalid report.
+    pub fn from_set_bits(set_bits: Vec<usize>) -> Result<Self> {
+        if let Some(w) = set_bits.windows(2).find(|w| w[0] >= w[1]) {
+            return Err(LdpError::MalformedReport(format!(
+                "OUE set bits must be strictly ascending, got {} then {}",
+                w[0], w[1]
+            )));
+        }
+        Ok(Self { set_bits })
+    }
 }
 
 /// The OUE mechanism over a domain of `d ≥ 2` items.
@@ -94,7 +108,10 @@ impl Oue {
 
 /// Server-side accumulator for OUE reports with the unbiased estimator
 /// `ĉ(v) = (n_v − n·q) / (p − q)`.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the raw counts (and the mechanism constants), so
+/// two aggregation pipelines can be asserted bit-identical.
+#[derive(Debug, Clone, PartialEq)]
 pub struct OueAggregator {
     counts: Vec<u64>,
     total: u64,
@@ -114,6 +131,26 @@ impl OueAggregator {
     /// Ingests one report.
     pub fn add(&mut self, report: &OueReport) {
         for &bit in &report.set_bits {
+            self.counts[bit] += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Ingests one report given as raw set-bit positions — the
+    /// absorb-from-wire fast path: a decoder can stream positions straight
+    /// off a byte buffer into the counts without materializing an
+    /// [`OueReport`] (and its heap allocation) per user.
+    ///
+    /// Exactly equivalent to [`OueAggregator::add`] on a report with the
+    /// same bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a position is outside the domain; callers validate
+    /// untrusted input first (as [`crate::GrrAggregator::add`] does for its
+    /// index).
+    pub fn add_bits(&mut self, bits: &[usize]) {
+        for &bit in bits {
             self.counts[bit] += 1;
         }
         self.total += 1;
@@ -268,6 +305,40 @@ mod tests {
         right.merge(&left); // merge in the "wrong" order on purpose
         assert_eq!(right.total(), whole.total());
         assert_eq!(right.estimates(), whole.estimates());
+    }
+
+    #[test]
+    fn from_set_bits_round_trips_and_validates() {
+        let o = Oue::new(8, eps(1.0)).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        for v in 0..8 {
+            let r = o.perturb(&mut rng, v);
+            let rebuilt = OueReport::from_set_bits(r.set_bits().to_vec()).unwrap();
+            assert_eq!(rebuilt, r);
+        }
+        assert!(matches!(
+            OueReport::from_set_bits(vec![3, 3]),
+            Err(LdpError::MalformedReport(_))
+        ));
+        assert!(matches!(
+            OueReport::from_set_bits(vec![5, 2]),
+            Err(LdpError::MalformedReport(_))
+        ));
+        assert!(OueReport::from_set_bits(Vec::new()).is_ok());
+    }
+
+    #[test]
+    fn add_bits_equals_add() {
+        let o = Oue::new(10, eps(1.0)).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(8);
+        let mut via_report = OueAggregator::new(&o);
+        let mut via_bits = OueAggregator::new(&o);
+        for i in 0..200 {
+            let r = o.perturb(&mut rng, i % 10);
+            via_report.add(&r);
+            via_bits.add_bits(r.set_bits());
+        }
+        assert_eq!(via_report, via_bits);
     }
 
     #[test]

@@ -1,0 +1,467 @@
+//! Streaming, sharded report ingestion for one round.
+//!
+//! A production aggregator does not see a round's reports as one slice:
+//! they stream in from many untrusted devices, out of order, while earlier
+//! ones are still being processed. [`IngestPipeline`] is that tier as a
+//! library: a bounded MPMC queue of wire-encoded frames feeding a pool of
+//! worker threads, each of which owns a **private** [`ShardAggregator`]
+//! and absorbs frames through the allocation-free
+//! [`ShardAggregator::absorb_wire`] fast path. Closing the round
+//! ([`IngestPipeline::finish`]) drains the queue, joins the workers, and
+//! reduces the per-worker shards with [`ShardAggregator::merge_tree`].
+//!
+//! ```text
+//!  producers (submit_frame / submit_reports, any thread)
+//!      │  bounded queue of wire frames (backpressure when full)
+//!      ▼
+//!  worker 0 ──absorb_wire──► ShardAggregator 0 ─┐
+//!  worker 1 ──absorb_wire──► ShardAggregator 1 ─┤  merge_tree
+//!      ⋮                            ⋮           ├────────────► one
+//!  worker W ──absorb_wire──► ShardAggregator W ─┘              aggregate
+//! ```
+//!
+//! **Exactness.** Every aggregate is a vector of integer counts and
+//! [`ShardAggregator::merge`] is exact elementwise addition, so *which*
+//! worker absorbs a frame, the order frames arrive in, and the shape of
+//! the final merge tree are all unobservable: the result is bit-identical
+//! to a single serial absorb of the same reports (pinned by the shuffled
+//! ingest property test and the streaming session-equivalence golden).
+//!
+//! **Failure.** A malformed frame (bad bytes, wrong kind, out-of-domain
+//! value) poisons the pipeline: the failing worker records its error and
+//! closes the queue, pending producers unblock with an error, and
+//! [`IngestPipeline::finish`] surfaces the first worker error instead of a
+//! partial aggregate.
+
+use crate::error::{Error, Result};
+use crate::round::{Report, RoundSpec};
+use crate::shard::ShardAggregator;
+use privshape_ldp::Epsilon;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning knobs for an [`IngestPipeline`].
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Worker threads (each with a private shard aggregator). 0 ⇒ auto
+    /// (available parallelism, capped at 8).
+    pub workers: usize,
+    /// Maximum queued frames before [`IngestPipeline::submit_frame`]
+    /// blocks (backpressure toward the producers).
+    pub queue_capacity: usize,
+}
+
+impl Default for IngestConfig {
+    /// Auto worker count and a queue deep enough that producers rarely
+    /// stall but memory stays bounded (frames, not reports, are queued).
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_capacity: 256,
+        }
+    }
+}
+
+impl IngestConfig {
+    /// The resolved worker count (`workers`, or the auto default).
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// A bounded multi-producer multi-consumer queue of wire frames.
+///
+/// Hand-rolled on `Mutex` + `Condvar` because the workspace is offline
+/// (the vendored `crossbeam` stand-in only provides scoped threads). The
+/// queue has exactly the three states the pipeline needs: open (push and
+/// pop block on full/empty), closed (pushes fail, pops drain then return
+/// `None`), and poisoned (pushes fail *and* pops stop early — a worker hit
+/// an error, so draining the backlog would be wasted work).
+#[derive(Debug)]
+struct FrameQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    frames: VecDeque<Vec<u8>>,
+    capacity: usize,
+    closed: bool,
+    poisoned: bool,
+}
+
+impl FrameQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                frames: VecDeque::with_capacity(capacity.min(1024)),
+                capacity,
+                closed: false,
+                poisoned: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocks while the queue is full; fails once it is closed/poisoned.
+    fn push(&self, frame: Vec<u8>) -> Result<()> {
+        let mut state = self.state.lock().expect("queue lock");
+        while state.frames.len() >= state.capacity && !state.closed && !state.poisoned {
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+        if state.poisoned {
+            return Err(Error::Protocol(
+                "ingest pipeline poisoned: a worker failed (call finish for the cause)".into(),
+            ));
+        }
+        if state.closed {
+            return Err(Error::Protocol(
+                "ingest pipeline closed: submit after finish".into(),
+            ));
+        }
+        state.frames.push_back(frame);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks while the queue is open and empty; `None` once it is drained
+    /// and closed, or immediately after poisoning.
+    fn pop(&self) -> Option<Vec<u8>> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if state.poisoned {
+                return None;
+            }
+            if let Some(frame) = state.frames.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(frame);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn poison(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.poisoned = true;
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// A running multi-worker ingestion round.
+///
+/// Create one per open round ([`IngestPipeline::for_round`] or
+/// [`crate::Session::ingest_pipeline`]), feed it frames from any number of
+/// producer threads, then [`IngestPipeline::finish`] it into the single
+/// merged [`ShardAggregator`] to hand to
+/// [`crate::Session::submit_shard`].
+///
+/// # Example
+///
+/// ```
+/// use privshape_protocol::{IngestConfig, IngestPipeline, Report, RoundSpec, Audience, GroupId};
+/// use privshape_ldp::Epsilon;
+/// use privshape_timeseries::CandidateTable;
+/// use std::sync::Arc;
+///
+/// let spec = RoundSpec::Expand {
+///     audience: Audience::chunk(GroupId::Pc, 0, 1),
+///     level: 1,
+///     candidates: Arc::new(CandidateTable::parse_rows(&["a", "b", "c"]).unwrap()),
+/// };
+/// let eps = Epsilon::new(2.0).unwrap();
+/// let pipeline = IngestPipeline::for_round(
+///     &spec,
+///     eps,
+///     IngestConfig { workers: 3, queue_capacity: 8 },
+/// ).unwrap();
+/// // Frames arrive in any order, from any producer.
+/// for chunk in [[0usize, 1], [2, 2], [1, 0]] {
+///     pipeline.submit_reports(&chunk.map(Report::Expand)).unwrap();
+/// }
+/// let merged = pipeline.finish().unwrap();
+/// assert_eq!(merged.reports(), 6);
+/// assert_eq!(merged.finalize_selections().unwrap(), vec![2.0, 2.0, 2.0]);
+/// ```
+#[derive(Debug)]
+pub struct IngestPipeline {
+    queue: Arc<FrameQueue>,
+    workers: Vec<JoinHandle<Result<ShardAggregator>>>,
+}
+
+impl IngestPipeline {
+    /// Spawns the worker pool for one round. Each worker builds its shard
+    /// aggregator from the spec alone (the same construction every shard
+    /// everywhere performs), so a spec the aggregator rejects fails here,
+    /// before any thread starts.
+    pub fn for_round(spec: &RoundSpec, epsilon: Epsilon, config: IngestConfig) -> Result<Self> {
+        let n_workers = config.resolved_workers().max(1);
+        if config.queue_capacity == 0 {
+            return Err(Error::Protocol("ingest queue capacity must be >= 1".into()));
+        }
+        let shards: Vec<ShardAggregator> = (0..n_workers)
+            .map(|_| ShardAggregator::for_round(spec, epsilon))
+            .collect::<Result<_>>()?;
+        let queue = Arc::new(FrameQueue::new(config.queue_capacity));
+        let workers = shards
+            .into_iter()
+            .map(|mut shard| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    while let Some(frame) = queue.pop() {
+                        if let Err(e) = shard.absorb_wire(&frame) {
+                            // First failure wins: stop the whole round.
+                            queue.poison();
+                            return Err(e);
+                        }
+                    }
+                    Ok(shard)
+                })
+            })
+            .collect();
+        Ok(Self { queue, workers })
+    }
+
+    /// Submits one wire frame (concatenated [`Report::encode_into`]
+    /// encodings). Blocks when the queue is full; fails once the pipeline
+    /// is poisoned by a worker error.
+    pub fn submit_frame(&self, frame: Vec<u8>) -> Result<()> {
+        self.queue.push(frame)
+    }
+
+    /// Encodes a batch of reports into one frame and submits it — the
+    /// convenience path for in-process producers (tests, simulated
+    /// fleets); networked producers ship bytes and use
+    /// [`IngestPipeline::submit_frame`].
+    pub fn submit_reports(&self, reports: &[Report]) -> Result<()> {
+        let mut frame = Vec::new();
+        for report in reports {
+            report.encode_into(&mut frame);
+        }
+        self.submit_frame(frame)
+    }
+
+    /// Closes the round: no more frames are accepted, the queue drains,
+    /// workers join, and the per-worker shards reduce through
+    /// [`ShardAggregator::merge_tree`] into the round's single aggregate —
+    /// bit-identical to a serial absorb of the same reports.
+    ///
+    /// # Errors
+    ///
+    /// The first worker error (malformed frame, wrong report kind,
+    /// out-of-domain value), if any occurred.
+    pub fn finish(mut self) -> Result<ShardAggregator> {
+        self.queue.close();
+        let mut shards = Vec::with_capacity(self.workers.len());
+        let mut first_err = None;
+        for handle in std::mem::take(&mut self.workers) {
+            match handle.join() {
+                Ok(Ok(shard)) => shards.push(shard),
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Err(_) => {
+                    first_err =
+                        first_err.or_else(|| Some(Error::Protocol("ingest worker panicked".into())))
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        ShardAggregator::merge_tree(shards)?
+            .ok_or_else(|| Error::Protocol("ingest pipeline finished with zero workers".into()))
+    }
+}
+
+impl Drop for IngestPipeline {
+    /// Closes the queue so a pipeline dropped without
+    /// [`IngestPipeline::finish`] (early return, panic unwind on the
+    /// producer side) releases its workers instead of leaving them blocked
+    /// on an open, empty queue forever. The workers drain whatever was
+    /// already queued and exit; their join handles detach.
+    fn drop(&mut self) {
+        self.queue.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round::{Audience, GroupId};
+    use privshape_timeseries::CandidateTable;
+    use std::sync::Arc;
+
+    fn eps() -> Epsilon {
+        Epsilon::new(2.0).unwrap()
+    }
+
+    fn spec(n: usize) -> RoundSpec {
+        let rows: Vec<String> = (0..n)
+            .map(|i| if i % 2 == 0 { "a".into() } else { "b".into() })
+            .collect();
+        RoundSpec::Expand {
+            audience: Audience::chunk(GroupId::Pc, 0, 1),
+            level: 1,
+            candidates: Arc::new(CandidateTable::parse_rows(&rows).unwrap()),
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_serial_absorb() {
+        let spec = spec(4);
+        let reports: Vec<Report> = (0..997).map(|i| Report::Expand(i * 7 % 4)).collect();
+        let mut serial = ShardAggregator::for_round(&spec, eps()).unwrap();
+        for r in &reports {
+            serial.absorb(r).unwrap();
+        }
+        for workers in [1usize, 2, 5] {
+            let pipeline = IngestPipeline::for_round(
+                &spec,
+                eps(),
+                IngestConfig {
+                    workers,
+                    queue_capacity: 4,
+                },
+            )
+            .unwrap();
+            for chunk in reports.chunks(13) {
+                pipeline.submit_reports(chunk).unwrap();
+            }
+            let merged = pipeline.finish().unwrap();
+            assert_eq!(merged, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_are_exact() {
+        let spec = spec(3);
+        let pipeline = Arc::new(
+            IngestPipeline::for_round(
+                &spec,
+                eps(),
+                IngestConfig {
+                    workers: 3,
+                    queue_capacity: 2,
+                },
+            )
+            .unwrap(),
+        );
+        std::thread::scope(|s| {
+            for p in 0..4 {
+                let pipeline = Arc::clone(&pipeline);
+                s.spawn(move || {
+                    for i in 0..250 {
+                        pipeline
+                            .submit_reports(&[Report::Expand((p + i) % 3)])
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let merged = Arc::into_inner(pipeline).unwrap().finish().unwrap();
+        assert_eq!(merged.reports(), 1000);
+        let counts = merged.finalize_selections().unwrap();
+        assert_eq!(counts.iter().sum::<f64>(), 1000.0);
+    }
+
+    #[test]
+    fn worker_error_poisons_and_surfaces() {
+        let spec = spec(2);
+        let pipeline = IngestPipeline::for_round(
+            &spec,
+            eps(),
+            IngestConfig {
+                workers: 2,
+                queue_capacity: 4,
+            },
+        )
+        .unwrap();
+        pipeline.submit_reports(&[Report::Expand(0)]).unwrap();
+        // Out-of-domain selection: the absorbing worker fails the round.
+        pipeline.submit_reports(&[Report::Expand(9)]).unwrap();
+        // Give the pipeline a moment to poison, then submits must fail
+        // (poll rather than sleep a fixed amount — workers are fast).
+        let mut poisoned = false;
+        for _ in 0..500 {
+            if pipeline.submit_reports(&[Report::Expand(1)]).is_err() {
+                poisoned = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(
+            poisoned,
+            "pipeline never rejected submits after a bad frame"
+        );
+        assert!(matches!(pipeline.finish(), Err(Error::Protocol(_))));
+    }
+
+    #[test]
+    fn dropping_without_finish_releases_workers() {
+        let spec = spec(2);
+        let pipeline = IngestPipeline::for_round(
+            &spec,
+            eps(),
+            IngestConfig {
+                workers: 2,
+                queue_capacity: 1,
+            },
+        )
+        .unwrap();
+        pipeline.submit_reports(&[Report::Expand(0)]).unwrap();
+        let queue = Arc::clone(&pipeline.queue);
+        // Early-exit path: no finish(). Drop must close the queue so the
+        // workers drain and exit instead of blocking forever.
+        drop(pipeline);
+        for _ in 0..500 {
+            if Arc::strong_count(&queue) == 1 {
+                return; // both workers dropped their queue handles: exited
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("workers still hold the queue half a second after drop");
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        assert!(IngestPipeline::for_round(
+            &spec(2),
+            eps(),
+            IngestConfig {
+                workers: 1,
+                queue_capacity: 0,
+            },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_round_finishes_empty() {
+        let pipeline = IngestPipeline::for_round(&spec(2), eps(), IngestConfig::default()).unwrap();
+        let merged = pipeline.finish().unwrap();
+        assert_eq!(merged.reports(), 0);
+    }
+}

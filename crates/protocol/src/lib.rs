@@ -15,6 +15,10 @@
 //! * [`ShardAggregator`] — mergeable per-round partial sums (`absorb` /
 //!   `merge`), so reports can arrive in chunks from many ingestion shards
 //!   and combine associatively in any order;
+//! * [`IngestPipeline`] — the streaming tier on top of the shards: a
+//!   bounded queue of wire-encoded report frames ([`Report::encode_into`]
+//!   / [`Report::decode`], serde-free) feeding multi-worker absorption
+//!   with a tree-merge close, bit-identical to serial submission;
 //! * [`UserClient`] — one user's device: owns that user's series, derives
 //!   its group assignment and all of its randomness locally from
 //!   `(seed, user_id)`, and answers only the rounds addressed to its
@@ -73,6 +77,7 @@
 mod client;
 mod config;
 mod error;
+pub mod ingest;
 mod params;
 mod population;
 mod postprocess;
@@ -82,10 +87,12 @@ mod round;
 mod session;
 mod shard;
 mod transform;
+mod wire;
 
 pub use client::{GroupAssignment, UserClient};
 pub use config::{BaselineConfig, PopulationSplit, Preprocessing, PrivShapeConfig};
 pub use error::{Error, Result};
+pub use ingest::{IngestConfig, IngestPipeline};
 pub use params::{MechanismKind, ProtocolParams};
 pub use population::{chunk_of_rank, split_population, split_rounds, Groups};
 pub use postprocess::select_distinct_top_k;

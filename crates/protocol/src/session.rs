@@ -32,6 +32,7 @@
 
 use crate::config::{BaselineConfig, PrivShapeConfig};
 use crate::error::{Error, Result};
+use crate::ingest::{IngestConfig, IngestPipeline};
 use crate::params::ProtocolParams;
 use crate::population::{chunk_len, split_population, Groups};
 use crate::postprocess::select_distinct_top_k;
@@ -221,6 +222,20 @@ impl Session {
             ));
         };
         ShardAggregator::for_round(&open.spec, self.params.epsilon)
+    }
+
+    /// A streaming multi-worker ingest pipeline for the currently open
+    /// round: wire-encoded report frames go in (out of order, from any
+    /// number of producers), and [`IngestPipeline::finish`] hands back the
+    /// single tree-merged aggregate for [`Session::submit_shard`] —
+    /// bit-identical to submitting the reports serially.
+    pub fn ingest_pipeline(&self, config: IngestConfig) -> Result<IngestPipeline> {
+        let Some(open) = self.open.as_ref() else {
+            return Err(Error::Protocol(
+                "no open round to build an ingest pipeline for".into(),
+            ));
+        };
+        IngestPipeline::for_round(&open.spec, self.params.epsilon, config)
     }
 
     /// Finalizes the previous round (if any) and emits the next broadcast;

@@ -10,16 +10,21 @@
 
 use crate::error::{Error, Result};
 use crate::round::{Report, RoundSpec};
+use crate::wire;
 use privshape_ldp::{Epsilon, Grr, GrrAggregator, Oue, OueAggregator};
 
 /// Partial aggregation state for one round, mergeable across shards.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the raw counts, so two ingestion pipelines (e.g.
+/// serial absorb vs the streaming [`crate::ingest`] engine) can be
+/// asserted bit-identical.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardAggregator {
     reports: u64,
     inner: Inner,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum Inner {
     /// GRR counts over the clipped-length domain.
     Length { agg: GrrAggregator, domain: usize },
@@ -28,16 +33,24 @@ enum Inner {
         aggs: Vec<GrrAggregator>,
         domain: usize,
     },
-    /// EM selection counts for one expansion level.
-    Expand { counts: Vec<u64>, level: usize },
+    /// EM selection counts for one expansion level. `table_gen` is the
+    /// broadcast candidate table's fingerprint: selection indices are only
+    /// meaningful relative to one table generation, so merging across
+    /// generations is refused.
+    Expand {
+        counts: Vec<u64>,
+        level: usize,
+        table_gen: u64,
+    },
     /// EM selection counts for the unlabeled refinement.
-    RefineSelect { counts: Vec<u64> },
+    RefineSelect { counts: Vec<u64>, table_gen: u64 },
     /// OUE bit counts over the candidate × class grid (`None` for the
     /// degenerate single-cell grid, whose reports carry no information).
     RefineLabeled {
         agg: Option<OueAggregator>,
         n_candidates: usize,
         n_classes: usize,
+        table_gen: u64,
     },
 }
 
@@ -80,9 +93,11 @@ impl ShardAggregator {
             } => Inner::Expand {
                 counts: vec![0; candidates.len()],
                 level: *level,
+                table_gen: candidates.fingerprint(),
             },
             RoundSpec::RefineUnlabeled { candidates, .. } => Inner::RefineSelect {
                 counts: vec![0; candidates.len()],
+                table_gen: candidates.fingerprint(),
             },
             RoundSpec::RefineLabeled {
                 candidates,
@@ -99,6 +114,7 @@ impl ShardAggregator {
                     agg,
                     n_candidates: candidates.len(),
                     n_classes: *n_classes,
+                    table_gen: candidates.fingerprint(),
                 }
             }
         };
@@ -137,7 +153,7 @@ impl ShardAggregator {
                 aggs[*level - 1].add(*value);
             }
             (Inner::Expand { counts, .. }, Report::Expand(sel))
-            | (Inner::RefineSelect { counts }, Report::RefineSelect(sel)) => {
+            | (Inner::RefineSelect { counts, .. }, Report::RefineSelect(sel)) => {
                 if *sel >= counts.len() {
                     return Err(Error::Protocol(format!(
                         "selection report {sel} outside {} candidates",
@@ -160,6 +176,99 @@ impl ShardAggregator {
                 return Err(Error::Protocol(format!(
                     "report kind '{}' does not match round aggregate {}",
                     report.kind(),
+                    inner.kind(),
+                )));
+            }
+        }
+        self.reports += 1;
+        Ok(())
+    }
+
+    /// Absorbs a whole frame of wire-encoded reports (the concatenated
+    /// [`Report::encode_into`] format), returning how many were absorbed.
+    ///
+    /// This is the ingestion fast path: reports are decoded straight off
+    /// the byte buffer into the counts — no intermediate [`Report`] is
+    /// materialized, and the OUE bit buffer is reused across the frame, so
+    /// steady-state absorption allocates nothing per report. Exactly
+    /// equivalent to decoding the frame and [`ShardAggregator::absorb`]ing
+    /// each report (pinned by a unit test and the wire property tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a malformed frame or on any report whose kind/domain does
+    /// not match this round. Reports before the failing one remain
+    /// absorbed — callers treat an error as fatal for the whole round.
+    pub fn absorb_wire(&mut self, frame: &[u8]) -> Result<usize> {
+        let mut pos = 0usize;
+        let mut absorbed = 0usize;
+        let mut bits = Vec::new();
+        while pos < frame.len() {
+            self.absorb_wire_one(frame, &mut pos, &mut bits)?;
+            absorbed += 1;
+        }
+        Ok(absorbed)
+    }
+
+    /// Decodes and absorbs one report starting at `*pos`.
+    fn absorb_wire_one(
+        &mut self,
+        frame: &[u8],
+        pos: &mut usize,
+        bits: &mut Vec<usize>,
+    ) -> Result<()> {
+        let tag = wire::read_tag(frame, pos)?;
+        match (&mut self.inner, tag) {
+            (Inner::Length { agg, domain }, wire::TAG_LENGTH) => {
+                let v = wire::read_usize(frame, pos)?;
+                if v >= *domain {
+                    return Err(Error::Protocol(format!(
+                        "length report {v} outside domain {domain}"
+                    )));
+                }
+                agg.add(v);
+            }
+            (Inner::SubShape { aggs, domain }, wire::TAG_SUB_SHAPE) => {
+                let level = wire::read_usize(frame, pos)?;
+                let value = wire::read_usize(frame, pos)?;
+                if level == 0 || level > aggs.len() {
+                    return Err(Error::Protocol(format!(
+                        "sub-shape report for level {level}, round has {}",
+                        aggs.len()
+                    )));
+                }
+                if value >= *domain {
+                    return Err(Error::Protocol(format!(
+                        "sub-shape report {value} outside domain {domain}"
+                    )));
+                }
+                aggs[level - 1].add(value);
+            }
+            (Inner::Expand { counts, .. }, wire::TAG_EXPAND)
+            | (Inner::RefineSelect { counts, .. }, wire::TAG_REFINE_SELECT) => {
+                let sel = wire::read_usize(frame, pos)?;
+                if sel >= counts.len() {
+                    return Err(Error::Protocol(format!(
+                        "selection report {sel} outside {} candidates",
+                        counts.len()
+                    )));
+                }
+                counts[sel] += 1;
+            }
+            (Inner::RefineLabeled { agg, .. }, wire::TAG_REFINE_LABELED) => {
+                wire::read_oue_bits(frame, pos, bits)?;
+                if let Some(agg) = agg {
+                    if bits.iter().any(|&b| b >= agg.domain()) {
+                        return Err(Error::Protocol(
+                            "labeled report has bits outside the grid".into(),
+                        ));
+                    }
+                    agg.add_bits(bits);
+                }
+            }
+            (inner, tag) => {
+                return Err(Error::Protocol(format!(
+                    "report tag 0x{tag:02x} does not match round aggregate {}",
                     inner.kind(),
                 )));
             }
@@ -192,22 +301,31 @@ impl ShardAggregator {
                 }
             }
             (
-                Inner::Expand { counts, level },
+                Inner::Expand {
+                    counts,
+                    level,
+                    table_gen,
+                },
                 Inner::Expand {
                     counts: other_counts,
                     level: other_level,
+                    table_gen: other_gen,
                 },
-            ) if counts.len() == other_counts.len() && level == other_level => {
+            ) if counts.len() == other_counts.len()
+                && level == other_level
+                && table_gen == other_gen =>
+            {
                 for (mine, theirs) in counts.iter_mut().zip(other_counts) {
                     *mine += theirs;
                 }
             }
             (
-                Inner::RefineSelect { counts },
+                Inner::RefineSelect { counts, table_gen },
                 Inner::RefineSelect {
                     counts: other_counts,
+                    table_gen: other_gen,
                 },
-            ) if counts.len() == other_counts.len() => {
+            ) if counts.len() == other_counts.len() && table_gen == other_gen => {
                 for (mine, theirs) in counts.iter_mut().zip(other_counts) {
                     *mine += theirs;
                 }
@@ -217,20 +335,26 @@ impl ShardAggregator {
                     agg,
                     n_candidates,
                     n_classes,
+                    table_gen,
                 },
                 Inner::RefineLabeled {
                     agg: other_agg,
                     n_candidates: other_cand,
                     n_classes: other_classes,
+                    table_gen: other_gen,
                 },
-            ) if n_candidates == other_cand && n_classes == other_classes => {
+            ) if n_candidates == other_cand
+                && n_classes == other_classes
+                && table_gen == other_gen =>
+            {
                 if let (Some(mine), Some(theirs)) = (agg.as_mut(), other_agg.as_ref()) {
                     mine.merge(theirs);
                 }
             }
             (mine, theirs) => {
                 return Err(Error::Protocol(format!(
-                    "cannot merge shard aggregate {} into {} (different rounds or domains)",
+                    "cannot merge shard aggregate {} into {} (different rounds, domains, \
+                     or candidate-table generations)",
                     theirs.kind(),
                     mine.kind(),
                 )));
@@ -238,6 +362,29 @@ impl ShardAggregator {
         }
         self.reports += other.reports;
         Ok(())
+    }
+
+    /// Reduces a set of per-worker shards to one aggregate with a balanced
+    /// binary merge tree (pairs, then pairs of pairs, …). Because
+    /// [`ShardAggregator::merge`] is exact integer addition, the tree shape
+    /// is unobservable — the result is bit-identical to any sequential fold
+    /// — but the log-depth reduction is the natural close step for a
+    /// multi-worker ingest round and keeps each merge operand small.
+    ///
+    /// Returns `None` for an empty input.
+    pub fn merge_tree(mut shards: Vec<ShardAggregator>) -> Result<Option<ShardAggregator>> {
+        while shards.len() > 1 {
+            let mut next = Vec::with_capacity(shards.len().div_ceil(2));
+            let mut iter = shards.into_iter();
+            while let Some(mut left) = iter.next() {
+                if let Some(right) = iter.next() {
+                    left.merge(&right)?;
+                }
+                next.push(left);
+            }
+            shards = next;
+        }
+        Ok(shards.pop())
     }
 
     /// The length estimate `ℓ_S = lo + argmax` once all shards are in.
@@ -260,7 +407,7 @@ impl ShardAggregator {
     /// round, as the f64 counts the trie and post-processing consume.
     pub fn finalize_selections(&self) -> Result<Vec<f64>> {
         match &self.inner {
-            Inner::Expand { counts, .. } | Inner::RefineSelect { counts } => {
+            Inner::Expand { counts, .. } | Inner::RefineSelect { counts, .. } => {
                 Ok(counts.iter().map(|&c| c as f64).collect())
             }
             other => Err(wrong_finalize("selection", other)),
@@ -277,6 +424,7 @@ impl ShardAggregator {
                 agg,
                 n_candidates,
                 n_classes,
+                ..
             } => {
                 let mut freqs = vec![vec![0.0; *n_candidates]; *n_classes];
                 if let Some(agg) = agg {
@@ -319,7 +467,7 @@ impl Inner {
 mod tests {
     use super::*;
     use crate::round::{Audience, GroupId};
-    use privshape_timeseries::SymbolSeq;
+    use privshape_timeseries::{CandidateTable, SymbolSeq};
 
     fn eps() -> Epsilon {
         Epsilon::new(2.0).unwrap()
@@ -393,6 +541,82 @@ mod tests {
         let c = ShardAggregator::for_round(&expand_spec(3), eps()).unwrap();
         let mut d = ShardAggregator::for_round(&expand_spec(2), eps()).unwrap();
         assert!(matches!(d.merge(&c), Err(Error::Protocol(_))));
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_table_generations() {
+        // Same round shape (level, candidate count) but different candidate
+        // contents: the selection indices mean different shapes, so merging
+        // the counts would silently corrupt the extraction.
+        let spec_a = RoundSpec::Expand {
+            audience: Audience::chunk(GroupId::Pc, 0, 1),
+            level: 1,
+            candidates: std::sync::Arc::new(CandidateTable::parse_rows(&["a", "b"]).unwrap()),
+        };
+        let spec_b = RoundSpec::Expand {
+            audience: Audience::chunk(GroupId::Pc, 0, 1),
+            level: 1,
+            candidates: std::sync::Arc::new(CandidateTable::parse_rows(&["a", "c"]).unwrap()),
+        };
+        let mut a = ShardAggregator::for_round(&spec_a, eps()).unwrap();
+        let b = ShardAggregator::for_round(&spec_b, eps()).unwrap();
+        let err = a.merge(&b).unwrap_err();
+        assert!(
+            err.to_string().contains("candidate-table generation"),
+            "{err}"
+        );
+        // Identical table contents (even via a different Arc) still merge.
+        let c = ShardAggregator::for_round(&spec_a.clone(), eps()).unwrap();
+        assert!(a.merge(&c).is_ok());
+    }
+
+    #[test]
+    fn absorb_wire_equals_decode_then_absorb() {
+        let spec = expand_spec(5);
+        let reports: Vec<Report> = [0usize, 4, 2, 2, 1, 0, 3]
+            .iter()
+            .map(|&i| Report::Expand(i))
+            .collect();
+        let mut frame = Vec::new();
+        for r in &reports {
+            r.encode_into(&mut frame);
+        }
+        let mut via_wire = ShardAggregator::for_round(&spec, eps()).unwrap();
+        assert_eq!(via_wire.absorb_wire(&frame).unwrap(), reports.len());
+        let mut via_absorb = ShardAggregator::for_round(&spec, eps()).unwrap();
+        for r in &reports {
+            via_absorb.absorb(r).unwrap();
+        }
+        assert_eq!(via_wire, via_absorb);
+        // Out-of-domain selection inside a frame is refused.
+        let mut bad = Vec::new();
+        Report::Expand(5).encode_into(&mut bad);
+        assert!(via_wire.absorb_wire(&bad).is_err());
+        // Wrong-kind frame is refused.
+        let mut wrong = Vec::new();
+        Report::Length(0).encode_into(&mut wrong);
+        assert!(matches!(
+            via_wire.absorb_wire(&wrong),
+            Err(Error::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn merge_tree_equals_sequential_fold() {
+        let spec = expand_spec(4);
+        let mut whole = ShardAggregator::for_round(&spec, eps()).unwrap();
+        let mut shards = Vec::new();
+        for shard_idx in 0..5 {
+            let mut shard = ShardAggregator::for_round(&spec, eps()).unwrap();
+            for i in 0..=shard_idx {
+                shard.absorb(&Report::Expand(i % 4)).unwrap();
+                whole.absorb(&Report::Expand(i % 4)).unwrap();
+            }
+            shards.push(shard);
+        }
+        let merged = ShardAggregator::merge_tree(shards).unwrap().unwrap();
+        assert_eq!(merged, whole);
+        assert!(ShardAggregator::merge_tree(Vec::new()).unwrap().is_none());
     }
 
     #[test]

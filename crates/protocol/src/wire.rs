@@ -1,0 +1,287 @@
+//! Compact wire codec for [`Report`]s.
+//!
+//! A deployment's ingestion tier does not receive Rust enums: devices
+//! upload bytes. This module gives [`Report`] a serde-free flat encoding —
+//! one tag byte plus LEB128 varints — so the boundary the benchmarks and
+//! the streaming ingest pipeline exercise is a realistic serialized one:
+//!
+//! ```text
+//! Length        := 0x01 varint(value)
+//! SubShape      := 0x02 varint(level) varint(value)
+//! Expand        := 0x03 varint(index)
+//! RefineSelect  := 0x04 varint(index)
+//! RefineLabeled := 0x05 varint(n_bits) varint(bit_0) varint(Δ_1) … varint(Δ_{n−1})
+//! ```
+//!
+//! OUE set bits are strictly ascending, so bits after the first are
+//! delta-encoded (`Δ_i = bit_i − bit_{i−1} ≥ 1`); a zero delta in the
+//! input is rejected, never silently repaired. Reports concatenate into
+//! *frames* with no length prefix — every report is self-delimiting —
+//! which is what [`crate::ShardAggregator::absorb_wire`] and the
+//! [`crate::ingest`] pipeline consume.
+//!
+//! Decoding never panics on hostile input: truncated buffers, unknown
+//! tags, overlong varints, and non-ascending bit sets all come back as
+//! [`Error::Protocol`] (or the propagated LDP report validation error).
+
+use crate::error::{Error, Result};
+use crate::round::Report;
+use privshape_ldp::OueReport;
+
+/// Wire tag of a [`Report::Length`] report.
+pub(crate) const TAG_LENGTH: u8 = 0x01;
+/// Wire tag of a [`Report::SubShape`] report.
+pub(crate) const TAG_SUB_SHAPE: u8 = 0x02;
+/// Wire tag of a [`Report::Expand`] report.
+pub(crate) const TAG_EXPAND: u8 = 0x03;
+/// Wire tag of a [`Report::RefineSelect`] report.
+pub(crate) const TAG_REFINE_SELECT: u8 = 0x04;
+/// Wire tag of a [`Report::RefineLabeled`] report.
+pub(crate) const TAG_REFINE_LABELED: u8 = 0x05;
+
+/// Appends `v` as an LEB128 varint (7 value bits per byte, high bit =
+/// continuation).
+pub(crate) fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint starting at `*pos`, advancing `*pos` past it.
+pub(crate) fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = buf.get(*pos) else {
+            return Err(Error::Protocol(
+                "truncated report: varint ends mid-buffer".into(),
+            ));
+        };
+        *pos += 1;
+        let low = u64::from(byte & 0x7f);
+        if shift > 63 || (shift == 63 && low > 1) {
+            return Err(Error::Protocol(
+                "malformed report: varint exceeds 64 bits".into(),
+            ));
+        }
+        out |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+    }
+}
+
+/// [`read_varint`] converted to `usize` (identical on 64-bit targets).
+pub(crate) fn read_usize(buf: &[u8], pos: &mut usize) -> Result<usize> {
+    let v = read_varint(buf, pos)?;
+    usize::try_from(v)
+        .map_err(|_| Error::Protocol(format!("report value {v} exceeds this platform's usize")))
+}
+
+/// Reads the tag byte of the next report.
+pub(crate) fn read_tag(buf: &[u8], pos: &mut usize) -> Result<u8> {
+    let Some(&tag) = buf.get(*pos) else {
+        return Err(Error::Protocol("truncated report: missing tag byte".into()));
+    };
+    *pos += 1;
+    Ok(tag)
+}
+
+/// Decodes the body of a [`Report::RefineLabeled`] report (everything
+/// after the tag) into `bits`, reusing the buffer's capacity. Shared by
+/// [`Report::decode`] and the aggregator's absorb-from-wire fast path.
+pub(crate) fn read_oue_bits(buf: &[u8], pos: &mut usize, bits: &mut Vec<usize>) -> Result<()> {
+    bits.clear();
+    let n = read_usize(buf, pos)?;
+    // Each encoded bit needs at least one byte, so a count beyond the
+    // remaining buffer is a truncation — refuse before reserving memory.
+    if n > buf.len() - *pos {
+        return Err(Error::Protocol(format!(
+            "truncated report: {n} OUE bits claimed, {} bytes left",
+            buf.len() - *pos
+        )));
+    }
+    bits.reserve(n);
+    let mut prev = 0usize;
+    for i in 0..n {
+        let raw = read_usize(buf, pos)?;
+        let bit = if i == 0 {
+            raw
+        } else {
+            if raw == 0 {
+                return Err(Error::Protocol(
+                    "malformed report: OUE bit delta of zero (bits must be strictly ascending)"
+                        .into(),
+                ));
+            }
+            prev.checked_add(raw).ok_or_else(|| {
+                Error::Protocol("malformed report: OUE bit position overflows usize".into())
+            })?
+        };
+        bits.push(bit);
+        prev = bit;
+    }
+    Ok(())
+}
+
+impl Report {
+    /// Appends this report's wire encoding to `buf` (self-delimiting, so
+    /// encoding many reports into one buffer forms a valid frame).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            Report::Length(v) => {
+                buf.push(TAG_LENGTH);
+                put_varint(buf, *v as u64);
+            }
+            Report::SubShape { level, value } => {
+                buf.push(TAG_SUB_SHAPE);
+                put_varint(buf, *level as u64);
+                put_varint(buf, *value as u64);
+            }
+            Report::Expand(i) => {
+                buf.push(TAG_EXPAND);
+                put_varint(buf, *i as u64);
+            }
+            Report::RefineSelect(i) => {
+                buf.push(TAG_REFINE_SELECT);
+                put_varint(buf, *i as u64);
+            }
+            Report::RefineLabeled(r) => {
+                buf.push(TAG_REFINE_LABELED);
+                let bits = r.set_bits();
+                put_varint(buf, bits.len() as u64);
+                let mut prev = 0usize;
+                for (i, &bit) in bits.iter().enumerate() {
+                    // Bits are strictly ascending (an OueReport invariant),
+                    // so the delta after the first is always >= 1.
+                    put_varint(buf, if i == 0 { bit } else { bit - prev } as u64);
+                    prev = bit;
+                }
+            }
+        }
+    }
+
+    /// This report's wire encoding as a fresh buffer (convenience over
+    /// [`Report::encode_into`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Decodes one report from the front of `buf`, returning it with the
+    /// number of bytes consumed (so frames of concatenated reports can be
+    /// walked without a length prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Protocol`] on a truncated buffer, an unknown tag, an
+    /// overlong varint, or an OUE bit set that is not strictly ascending.
+    /// Decoding validates structure only; domain bounds are checked where
+    /// they are known, at [`crate::ShardAggregator`] absorb time.
+    pub fn decode(buf: &[u8]) -> Result<(Report, usize)> {
+        let mut pos = 0usize;
+        let report = match read_tag(buf, &mut pos)? {
+            TAG_LENGTH => Report::Length(read_usize(buf, &mut pos)?),
+            TAG_SUB_SHAPE => Report::SubShape {
+                level: read_usize(buf, &mut pos)?,
+                value: read_usize(buf, &mut pos)?,
+            },
+            TAG_EXPAND => Report::Expand(read_usize(buf, &mut pos)?),
+            TAG_REFINE_SELECT => Report::RefineSelect(read_usize(buf, &mut pos)?),
+            TAG_REFINE_LABELED => {
+                let mut bits = Vec::new();
+                read_oue_bits(buf, &mut pos, &mut bits)?;
+                Report::RefineLabeled(OueReport::from_set_bits(bits).map_err(Error::Ldp)?)
+            }
+            tag => {
+                return Err(Error::Protocol(format!("unknown report tag 0x{tag:02x}")));
+            }
+        };
+        Ok((report, pos))
+    }
+
+    /// Decodes a whole frame of concatenated reports.
+    pub fn decode_frame(mut buf: &[u8]) -> Result<Vec<Report>> {
+        let mut out = Vec::new();
+        while !buf.is_empty() {
+            let (report, used) = Report::decode(buf)?;
+            out.push(report);
+            buf = &buf[used..];
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints_round_trip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        // Eleven continuation bytes: more than 64 bits of payload.
+        let buf = vec![0x80u8; 10];
+        let mut pos = 0;
+        assert!(read_varint(&buf, &mut pos).is_err());
+        // 10-byte varint whose top byte overflows bit 64.
+        let mut buf = vec![0xffu8; 9];
+        buf.push(0x02);
+        let mut pos = 0;
+        assert!(read_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn frame_round_trips_mixed_reports() {
+        let reports = vec![
+            Report::Length(5),
+            Report::SubShape { level: 2, value: 4 },
+            Report::Expand(17),
+            Report::RefineSelect(0),
+            Report::RefineLabeled(OueReport::from_set_bits(vec![0, 3, 4, 129]).unwrap()),
+            Report::RefineLabeled(OueReport::from_set_bits(Vec::new()).unwrap()),
+        ];
+        let mut frame = Vec::new();
+        for r in &reports {
+            r.encode_into(&mut frame);
+        }
+        assert_eq!(Report::decode_frame(&frame).unwrap(), reports);
+    }
+
+    #[test]
+    fn zero_delta_bits_are_rejected() {
+        // Hand-craft a RefineLabeled body with a zero delta (bit repeated).
+        let mut buf = vec![TAG_REFINE_LABELED];
+        put_varint(&mut buf, 2); // two bits
+        put_varint(&mut buf, 7); // first bit
+        put_varint(&mut buf, 0); // zero delta: 7 again
+        assert!(matches!(Report::decode(&buf), Err(Error::Protocol(_))));
+    }
+
+    #[test]
+    fn bit_count_beyond_buffer_is_truncation_not_allocation() {
+        let mut buf = vec![TAG_REFINE_LABELED];
+        put_varint(&mut buf, u64::MAX); // absurd bit count
+        assert!(matches!(Report::decode(&buf), Err(Error::Protocol(_))));
+    }
+}

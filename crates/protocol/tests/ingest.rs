@@ -1,0 +1,138 @@
+//! Streaming-ingest exactness property: feeding a round's wire-encoded
+//! reports through the multi-worker [`IngestPipeline`] — chunked into
+//! arbitrary frames, submitted in an arbitrary (shuffled) order, absorbed
+//! by a racing worker pool — produces an aggregate bit-identical to one
+//! serial absorb of the same reports.
+
+use privshape_ldp::{Epsilon, Oue};
+use privshape_protocol::{
+    Audience, GroupId, IngestConfig, IngestPipeline, Report, RoundSpec, ShardAggregator,
+};
+use privshape_timeseries::CandidateTable;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn eps() -> Epsilon {
+    Epsilon::new(2.0).unwrap()
+}
+
+/// An expand round over `n` single-symbol candidates.
+fn expand_spec(n: usize) -> RoundSpec {
+    let rows: Vec<String> = (0..n)
+        .map(|i| ["a", "b", "c", "d"][i % 4].repeat(1 + i / 4))
+        .collect();
+    RoundSpec::Expand {
+        audience: Audience::chunk(GroupId::Pc, 0, 1),
+        level: 1,
+        candidates: Arc::new(CandidateTable::parse_rows(&rows).unwrap()),
+    }
+}
+
+/// A labeled refine round, so OUE reports (the only heap-carrying variant)
+/// go through the pipeline too.
+fn labeled_spec(candidates: usize, n_classes: usize) -> RoundSpec {
+    let rows: Vec<String> = (0..candidates)
+        .map(|i| ["ab", "ba"][i % 2].into())
+        .collect();
+    RoundSpec::RefineLabeled {
+        audience: Audience::group(GroupId::Pd),
+        candidates: Arc::new(CandidateTable::parse_rows(&rows).unwrap()),
+        n_classes,
+    }
+}
+
+/// Deterministic Fisher–Yates over the frames.
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    use rand::RngExt;
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Serial reference: one aggregator, reports absorbed in order.
+fn serial(spec: &RoundSpec, reports: &[Report]) -> ShardAggregator {
+    let mut agg = ShardAggregator::for_round(spec, eps()).unwrap();
+    for r in reports {
+        agg.absorb(r).unwrap();
+    }
+    agg
+}
+
+/// Streaming path: encode, chunk into frames, shuffle, pipeline.
+fn streamed(
+    spec: &RoundSpec,
+    reports: &[Report],
+    frame_len: usize,
+    workers: usize,
+    seed: u64,
+) -> ShardAggregator {
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    for chunk in reports.chunks(frame_len.max(1)) {
+        let mut frame = Vec::new();
+        for r in chunk {
+            r.encode_into(&mut frame);
+        }
+        frames.push(frame);
+    }
+    shuffle(&mut frames, seed);
+    let pipeline = IngestPipeline::for_round(
+        spec,
+        eps(),
+        IngestConfig {
+            workers,
+            queue_capacity: 4,
+        },
+    )
+    .unwrap();
+    for frame in frames {
+        pipeline.submit_frame(frame).unwrap();
+    }
+    pipeline.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Selection rounds: arbitrary report streams, frame sizes, worker
+    /// counts, and submission orders all converge to the serial aggregate.
+    #[test]
+    fn shuffled_streaming_equals_serial_absorb(
+        selections in prop::collection::vec(0usize..6, 1..400),
+        frame_len in 1usize..40,
+        workers in 1usize..6,
+        seed in 0u64..1 << 32,
+    ) {
+        let spec = expand_spec(6);
+        let reports: Vec<Report> = selections.into_iter().map(Report::Expand).collect();
+        let reference = serial(&spec, &reports);
+        let merged = streamed(&spec, &reports, frame_len, workers, seed);
+        prop_assert_eq!(merged, reference);
+    }
+
+    /// Labeled refinement (OUE) rounds: same invariant for the
+    /// heap-carrying report kind, exercising the add_bits wire fast path.
+    #[test]
+    fn shuffled_streaming_equals_serial_for_oue(
+        values in prop::collection::vec(0usize..8, 1..120),
+        frame_len in 1usize..16,
+        workers in 1usize..5,
+        seed in 0u64..1 << 32,
+    ) {
+        let spec = labeled_spec(4, 2);
+        let oue = Oue::new(8, eps()).unwrap();
+        let reports: Vec<Report> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(i as u64);
+                Report::RefineLabeled(oue.perturb(&mut rng, v))
+            })
+            .collect();
+        let reference = serial(&spec, &reports);
+        let merged = streamed(&spec, &reports, frame_len, workers, seed);
+        prop_assert_eq!(merged, reference);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the report wire codec: `decode(encode(r)) == r` for
+//! arbitrary valid reports, and hostile buffers (truncations, corruption,
+//! bad structure) are rejected with errors — never a panic, never a
+//! silently wrong report.
+
+use privshape_ldp::OueReport;
+use privshape_protocol::Report;
+use proptest::prelude::*;
+
+/// Arbitrary valid reports, covering every variant. OUE bit sets are built
+/// from positive gaps so they are strictly ascending by construction
+/// (the invariant `Oue::perturb` guarantees).
+fn report_strategy() -> impl Strategy<Value = Report> {
+    prop_oneof![
+        (0usize..1 << 20).prop_map(Report::Length),
+        ((1usize..64), (0usize..1 << 16))
+            .prop_map(|(level, value)| Report::SubShape { level, value }),
+        (0usize..1 << 20).prop_map(Report::Expand),
+        (0usize..1 << 20).prop_map(Report::RefineSelect),
+        prop::collection::vec((0usize..2, 1usize..300), 0..24).prop_map(|gaps| {
+            let mut bits = Vec::with_capacity(gaps.len());
+            let mut cur = 0usize;
+            for (i, (first_offset, gap)) in gaps.into_iter().enumerate() {
+                cur = if i == 0 { first_offset } else { cur + gap };
+                bits.push(cur);
+            }
+            Report::RefineLabeled(OueReport::from_set_bits(bits).expect("ascending bits"))
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Round trip: encoding then decoding restores the exact report and
+    /// consumes exactly the encoded bytes.
+    #[test]
+    fn decode_inverts_encode(report in report_strategy()) {
+        let bytes = report.encode();
+        let (decoded, used) = Report::decode(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &report);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    /// Frames of many reports round trip as a whole.
+    #[test]
+    fn frames_round_trip(reports in prop::collection::vec(report_strategy(), 0..12)) {
+        let mut frame = Vec::new();
+        for r in &reports {
+            r.encode_into(&mut frame);
+        }
+        prop_assert_eq!(Report::decode_frame(&frame).unwrap(), reports);
+    }
+
+    /// Every strict prefix of one report's encoding is an error (a report
+    /// is never ambiguous about its own length).
+    #[test]
+    fn truncations_are_rejected(report in report_strategy()) {
+        let bytes = report.encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                Report::decode(&bytes[..cut]).is_err(),
+                "prefix of {} bytes decoded", cut
+            );
+        }
+    }
+
+    /// Corrupting any single byte never panics: the decoder returns an
+    /// error, or a (different or identical) structurally valid report —
+    /// domain validation is the aggregator's job.
+    #[test]
+    fn corruption_never_panics(
+        report in report_strategy(),
+        pos_seed in 0usize..4096,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = report.encode();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= flip;
+        match Report::decode(&bytes) {
+            Err(_) => {}
+            Ok((decoded, used)) => {
+                prop_assert!(used <= bytes.len());
+                // Whatever came back must re-encode deterministically.
+                let reencoded = decoded.encode();
+                let (again, _) = Report::decode(&reencoded).unwrap();
+                prop_assert_eq!(again, decoded);
+            }
+        }
+    }
+}
+
+#[test]
+fn unknown_tags_are_rejected() {
+    for tag in [0u8, 0x06, 0x7f, 0xff] {
+        assert!(
+            Report::decode(&[tag, 0x00]).is_err(),
+            "tag 0x{tag:02x} accepted"
+        );
+    }
+}
+
+#[test]
+fn empty_buffer_is_rejected() {
+    assert!(Report::decode(&[]).is_err());
+    assert_eq!(Report::decode_frame(&[]).unwrap(), Vec::<Report>::new());
+}

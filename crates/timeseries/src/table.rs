@@ -148,6 +148,30 @@ impl CandidateTable {
         &self.lcp
     }
 
+    /// A 64-bit fingerprint of the table contents (FNV-1a over every row's
+    /// symbols with a per-row terminator), identifying the *generation* of
+    /// a candidate broadcast: two tables fingerprint equal iff their row
+    /// contents and boundaries are equal.
+    ///
+    /// Deliberately not `std::hash::Hash`-based: FNV-1a is stable across
+    /// processes, platforms, and Rust versions, so distributed shards can
+    /// use the fingerprint to refuse merging aggregates that were built
+    /// from different candidate tables.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for row in self.rows() {
+            for &s in row {
+                h = (h ^ s.index() as u64).wrapping_mul(PRIME);
+            }
+            // Terminator outside the symbol range, so row boundaries are
+            // part of the identity: ["ab"] never collides with ["a", "b"].
+            h = (h ^ 0xff).wrapping_mul(PRIME);
+        }
+        h
+    }
+
     /// Row `i` as a borrowed slice.
     ///
     /// # Panics
@@ -307,6 +331,33 @@ mod tests {
             .collect();
         assert_eq!(t.len(), 2);
         assert_eq!(t.seq(1).to_string(), "ba");
+    }
+
+    #[test]
+    fn fingerprint_identifies_contents_and_boundaries() {
+        assert_eq!(
+            table(&["acb", "ca"]).fingerprint(),
+            table(&["acb", "ca"]).fingerprint()
+        );
+        // Different contents, same shape.
+        assert_ne!(
+            table(&["acb", "ca"]).fingerprint(),
+            table(&["acb", "cb"]).fingerprint()
+        );
+        // Same symbols, different row boundaries.
+        assert_ne!(
+            table(&["ab"]).fingerprint(),
+            table(&["a", "b"]).fingerprint()
+        );
+        // Row order matters (rounds identify candidates by index).
+        assert_ne!(
+            table(&["ab", "ba"]).fingerprint(),
+            table(&["ba", "ab"]).fingerprint()
+        );
+        // Empty rows are part of the identity.
+        let mut with_empty = table(&["ab"]);
+        with_empty.push(&[]);
+        assert_ne!(with_empty.fingerprint(), table(&["ab"]).fingerprint());
     }
 
     #[test]

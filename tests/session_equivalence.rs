@@ -12,11 +12,12 @@
 //! 2. **Facade ≡ explicit protocol**: driving `Session` + `UserClient` by
 //!    hand must reproduce the facade's output exactly.
 
-use privshape::protocol::{Session, UserClient};
+use privshape::protocol::{IngestConfig, Session, UserClient};
 use privshape::{Baseline, BaselineConfig, Extraction, PrivShape, PrivShapeConfig};
 use privshape_distance::DistanceKind;
 use privshape_ldp::Epsilon;
 use privshape_timeseries::{SaxParams, TimeSeries};
+use rand::{RngExt, SeedableRng};
 
 /// The planted two-shape population used by the pre-refactor golden run.
 fn planted_population(n: usize) -> (Vec<TimeSeries>, Vec<usize>) {
@@ -141,6 +142,67 @@ fn baseline_run_labeled_matches_pre_refactor_golden() {
         &[("cab", 248.49939597877994), ("acb", 1.6184924456234948)],
     );
     assert_eq!(out.diagnostics.group_sizes, [60, 2940, 0, 0]);
+}
+
+/// Driving the protocol through the *streaming* boundary — every report
+/// wire-encoded on-device, chunked into frames, the frames shuffled and
+/// fed to a racing multi-worker `IngestPipeline`, the round closed with a
+/// tree-merge — must still equal the facade bit for bit. This is the
+/// session-level pin for the whole serialize → stream → shard → merge
+/// path.
+#[test]
+fn streaming_ingest_loop_matches_facade() {
+    let (series, _) = planted_population(900);
+    let facade: Extraction = PrivShape::new(privshape_config())
+        .unwrap()
+        .run(&series)
+        .unwrap();
+
+    let mut session = Session::privshape(privshape_config(), series.len()).unwrap();
+    let params = session.params().clone();
+    let mut clients: Vec<UserClient> = series
+        .iter()
+        .enumerate()
+        .map(|(user, s)| UserClient::new(user, s, &params))
+        .collect();
+    let mut shuffle_rng = rand_chacha::ChaCha12Rng::seed_from_u64(7);
+    let mut ws = privshape_distance::DistanceWorkspace::new();
+    while let Some(spec) = session.next_round().unwrap() {
+        // Devices serialize their own reports; the tier sees only bytes.
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut frame = Vec::new();
+        for client in &mut clients {
+            if client.answer_wire(&spec, &mut ws, &mut frame).unwrap() && frame.len() > 64 {
+                frames.push(std::mem::take(&mut frame));
+            }
+        }
+        if !frame.is_empty() {
+            frames.push(frame);
+        }
+        // Frames arrive out of order across the ingestion tier.
+        for i in (1..frames.len()).rev() {
+            let j = shuffle_rng.random_range(0..=i);
+            frames.swap(i, j);
+        }
+        let pipeline = session
+            .ingest_pipeline(IngestConfig {
+                workers: 4,
+                queue_capacity: 8,
+            })
+            .unwrap();
+        for f in frames {
+            pipeline.submit_frame(f).unwrap();
+        }
+        session.submit_shard(&pipeline.finish().unwrap()).unwrap();
+    }
+    let streamed = session.finish().unwrap();
+
+    assert_eq!(streamed.shapes, facade.shapes);
+    assert_eq!(streamed.diagnostics.ell_s, facade.diagnostics.ell_s);
+    assert_eq!(
+        streamed.diagnostics.candidates_per_level,
+        facade.diagnostics.candidates_per_level
+    );
 }
 
 /// Driving the protocol by hand — one standalone `UserClient` per device,
