@@ -1,60 +1,99 @@
-//! CI perf-regression gate: compares the freshly written `BENCH_*.json`
+//! CI regression gate: compares the freshly written `BENCH_*.json`
 //! trajectory files against the committed baselines under
 //! `results/baselines/`, prints a before/after table, and exits non-zero
-//! on any throughput regression past the threshold — so a slow ingest or
-//! scoring path fails the build instead of merging silently.
+//! on any metric regressing past its threshold — so a slow ingest path or
+//! a utility drop fails the build instead of merging silently.
 //!
 //! Usage: `cargo run --release -p privshape-bench --bin bench_gate
-//!         [--results DIR] [--baselines DIR] [--threshold PCT] [--bless]`
+//!         [--results DIR] [--baselines DIR] [--threshold PCT]
+//!         [--quality-threshold PCT] [--bless]`
 //!
-//! * `--threshold PCT` — allowed throughput drop in percent (default 25).
+//! * `--threshold PCT` — allowed throughput drop in percent (default 25)
+//!   for the perf files (higher is better).
+//! * `--quality-threshold PCT` — allowed distance-to-ground-truth *rise*
+//!   in percent (default 20) for `BENCH_quality.json` (lower is better).
 //! * `--bless` — copy the fresh results over the baselines (the refresh
-//!   workflow after an intentional perf change: run the smokes, eyeball
-//!   the table, bless, commit `results/baselines/`).
+//!   workflow after an intentional perf/utility change: run the smokes,
+//!   eyeball the table, bless, commit `results/baselines/`).
 //!
 //! A missing baseline file is reported and skipped (bootstrap); a missing
 //! *fresh* file for an existing baseline fails the gate — losing a
 //! benchmark is losing coverage.
 
-use privshape_bench::gate::{self, Json, Metrics};
+use privshape_bench::gate::{self, Direction, Json, Metrics};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Metric extractor for one trajectory-file shape.
 type Extractor = fn(&Json) -> Metrics;
 
-/// The gated trajectory files and their metric extractors.
-const FILES: [(&str, Extractor); 3] = [
-    ("BENCH_protocol.json", gate::protocol_metrics),
-    ("BENCH_scaling.json", gate::scaling_metrics),
-    ("BENCH_streaming.json", gate::streaming_metrics),
+/// The gated trajectory files: extractor + improvement direction.
+const FILES: [(&str, Extractor, Direction); 4] = [
+    (
+        "BENCH_protocol.json",
+        gate::protocol_metrics,
+        Direction::HigherIsBetter,
+    ),
+    (
+        "BENCH_scaling.json",
+        gate::scaling_metrics,
+        Direction::HigherIsBetter,
+    ),
+    (
+        "BENCH_streaming.json",
+        gate::streaming_metrics,
+        Direction::HigherIsBetter,
+    ),
+    (
+        "BENCH_quality.json",
+        gate::quality_metrics,
+        Direction::LowerIsBetter,
+    ),
 ];
 
-fn parse_args() -> (PathBuf, PathBuf, f64, bool) {
-    let mut results = PathBuf::from("results");
-    let mut baselines = PathBuf::from("results/baselines");
-    let mut threshold = 25.0f64;
-    let mut bless = false;
+struct Args {
+    results: PathBuf,
+    baselines: PathBuf,
+    threshold: f64,
+    quality_threshold: f64,
+    bless: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        results: PathBuf::from("results"),
+        baselines: PathBuf::from("results/baselines"),
+        threshold: 25.0,
+        quality_threshold: 20.0,
+        bless: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--results" => {
-                results = PathBuf::from(args.next().expect("--results needs a directory"))
+                parsed.results = PathBuf::from(args.next().expect("--results needs a directory"))
             }
             "--baselines" => {
-                baselines = PathBuf::from(args.next().expect("--baselines needs a directory"))
+                parsed.baselines =
+                    PathBuf::from(args.next().expect("--baselines needs a directory"))
             }
             "--threshold" => {
-                threshold = args
+                parsed.threshold = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--threshold needs a percentage")
             }
-            "--bless" => bless = true,
+            "--quality-threshold" => {
+                parsed.quality_threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--quality-threshold needs a percentage")
+            }
+            "--bless" => parsed.bless = true,
             other => panic!("unknown argument '{other}'"),
         }
     }
-    (results, baselines, threshold, bless)
+    parsed
 }
 
 fn load_metrics(path: &Path, extract: Extractor) -> Result<Metrics, String> {
@@ -64,15 +103,14 @@ fn load_metrics(path: &Path, extract: Extractor) -> Result<Metrics, String> {
 }
 
 fn main() -> ExitCode {
-    let (results, baselines, threshold_pct, bless) = parse_args();
-    let threshold = threshold_pct / 100.0;
+    let args = parse_args();
 
-    if bless {
-        std::fs::create_dir_all(&baselines).expect("create baselines dir");
-        for (file, _) in FILES {
-            let src = results.join(file);
+    if args.bless {
+        std::fs::create_dir_all(&args.baselines).expect("create baselines dir");
+        for (file, _, _) in FILES {
+            let src = args.results.join(file);
             if src.exists() {
-                std::fs::copy(&src, baselines.join(file)).expect("copy baseline");
+                std::fs::copy(&src, args.baselines.join(file)).expect("copy baseline");
                 println!("blessed {file}");
             } else {
                 println!("skipping {file}: no fresh results at {}", src.display());
@@ -81,15 +119,18 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    println!("== bench gate (threshold: -{threshold_pct}% throughput) ==");
+    println!(
+        "== bench gate (throughput: -{}%, quality: +{}%) ==",
+        args.threshold, args.quality_threshold
+    );
     println!(
         "{:<44} {:>14} {:>14} {:>8}  status",
         "metric", "baseline", "current", "delta"
     );
     let mut pass = true;
     let mut gated_files = 0usize;
-    for (file, extract) in FILES {
-        let base_path = baselines.join(file);
+    for (file, extract, direction) in FILES {
+        let base_path = args.baselines.join(file);
         if !base_path.exists() {
             println!("-- {file}: no baseline committed, skipping (bootstrap with --bless)");
             continue;
@@ -102,7 +143,7 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let fresh_path = results.join(file);
+        let fresh_path = args.results.join(file);
         let current = match load_metrics(&fresh_path, extract) {
             Ok(m) => m,
             Err(e) => {
@@ -112,7 +153,11 @@ fn main() -> ExitCode {
             }
         };
         gated_files += 1;
-        let (rows, file_pass) = gate::compare(&baseline, &current, threshold);
+        let threshold = match direction {
+            Direction::HigherIsBetter => args.threshold,
+            Direction::LowerIsBetter => args.quality_threshold,
+        } / 100.0;
+        let (rows, file_pass) = gate::compare_directed(&baseline, &current, threshold, direction);
         for row in &rows {
             println!("{row}");
         }
@@ -122,7 +167,7 @@ fn main() -> ExitCode {
     if gated_files == 0 {
         println!(
             "\nno baselines found under {} — nothing gated",
-            baselines.display()
+            args.baselines.display()
         );
     }
     if pass {
@@ -130,8 +175,10 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         println!(
-            "\nbench gate: FAIL (a throughput metric dropped more than {threshold_pct}% \
-             below its committed baseline; if intentional, refresh with --bless and commit)"
+            "\nbench gate: FAIL (a throughput metric dropped more than {}% below — or a \
+             quality metric rose more than {}% above — its committed baseline; if \
+             intentional, refresh with --bless and commit)",
+            args.threshold, args.quality_threshold
         );
         ExitCode::FAILURE
     }

@@ -1,0 +1,185 @@
+//! Adversarial & utility stress suite: runs the full mechanism × ε × skew
+//! scenario matrix of [`privshape_bench::scenario`] end-to-end through the
+//! sealed-frame streaming ingest path, asserts the adversarial and leak
+//! invariants in-process, and writes `results/BENCH_quality.json` for the
+//! `bench_gate` quality gate (lower-is-better, see `--quality-threshold`).
+//!
+//! Usage: `cargo run --release -p privshape-bench --bin quality_smoke
+//!         [--users N] [--seed N] [--out DIR] [--check]`
+//!
+//! * `--check` — seed-stability self-test: runs the cheapest cell twice
+//!   with the same seed and asserts the serialized JSON is byte-identical.
+//!   CI runs this before the matrix; any nondeterminism (a stray
+//!   timestamp, an unseeded RNG, map-order leakage) fails fast here
+//!   instead of surfacing as baseline churn.
+//!
+//! Invariants asserted before the file is written (a violation aborts the
+//! run — the gate never sees a file whose adversarial story is broken):
+//!
+//! * every adversarial cell shed hostile input (`rejected_frames > 0`,
+//!   `duplicate_reports > 0`) and still extracted bit-identically to a
+//!   clean twin with the same seed;
+//! * every clean cell's counters are zero — the boundary never drops
+//!   honest reports;
+//! * no leak cell surfaced the planted shape: a motif held by a handful
+//!   of users must stay below the extraction's frequency floor at small ε.
+
+use privshape::protocol::LengthOracle;
+use privshape_bench::scenario::{self, CellOutcome, Scenario, ScenarioKind};
+use privshape_bench::ExpCtx;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default population per cell (laptop scale; `--full` grows it).
+const DEFAULT_USERS: usize = 720;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // `--check` is a bare flag; strip it before ExpCtx parsing (which
+    // treats every unknown `--key` as key/value and would swallow the
+    // next argument).
+    let check = raw.iter().any(|a| a == "--check");
+    let ctx = ExpCtx::from_iter(raw.into_iter().filter(|a| a != "--check"), DEFAULT_USERS, 1);
+
+    if check {
+        run_seed_stability_check(ctx.seed);
+        return;
+    }
+
+    let cells = scenario::full_matrix(ctx.users, ctx.seed);
+    println!(
+        "== quality smoke: {} cells × {} users (seed {}) ==",
+        cells.len(),
+        ctx.users,
+        ctx.seed
+    );
+    let outcomes = run_matrix(&cells);
+
+    println!(
+        "{:<10} {:>4} {:<12} {:>9} {:>9} {:>7} {:>6} {:>6}",
+        "mechanism", "eps", "kind", "dtw", "sed", "shapes", "rej", "dup"
+    );
+    for out in &outcomes {
+        let sc = &out.scenario;
+        let (dtw, sed) = match out.quality {
+            Some(q) => (format!("{:.3}", q.dtw), format!("{:.3}", q.sed)),
+            None => ("—".into(), "—".into()),
+        };
+        println!(
+            "{:<10} {:>4} {:<12} {:>9} {:>9} {:>7} {:>6} {:>6}",
+            sc.oracle.name(),
+            scenario::fmt_eps(sc.eps),
+            sc.kind.name(),
+            dtw,
+            sed,
+            out.shapes.len(),
+            out.rejected_frames,
+            out.duplicate_reports,
+        );
+    }
+
+    assert_invariants(&outcomes);
+
+    let json = scenario::cells_to_json(ctx.users, ctx.seed, &outcomes);
+    std::fs::create_dir_all(&ctx.out_dir).expect("create results dir");
+    let path = ctx.out_dir.join("BENCH_quality.json");
+    std::fs::write(&path, json).expect("write BENCH_quality.json");
+    println!("\nwrote {}", path.display());
+}
+
+/// Runs every cell, fanning the (independent, individually seeded) cells
+/// across threads; outcomes come back in matrix order regardless of which
+/// worker finished first.
+fn run_matrix(cells: &[Scenario]) -> Vec<CellOutcome> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(cells.len().max(1));
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CellOutcome>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let outcome = scenario::run_cell(&cells[i]);
+                *slots[i].lock().expect("slot lock") = Some(outcome);
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if finished.is_multiple_of(16) {
+                    println!("  ... {finished}/{} cells", cells.len());
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot lock").expect("cell ran"))
+        .collect()
+}
+
+/// The in-process assertions backing the file's adversarial columns.
+fn assert_invariants(outcomes: &[CellOutcome]) {
+    for out in outcomes {
+        let sc = &out.scenario;
+        let tag = format!(
+            "{}/eps{}/{}",
+            sc.oracle.name(),
+            scenario::fmt_eps(sc.eps),
+            sc.kind.name()
+        );
+        if sc.kind == ScenarioKind::Adversarial {
+            assert!(
+                out.rejected_frames > 0 && out.duplicate_reports > 0,
+                "{tag}: hostile input was not shed (rej={}, dup={})",
+                out.rejected_frames,
+                out.duplicate_reports
+            );
+            assert!(
+                out.clean_twin_match,
+                "{tag}: hostile ingest changed the extraction vs. a clean twin"
+            );
+        } else {
+            assert!(
+                out.rejected_frames == 0 && out.duplicate_reports == 0,
+                "{tag}: clean stream tripped the ingest counters (rej={}, dup={})",
+                out.rejected_frames,
+                out.duplicate_reports
+            );
+        }
+        if sc.kind == ScenarioKind::Leak {
+            assert!(
+                !out.leak_surfaced,
+                "{tag}: the planted minority shape surfaced in the extraction"
+            );
+        }
+    }
+    println!(
+        "\nadversarial + leak invariants: all {} cells OK",
+        outcomes.len()
+    );
+}
+
+/// `--check`: the cheapest cell, run twice with one seed, must serialize
+/// to byte-identical JSON.
+fn run_seed_stability_check(seed: u64) {
+    let cell = Scenario {
+        oracle: LengthOracle::Grr,
+        eps: 4.0,
+        kind: ScenarioKind::UniformSed,
+        users: 240,
+        seed,
+    };
+    let a = scenario::cells_to_json(cell.users, seed, &[scenario::run_cell(&cell)]);
+    let b = scenario::cells_to_json(cell.users, seed, &[scenario::run_cell(&cell)]);
+    assert_eq!(
+        a, b,
+        "seed-stability check FAILED: two runs of the same cell serialized differently"
+    );
+    println!(
+        "seed-stability check OK: identical {}-byte JSON twice",
+        a.len()
+    );
+}

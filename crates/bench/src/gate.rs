@@ -9,7 +9,10 @@
 //! under `results/baselines/`.
 //!
 //! Throughput metrics are "higher is better"; a *current* value below
-//! `baseline × (1 − threshold)` is a failure. New metrics (present in the
+//! `baseline × (1 − threshold)` is a failure. Quality metrics (the
+//! distance-to-ground-truth columns of `BENCH_quality.json`) are the
+//! opposite direction — *lower* is better, and a current value above
+//! `baseline × (1 + threshold)` fails. New metrics (present in the
 //! fresh run but not the baseline) pass with a note — they gate once the
 //! baselines are refreshed (see the `bench_gate` binary's `--bless`).
 
@@ -284,7 +287,48 @@ pub fn streaming_metrics(doc: &Json) -> Metrics {
     out
 }
 
+/// Metrics of `BENCH_quality.json`: per-cell DTW and SED distance to the
+/// generator's ground truth, keyed by the cell's matrix coordinates.
+///
+/// Leak cells are skipped: their population deliberately contains a shape
+/// absent from the ground truth, so their distance numbers measure the
+/// probe, not the mechanism — the leak *invariant* (`leak_surfaced ==
+/// false`) is asserted by `quality_smoke` and the scenario tests instead.
+pub fn quality_metrics(doc: &Json) -> Metrics {
+    let mut out = Vec::new();
+    for cell in doc.get("cells").and_then(Json::as_arr).unwrap_or(&[]) {
+        let (Some(Json::Str(mech)), Some(Json::Str(kind)), Some(eps)) =
+            (cell.get("mechanism"), cell.get("kind"), cell.num("eps"))
+        else {
+            continue;
+        };
+        if kind == "leak" {
+            continue;
+        }
+        let eps = if eps.fract() == 0.0 {
+            format!("{}", eps as u64)
+        } else {
+            format!("{eps}")
+        };
+        for metric in ["dtw", "sed"] {
+            if let Some(v) = cell.num(metric) {
+                out.push((format!("quality.{mech}.eps{eps}.{kind}.{metric}"), v));
+            }
+        }
+    }
+    out
+}
+
 // ---- comparison ---------------------------------------------------------
+
+/// Which way a metric improves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-style: regression = falling below baseline.
+    HigherIsBetter,
+    /// Distance/error-style: regression = rising above baseline.
+    LowerIsBetter,
+}
 
 /// The gate's verdict on one metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -353,11 +397,34 @@ impl fmt::Display for GateRow {
     }
 }
 
+/// Absolute slack for lower-is-better metrics, so a committed baseline of
+/// exactly 0.0 (a perfect extraction) doesn't make the multiplicative
+/// threshold vacuous and fail on any nonzero distance. Distances here live
+/// in Compressive-SAX space, where 0.5 is well below one symbol of error.
+const LOWER_IS_BETTER_SLACK: f64 = 0.5;
+
 /// Compares fresh metrics against a baseline. `threshold` is the allowed
 /// fractional throughput drop (0.25 ⇒ fail below 75% of baseline).
 /// Returns the table rows (baseline order, then new metrics) and whether
 /// the gate passes.
 pub fn compare(baseline: &Metrics, current: &Metrics, threshold: f64) -> (Vec<GateRow>, bool) {
+    compare_directed(baseline, current, threshold, Direction::HigherIsBetter)
+}
+
+/// [`compare`] with an explicit improvement direction. For
+/// [`Direction::LowerIsBetter`], `threshold` is the allowed fractional
+/// *rise* (0.20 ⇒ fail above 120% of baseline, plus a small absolute
+/// slack for near-zero baselines).
+pub fn compare_directed(
+    baseline: &Metrics,
+    current: &Metrics,
+    threshold: f64,
+    direction: Direction,
+) -> (Vec<GateRow>, bool) {
+    let regressed = |v: f64, base: f64| match direction {
+        Direction::HigherIsBetter => v < base * (1.0 - threshold),
+        Direction::LowerIsBetter => v > base * (1.0 + threshold) + LOWER_IS_BETTER_SLACK,
+    };
     let mut rows = Vec::new();
     let mut pass = true;
     for (name, base) in baseline {
@@ -367,7 +434,7 @@ pub fn compare(baseline: &Metrics, current: &Metrics, threshold: f64) -> (Vec<Ga
                 pass = false;
                 Verdict::Missing
             }
-            Some(v) if v < base * (1.0 - threshold) => {
+            Some(v) if regressed(v, *base) => {
                 pass = false;
                 Verdict::Regressed
             }
@@ -492,5 +559,69 @@ mod tests {
         assert!(pass);
         assert_eq!(rows[0].verdict, Verdict::Ok);
         assert_eq!(rows[0].ratio(), Some(3.0));
+    }
+
+    #[test]
+    fn lower_is_better_gates_the_opposite_way() {
+        let baseline = vec![
+            ("q.a".to_string(), 10.0),
+            ("q.b".to_string(), 10.0),
+            ("q.zero".to_string(), 0.0),
+        ];
+        let current = vec![
+            ("q.a".to_string(), 11.5),   // +15%: within a 20% threshold
+            ("q.b".to_string(), 13.0),   // +30%: regression
+            ("q.zero".to_string(), 0.3), // within the absolute slack
+        ];
+        let (rows, pass) = compare_directed(&baseline, &current, 0.20, Direction::LowerIsBetter);
+        assert!(!pass);
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap().verdict;
+        assert_eq!(by_name("q.a"), Verdict::Ok);
+        assert_eq!(by_name("q.b"), Verdict::Regressed);
+        assert_eq!(by_name("q.zero"), Verdict::Ok);
+        // A drop (improvement) always passes under LowerIsBetter.
+        let (rows, pass) = compare_directed(
+            &vec![("q".to_string(), 10.0)],
+            &vec![("q".to_string(), 1.0)],
+            0.20,
+            Direction::LowerIsBetter,
+        );
+        assert!(pass);
+        assert_eq!(rows[0].verdict, Verdict::Ok);
+        // Past the slack, a zero baseline still gates.
+        let (_, pass) = compare_directed(
+            &vec![("q".to_string(), 0.0)],
+            &vec![("q".to_string(), 0.6)],
+            0.20,
+            Direction::LowerIsBetter,
+        );
+        assert!(!pass);
+    }
+
+    #[test]
+    fn quality_metrics_key_cells_and_skip_leak_rows() {
+        let doc = Json::parse(
+            r#"{"cells": [
+                {"mechanism": "grr", "eps": 0.5, "kind": "zipf",
+                 "dtw": 3.25, "sed": 4.0},
+                {"mechanism": "olh", "eps": 4, "kind": "adversarial",
+                 "dtw": 1.0, "sed": 2.0, "euclidean": 9.0},
+                {"mechanism": "oue", "eps": 0.5, "kind": "leak",
+                 "dtw": 8.0, "sed": 8.0},
+                {"mechanism": "grr", "eps": 1, "kind": "uniform-dtw",
+                 "dtw": null, "sed": null}
+            ]}"#,
+        )
+        .unwrap();
+        let m = quality_metrics(&doc);
+        assert_eq!(
+            m,
+            vec![
+                ("quality.grr.eps0.5.zipf.dtw".to_string(), 3.25),
+                ("quality.grr.eps0.5.zipf.sed".to_string(), 4.0),
+                ("quality.olh.eps4.adversarial.dtw".to_string(), 1.0),
+                ("quality.olh.eps4.adversarial.sed".to_string(), 2.0),
+            ]
+        );
     }
 }

@@ -16,6 +16,7 @@ pub mod clustering;
 pub mod gate;
 pub mod output;
 pub mod quality;
+pub mod scenario;
 
 pub use args::ExpCtx;
 pub use output::{write_csv, Table};

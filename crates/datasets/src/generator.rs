@@ -154,6 +154,134 @@ pub fn generate_trace_like(config: &TraceLikeConfig) -> Dataset {
     )
 }
 
+/// Per-class instance counts following a Zipf law: class `i` gets a share
+/// proportional to `1 / (i + 1)^exponent`, rounded so the counts sum to
+/// exactly `total` (the remainder goes to the heaviest classes first).
+/// Every class gets at least one instance when `total ≥ classes`.
+///
+/// This is the skew axis of the quality stress matrix: real populations
+/// are rarely class-balanced, and heavy-tailed group sizes starve the
+/// minority classes' report counts.
+pub fn zipf_counts(total: usize, classes: usize, exponent: f64) -> Vec<usize> {
+    assert!(classes > 0, "zipf_counts needs at least one class");
+    let weights: Vec<f64> = (0..classes)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+        .collect();
+    let sum: f64 = weights.iter().sum();
+    let floor_min = usize::from(total >= classes);
+    let mut counts: Vec<usize> = weights
+        .iter()
+        .map(|w| (((total as f64) * w / sum).floor() as usize).max(floor_min))
+        .collect();
+    // Trim or top up (heaviest classes first) until the counts sum exactly.
+    let mut assigned: usize = counts.iter().sum();
+    let mut i = 0;
+    while assigned > total {
+        let j = classes - 1 - (i % classes);
+        if counts[j] > floor_min {
+            counts[j] -= 1;
+            assigned -= 1;
+        }
+        i += 1;
+    }
+    for j in (0..classes).cycle() {
+        if assigned == total {
+            break;
+        }
+        counts[j] += 1;
+        assigned += 1;
+    }
+    counts
+}
+
+/// Generates a Trace-like dataset with an explicit per-class instance
+/// count (`counts.len()` must be [`TRACE_CLASSES`]); `config.n_per_class`
+/// is ignored. Classes are interleaved while instances remain, so prefixes
+/// stay as balanced as the counts allow.
+///
+/// Each class draws from its own seeded stream, so a class's instances are
+/// identical across calls that only change *other* classes' counts — the
+/// property the leak-probe scenarios lean on.
+///
+/// # Panics
+///
+/// Panics if `counts.len() != TRACE_CLASSES`.
+pub fn generate_trace_like_counts(config: &TraceLikeConfig, counts: &[usize]) -> Dataset {
+    assert_eq!(
+        counts.len(),
+        TRACE_CLASSES,
+        "need one count per Trace-like class"
+    );
+    let mut rngs: Vec<ChaCha12Rng> = (0..TRACE_CLASSES)
+        .map(|class| ChaCha12Rng::seed_from_u64(class_stream_seed(config.seed, class)))
+        .collect();
+    let templates: Vec<Template> = (0..TRACE_CLASSES).map(trace_template).collect();
+    let total: usize = counts.iter().sum();
+    let mut emitted = [0usize; TRACE_CLASSES];
+    let mut series = Vec::with_capacity(total);
+    let mut labels = Vec::with_capacity(total);
+    while series.len() < total {
+        for class in 0..TRACE_CLASSES {
+            if emitted[class] >= counts[class] {
+                continue;
+            }
+            let values = config
+                .augment
+                .apply(&templates[class], config.length, &mut rngs[class]);
+            let ts = TimeSeries::new(values)
+                .expect("generator emits finite samples")
+                .z_normalized();
+            series.push(ts);
+            labels.push(class);
+            emitted[class] += 1;
+        }
+    }
+    Dataset::labeled(series, labels).expect("lengths match by construction")
+}
+
+/// The sensitive "leak probe" shape: a fast high/low zigzag no Trace-like
+/// class resembles. Quality scenarios plant it in a handful of users and
+/// assert the extractor does *not* surface it — LDP noise at small ε must
+/// drown signals held by few users (the PMP-style memorization probe).
+pub fn leak_template() -> Template {
+    Template::new(vec![
+        (0.0, 1.6),
+        (0.18, -1.6),
+        (0.38, 1.6),
+        (0.58, -1.6),
+        (0.78, 1.6),
+        (1.0, -1.6),
+    ])
+}
+
+/// Augmented, z-normalized instances of [`leak_template`], on a seed
+/// stream disjoint from every Trace-like class stream.
+pub fn generate_leak_series(
+    count: usize,
+    length: usize,
+    augment: &Augment,
+    seed: u64,
+) -> Vec<TimeSeries> {
+    let template = leak_template();
+    let mut rng = ChaCha12Rng::seed_from_u64(class_stream_seed(seed, usize::MAX / 2));
+    (0..count)
+        .map(|_| {
+            TimeSeries::new(augment.apply(&template, length, &mut rng))
+                .expect("generator emits finite samples")
+                .z_normalized()
+        })
+        .collect()
+}
+
+/// SplitMix64-style decorrelation of the master seed into per-class
+/// streams.
+fn class_stream_seed(seed: u64, class: usize) -> u64 {
+    let mut z = seed ^ (class as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 fn generate(
     classes: usize,
     n_per_class: usize,
@@ -278,6 +406,65 @@ mod tests {
     #[should_panic(expected = "classes")]
     fn template_bounds_checked() {
         symbols_template(6);
+    }
+
+    #[test]
+    fn zipf_counts_sum_and_skew() {
+        let counts = zipf_counts(720, 3, 1.0);
+        assert_eq!(counts.iter().sum::<usize>(), 720);
+        assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+        // Exponent 0 is uniform.
+        assert_eq!(zipf_counts(90, 3, 0.0), vec![30, 30, 30]);
+        // Strong skew still gives every class at least one instance.
+        let steep = zipf_counts(10, 5, 4.0);
+        assert_eq!(steep.iter().sum::<usize>(), 10);
+        assert!(steep.iter().all(|&c| c >= 1), "{steep:?}");
+    }
+
+    #[test]
+    fn counts_generator_matches_declared_counts() {
+        let cfg = TraceLikeConfig {
+            seed: 7,
+            ..Default::default()
+        };
+        let counts = [12, 5, 2];
+        let d = generate_trace_like_counts(&cfg, &counts);
+        assert_eq!(d.len(), 19);
+        let labels = d.labels().unwrap();
+        for (class, &expected) in counts.iter().enumerate() {
+            assert_eq!(labels.iter().filter(|&&l| l == class).count(), expected);
+        }
+        assert!(d.series().iter().all(|s| s.len() == TRACE_LEN));
+        // Deterministic, and a class's instances are independent of the
+        // other classes' counts.
+        let d2 = generate_trace_like_counts(&cfg, &counts);
+        assert_eq!(d.series()[0], d2.series()[0]);
+        let d3 = generate_trace_like_counts(&cfg, &[12, 1, 1]);
+        let first_class0 = d.series()[0].clone();
+        let first_class0_again = d3.series()[0].clone();
+        assert_eq!(first_class0, first_class0_again);
+    }
+
+    #[test]
+    fn leak_shape_is_distinct_from_every_trace_class() {
+        let params = SaxParams::new(10, 4).unwrap();
+        let leak = {
+            let raw = leak_template().sample(TRACE_LEN);
+            let z = TimeSeries::new(raw).unwrap().z_normalized();
+            compressive_sax(z.values(), &params).to_string()
+        };
+        for class in 0..TRACE_CLASSES {
+            let raw = trace_template(class).sample(TRACE_LEN);
+            let z = TimeSeries::new(raw).unwrap().z_normalized();
+            let shape = compressive_sax(z.values(), &params).to_string();
+            assert_ne!(leak, shape, "leak shape collides with class {class}");
+        }
+        let series = generate_leak_series(4, TRACE_LEN, &Augment::default(), 3);
+        assert_eq!(series.len(), 4);
+        assert_eq!(
+            series,
+            generate_leak_series(4, TRACE_LEN, &Augment::default(), 3)
+        );
     }
 
     use privshape_timeseries::TimeSeries;

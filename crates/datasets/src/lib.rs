@@ -36,8 +36,9 @@ mod trig;
 
 pub use augment::Augment;
 pub use generator::{
-    generate_symbols_like, generate_trace_like, symbols_template, trace_template,
-    SymbolsLikeConfig, TraceLikeConfig, SYMBOLS_CLASSES, SYMBOLS_LEN, TRACE_CLASSES, TRACE_LEN,
+    generate_leak_series, generate_symbols_like, generate_trace_like, generate_trace_like_counts,
+    leak_template, symbols_template, trace_template, zipf_counts, SymbolsLikeConfig,
+    TraceLikeConfig, SYMBOLS_CLASSES, SYMBOLS_LEN, TRACE_CLASSES, TRACE_LEN,
 };
 pub use template::{Burst, Template};
 pub use trig::{generate_trig, TrigConfig, TrigMode, WaveKind};

@@ -50,4 +50,4 @@ pub use grr::{Grr, GrrAggregator};
 pub use laplace::laplace_noise;
 pub use olh::{Olh, OlhAggregator, OlhReport};
 pub use oue::{Oue, OueAggregator, OueReport};
-pub use piecewise::PiecewiseMechanism;
+pub use piecewise::{PiecewiseAggregator, PiecewiseMechanism};

@@ -24,7 +24,7 @@ pub struct OlhReport {
 }
 
 /// The OLH mechanism.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Olh {
     eps: Epsilon,
     g: usize,
@@ -93,7 +93,7 @@ fn mix(mut z: u64) -> u64 {
 ///
 /// Support counting is `O(d)` per report; fine for the domain sizes in
 /// this workspace (≤ a few hundred).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OlhAggregator {
     olh: Olh,
     support: Vec<u64>,
@@ -127,6 +127,42 @@ impl OlhAggregator {
     /// Number of reports ingested.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Size of the value domain the aggregator estimates over.
+    pub fn domain(&self) -> usize {
+        self.support.len()
+    }
+
+    /// The mechanism this aggregator expects reports from.
+    pub fn olh(&self) -> &Olh {
+        &self.olh
+    }
+
+    /// Folds another aggregator's support counts into this one. Support is
+    /// a plain integer sum over the same hash family, so merging is
+    /// associative and commutative — shards can aggregate independently
+    /// and combine in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two aggregators were built for different domains or
+    /// different hash ranges (merging them would be meaningless).
+    pub fn merge(&mut self, other: &OlhAggregator) {
+        assert_eq!(
+            self.support.len(),
+            other.support.len(),
+            "cannot merge OLH aggregators over different domains"
+        );
+        assert_eq!(
+            self.olh.g, other.olh.g,
+            "cannot merge OLH aggregators over different hash ranges"
+        );
+        debug_assert!(self.olh.p == other.olh.p);
+        for (mine, theirs) in self.support.iter_mut().zip(&other.support) {
+            *mine += theirs;
+        }
+        self.total += other.total;
     }
 
     /// Unbiased count estimate:
@@ -241,5 +277,48 @@ mod tests {
     #[test]
     fn rejects_degenerate_domain() {
         assert!(OlhAggregator::new(Olh::new(eps(1.0)), 1).is_err());
+    }
+
+    #[test]
+    fn merged_shards_equal_single_aggregator() {
+        let olh = Olh::new(eps(1.5));
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let reports: Vec<OlhReport> = (0..600).map(|i| olh.perturb(&mut rng, i % 7)).collect();
+
+        let mut whole = OlhAggregator::new(olh.clone(), 9).unwrap();
+        for r in &reports {
+            whole.add(r);
+        }
+
+        let mut shards: Vec<OlhAggregator> = (0..3)
+            .map(|_| OlhAggregator::new(olh.clone(), 9).unwrap())
+            .collect();
+        for (i, r) in reports.iter().enumerate() {
+            shards[i % 3].add(r);
+        }
+        // Fold in a non-sequential order; counts are integers, so the
+        // result is exact, not approximately equal.
+        let mut merged = shards[2].clone();
+        merged.merge(&shards[0]);
+        merged.merge(&shards[1]);
+        assert_eq!(merged, whole);
+        assert_eq!(merged.total(), 600);
+    }
+
+    #[test]
+    #[should_panic(expected = "different domains")]
+    fn merge_rejects_mismatched_domains() {
+        let olh = Olh::new(eps(1.0));
+        let mut a = OlhAggregator::new(olh.clone(), 4).unwrap();
+        let b = OlhAggregator::new(olh, 5).unwrap();
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different hash ranges")]
+    fn merge_rejects_mismatched_hash_ranges() {
+        let mut a = OlhAggregator::new(Olh::new(eps(1.0)), 4).unwrap();
+        let b = OlhAggregator::new(Olh::new(eps(3.0)), 4).unwrap();
+        a.merge(&b);
     }
 }

@@ -10,7 +10,7 @@ use crate::budget::{Epsilon, LdpError, Result};
 use rand::{Rng, RngExt};
 
 /// Piecewise Mechanism over the input range `[−1, 1]`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PiecewiseMechanism {
     eps: Epsilon,
     /// Output range half-width `C = (e^{ε/2} + 1) / (e^{ε/2} − 1)`.
@@ -79,6 +79,99 @@ impl PiecewiseMechanism {
         let clamped = t.clamp(-1.0, 1.0);
         self.try_perturb(rng, clamped)
             .expect("clamped input is in range")
+    }
+
+    /// Fixed-point scale for quantized reports: 20 fractional bits.
+    ///
+    /// Reports crossing a wire boundary are quantized to integers so the
+    /// server-side sum is exact — associative and commutative regardless
+    /// of shard merge order, which f64 addition cannot guarantee.
+    pub const SCALE: i64 = 1 << 20;
+
+    /// Quantizes a perturbed output to the fixed-point wire grid.
+    pub fn quantize(&self, y: f64) -> i64 {
+        (y * Self::SCALE as f64).round() as i64
+    }
+
+    /// Largest magnitude a valid quantized report can carry (`⌈C·SCALE⌉`).
+    pub fn quantized_bound(&self) -> i64 {
+        (self.c * Self::SCALE as f64).ceil() as i64
+    }
+}
+
+/// Server-side aggregator for quantized Piecewise reports.
+///
+/// Holds an exact integer sum (`i128`, so overflow is out of reach for any
+/// realistic population) plus a report count; the mean estimator is
+/// unbiased for the mean of the true inputs. Because the state is pure
+/// integer arithmetic, [`PiecewiseAggregator::merge`] is associative and
+/// commutative — shards combine in any order with bit-identical results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseAggregator {
+    mechanism: PiecewiseMechanism,
+    sum: i128,
+    total: u64,
+}
+
+impl PiecewiseAggregator {
+    /// Creates an empty aggregator for the given mechanism.
+    pub fn new(mechanism: PiecewiseMechanism) -> Self {
+        Self {
+            mechanism,
+            sum: 0,
+            total: 0,
+        }
+    }
+
+    /// The mechanism this aggregator expects reports from.
+    pub fn mechanism(&self) -> &PiecewiseMechanism {
+        &self.mechanism
+    }
+
+    /// Ingests one quantized report, rejecting values outside the
+    /// mechanism's declared output range (untrusted wire input).
+    pub fn add(&mut self, report: i64) -> Result<()> {
+        let bound = self.mechanism.quantized_bound();
+        if report.abs() > bound {
+            return Err(LdpError::ValueOutOfRange {
+                value: report as f64 / PiecewiseMechanism::SCALE as f64,
+                lo: -self.mechanism.output_bound(),
+                hi: self.mechanism.output_bound(),
+            });
+        }
+        self.sum += i128::from(report);
+        self.total += 1;
+        Ok(())
+    }
+
+    /// Number of reports ingested.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Folds another aggregator's exact integer state into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two aggregators were built for different mechanisms
+    /// (different ε means different output bounds, so the sums are not
+    /// comparable).
+    pub fn merge(&mut self, other: &PiecewiseAggregator) {
+        assert_eq!(
+            self.mechanism, other.mechanism,
+            "cannot merge piecewise aggregators over different mechanisms"
+        );
+        self.sum += other.sum;
+        self.total += other.total;
+    }
+
+    /// Unbiased estimate of the mean true input, or `None` when no reports
+    /// have arrived.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        Some(self.sum as f64 / self.total as f64 / PiecewiseMechanism::SCALE as f64)
     }
 }
 
@@ -158,5 +251,74 @@ mod tests {
         // Exactly representable overshoot from upstream arithmetic.
         let y = m.perturb(&mut rng, 1.0 + 1e-13);
         assert!(y.is_finite());
+    }
+
+    #[test]
+    fn quantization_error_is_sub_grid() {
+        let m = pm(1.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        for _ in 0..200 {
+            let y = m.perturb(&mut rng, 0.3);
+            let q = m.quantize(y);
+            assert!(q.abs() <= m.quantized_bound());
+            let back = q as f64 / PiecewiseMechanism::SCALE as f64;
+            assert!((back - y).abs() <= 0.5 / PiecewiseMechanism::SCALE as f64);
+        }
+    }
+
+    #[test]
+    fn aggregated_mean_is_unbiased() {
+        let m = pm(2.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(6);
+        let mut agg = PiecewiseAggregator::new(m);
+        let t = 0.4;
+        for _ in 0..60_000 {
+            agg.add(m.quantize(m.perturb(&mut rng, t))).unwrap();
+        }
+        let mean = agg.mean().unwrap();
+        assert!((mean - t).abs() < 0.05, "mean={mean}");
+        assert!(PiecewiseAggregator::new(m).mean().is_none());
+    }
+
+    #[test]
+    fn merged_shards_equal_single_aggregator() {
+        let m = pm(1.5);
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let reports: Vec<i64> = (0..900)
+            .map(|i| m.quantize(m.perturb(&mut rng, -1.0 + 2.0 * (i as f64 / 899.0))))
+            .collect();
+
+        let mut whole = PiecewiseAggregator::new(m);
+        for &q in &reports {
+            whole.add(q).unwrap();
+        }
+        let mut shards: Vec<PiecewiseAggregator> =
+            (0..3).map(|_| PiecewiseAggregator::new(m)).collect();
+        for (i, &q) in reports.iter().enumerate() {
+            shards[i % 3].add(q).unwrap();
+        }
+        let mut merged = shards[1].clone();
+        merged.merge(&shards[2]);
+        merged.merge(&shards[0]);
+        // Integer state: exact equality, not approximate.
+        assert_eq!(merged, whole);
+        assert_eq!(merged.total(), 900);
+    }
+
+    #[test]
+    fn add_rejects_out_of_bound_wire_values() {
+        let m = pm(1.0);
+        let mut agg = PiecewiseAggregator::new(m);
+        assert!(agg.add(m.quantized_bound() + 1).is_err());
+        assert!(agg.add(-(m.quantized_bound() + 1)).is_err());
+        assert_eq!(agg.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different mechanisms")]
+    fn merge_rejects_mismatched_mechanisms() {
+        let mut a = PiecewiseAggregator::new(pm(1.0));
+        let b = PiecewiseAggregator::new(pm(2.0));
+        a.merge(&b);
     }
 }

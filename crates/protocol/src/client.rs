@@ -14,6 +14,7 @@
 //!
 //! Raw series and symbol sequences never cross this boundary.
 
+use crate::config::LengthOracle;
 use crate::error::{Error, Result};
 use crate::params::{MechanismKind, ProtocolParams};
 use crate::population::{chunk_of_rank, split_population};
@@ -21,7 +22,7 @@ use crate::rng::{user_rng, Stage};
 use crate::round::{Audience, GroupId, Report, RoundSpec};
 use crate::transform::transform_series;
 use privshape_distance::{em_score, DistanceWorkspace};
-use privshape_ldp::{ExpMech, Grr, Oue};
+use privshape_ldp::{ExpMech, Grr, Olh, Oue, PiecewiseMechanism};
 use privshape_timeseries::{CandidateTable, Symbol, SymbolSeq, TimeSeries};
 use privshape_trie::BigramSet;
 use rand::{Rng, RngExt};
@@ -240,7 +241,7 @@ impl UserClient {
             )));
         }
         let report = match spec {
-            RoundSpec::Length { range, .. } => self.answer_length(*range)?,
+            RoundSpec::Length { range, oracle, .. } => self.answer_length(*range, *oracle)?,
             RoundSpec::SubShape {
                 ell_s, alphabet, ..
             } => self.answer_subshape(*ell_s, *alphabet)?,
@@ -281,18 +282,46 @@ impl UserClient {
         }
     }
 
-    /// GRR report of the clipped compressed length (Eq. (1)).
-    fn answer_length(&self, range: (usize, usize)) -> Result<Report> {
+    /// Frequency-oracle report of the clipped compressed length (Eq. (1);
+    /// GRR by default, the spec's [`LengthOracle`] otherwise). Every
+    /// oracle draws from the same `(seed, Length, user)` stream, so a
+    /// session is deterministic given its params regardless of oracle.
+    fn answer_length(&self, range: (usize, usize), oracle: LengthOracle) -> Result<Report> {
         let (lo, hi) = range;
         if lo >= hi {
             return Err(Error::Protocol(format!(
                 "length round needs a non-degenerate range, got [{lo}, {hi}]"
             )));
         }
-        let grr = Grr::new(hi - lo + 1, self.params.epsilon)?;
+        let domain = hi - lo + 1;
         let clipped = self.seq.len().clamp(lo, hi);
+        let offset = clipped - lo;
         let mut rng = user_rng(self.params.seed, Stage::Length, self.user);
-        Ok(Report::Length(grr.perturb(&mut rng, clipped - lo)))
+        Ok(match oracle {
+            LengthOracle::Grr => {
+                let grr = Grr::new(domain, self.params.epsilon)?;
+                Report::Length(grr.perturb(&mut rng, offset))
+            }
+            LengthOracle::Oue => {
+                let oue = Oue::new(domain, self.params.epsilon)?;
+                Report::LengthOue(oue.perturb(&mut rng, offset))
+            }
+            LengthOracle::Olh => {
+                let olh = Olh::new(self.params.epsilon);
+                Report::LengthOlh(olh.perturb(&mut rng, offset))
+            }
+            LengthOracle::Piecewise => {
+                // Map the clipped length onto the mechanism's [−1, 1]
+                // input range, perturb, and quantize for the wire.
+                let pm = PiecewiseMechanism::new(self.params.epsilon);
+                let t = if domain > 1 {
+                    -1.0 + 2.0 * offset as f64 / (domain as f64 - 1.0)
+                } else {
+                    0.0
+                };
+                Report::LengthPiecewise(pm.quantize(pm.perturb(&mut rng, t)))
+            }
+        })
     }
 
     /// GRR report of the bigram at a uniformly self-sampled level (§IV-B).
@@ -537,6 +566,7 @@ mod tests {
         let spec = RoundSpec::Length {
             audience: Audience::group(GroupId::Pa),
             range: (1, 6),
+            oracle: LengthOracle::Grr,
         };
         assert!(c.answer(&spec).unwrap().is_some());
         assert!(matches!(c.answer(&spec), Err(Error::Protocol(_))));
@@ -550,6 +580,7 @@ mod tests {
         let spec = RoundSpec::Length {
             audience: Audience::group(GroupId::Pa),
             range: (6, 1),
+            oracle: LengthOracle::Grr,
         };
         assert!(matches!(c.answer(&spec), Err(Error::Protocol(_))));
         // Zero-chunk audience: addressed to no one, not an assert failure.
@@ -567,6 +598,7 @@ mod tests {
         let spec = RoundSpec::Length {
             audience: Audience::group(GroupId::Pa),
             range: (1, 6),
+            oracle: LengthOracle::Grr,
         };
         let r1 = seq_client(3, "abab", &p).answer(&spec).unwrap().unwrap();
         let r2 = seq_client(3, "abab", &p).answer(&spec).unwrap().unwrap();
@@ -574,6 +606,37 @@ mod tests {
         match r1 {
             Report::Length(v) => assert!(v < 6),
             other => panic!("wrong report kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn length_oracles_answer_with_matching_report_kinds() {
+        let p = params(4);
+        for oracle in [
+            LengthOracle::Oue,
+            LengthOracle::Olh,
+            LengthOracle::Piecewise,
+        ] {
+            let spec = RoundSpec::Length {
+                audience: Audience::group(GroupId::Pa),
+                range: (1, 6),
+                oracle,
+            };
+            let r1 = seq_client(3, "abab", &p).answer(&spec).unwrap().unwrap();
+            let r2 = seq_client(3, "abab", &p).answer(&spec).unwrap().unwrap();
+            assert_eq!(r1, r2, "{oracle:?} must be deterministic per user");
+            match (oracle, &r1) {
+                (LengthOracle::Oue, Report::LengthOue(r)) => {
+                    assert!(r.set_bits().iter().all(|&b| b < 6));
+                }
+                (LengthOracle::Olh, Report::LengthOlh(r)) => {
+                    assert!(r.value < Olh::new(p.epsilon).g());
+                }
+                (LengthOracle::Piecewise, Report::LengthPiecewise(q)) => {
+                    assert!(q.abs() <= PiecewiseMechanism::new(p.epsilon).quantized_bound());
+                }
+                (oracle, other) => panic!("{oracle:?} produced {other:?}"),
+            }
         }
     }
 

@@ -61,6 +61,42 @@ impl Preprocessing {
     }
 }
 
+/// Which frequency oracle the length-estimation round (population Pa)
+/// runs.
+///
+/// The length domain is the one protocol slot where the oracle is a free
+/// choice: every oracle answers the same question ("how many users hold
+/// compressed length ℓ?") over the same small domain, so swapping it
+/// changes utility but not the protocol shape. GRR is the paper's choice
+/// and the default; the alternatives exist so the stress suite can measure
+/// utility across the whole oracle family under one session path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LengthOracle {
+    /// Generalized Randomized Response (the paper's choice; optimal for
+    /// the small length domains PrivShape uses).
+    #[default]
+    Grr,
+    /// Optimized Unary Encoding: one bit vector per report.
+    Oue,
+    /// Optimized Local Hashing: a public hash seed plus one bucket.
+    Olh,
+    /// Piecewise Mechanism over the length range mapped to `[−1, 1]`;
+    /// the server estimates the *mean* length rather than the mode.
+    Piecewise,
+}
+
+impl LengthOracle {
+    /// Stable lowercase name (used in benchmark artifact keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            LengthOracle::Grr => "grr",
+            LengthOracle::Oue => "oue",
+            LengthOracle::Olh => "olh",
+            LengthOracle::Piecewise => "piecewise",
+        }
+    }
+}
+
 /// How the user population is partitioned across the mechanism's tasks
 /// (§V-B3). PrivShape allocates *users*, not budget: each group's reports
 /// are disjoint, so parallel composition gives every user the full ε.
@@ -123,6 +159,8 @@ pub struct PrivShapeConfig {
     pub length_range: (usize, usize),
     /// Distance measure for EM scoring and post-processing.
     pub distance: DistanceKind,
+    /// Frequency oracle for the length-estimation round (GRR by default).
+    pub length_oracle: LengthOracle,
     /// User allocation across tasks.
     pub split: PopulationSplit,
     /// User-side preprocessing (SAX by default; ablations via
@@ -146,6 +184,7 @@ impl PrivShapeConfig {
             sax,
             length_range: (1, 15),
             distance: DistanceKind::default(),
+            length_oracle: LengthOracle::default(),
             split: PopulationSplit::default(),
             preprocessing: Preprocessing::default(),
             seed: 2023,
@@ -189,6 +228,8 @@ pub struct BaselineConfig {
     pub length_range: (usize, usize),
     /// Distance measure for EM scoring.
     pub distance: DistanceKind,
+    /// Frequency oracle for the length-estimation round (GRR by default).
+    pub length_oracle: LengthOracle,
     /// Absolute pruning threshold `N` on per-level selection counts
     /// (paper: 100 at 40 000 users).
     pub prune_threshold: f64,
@@ -212,6 +253,7 @@ impl BaselineConfig {
             sax,
             length_range: (1, 15),
             distance: DistanceKind::default(),
+            length_oracle: LengthOracle::default(),
             prune_threshold: 100.0,
             pa: 0.02,
             preprocessing: Preprocessing::default(),

@@ -36,10 +36,40 @@
 use crate::error::{Error, Result};
 use crate::round::{Report, RoundSpec};
 use crate::shard::ShardAggregator;
+use crate::wire;
 use privshape_ldp::Epsilon;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Counters from the sealed-frame validation tier of an
+/// [`IngestPipeline`], surfaced per session in
+/// [`crate::Diagnostics`].
+///
+/// Plain-frame ingestion ([`IngestPipeline::submit_frame`]) bypasses this
+/// tier entirely and never moves the counters — validation is opt-in at
+/// the boundary that actually faces untrusted transport.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Reports accepted and forwarded to the worker pool.
+    pub accepted_reports: u64,
+    /// Whole frames dropped at the boundary: bad magic, checksum mismatch
+    /// (bit-flips in transit), or a structurally malformed body.
+    pub rejected_frames: u64,
+    /// Reports dropped because their frame-declared user id had already
+    /// reported in this round (one-report-per-user-per-round invariant).
+    pub duplicate_reports: u64,
+}
+
+impl IngestStats {
+    /// Accumulates another round's counters (sessions sum across rounds).
+    pub fn absorb(&mut self, other: &IngestStats) {
+        self.accepted_reports += other.accepted_reports;
+        self.rejected_frames += other.rejected_frames;
+        self.duplicate_reports += other.duplicate_reports;
+    }
+}
 
 /// Tuning knobs for an [`IngestPipeline`].
 #[derive(Debug, Clone, Copy)]
@@ -211,6 +241,13 @@ impl FrameQueue {
 pub struct IngestPipeline {
     queue: Arc<FrameQueue>,
     workers: Vec<JoinHandle<Result<ShardAggregator>>>,
+    /// User ids that already reported this round, shared across all
+    /// producers so a duplicate is caught no matter which thread (or
+    /// which frame) replays it. Only the sealed-frame path consults it.
+    seen_users: Mutex<HashSet<usize>>,
+    accepted_reports: AtomicU64,
+    rejected_frames: AtomicU64,
+    duplicate_reports: AtomicU64,
 }
 
 impl IngestPipeline {
@@ -243,7 +280,14 @@ impl IngestPipeline {
                 })
             })
             .collect();
-        Ok(Self { queue, workers })
+        Ok(Self {
+            queue,
+            workers,
+            seen_users: Mutex::new(HashSet::new()),
+            accepted_reports: AtomicU64::new(0),
+            rejected_frames: AtomicU64::new(0),
+            duplicate_reports: AtomicU64::new(0),
+        })
     }
 
     /// Submits one wire frame (concatenated [`Report::encode_into`]
@@ -263,6 +307,85 @@ impl IngestPipeline {
             report.encode_into(&mut frame);
         }
         self.submit_frame(frame)
+    }
+
+    /// Submits one **sealed** frame ([`crate::wire::seal_frame`]) through
+    /// the untrusted-transport validation tier:
+    ///
+    /// 1. the envelope's length and FNV-1a checksum are verified — a frame
+    ///    corrupted in transit (bit-flips, truncation) is dropped whole and
+    ///    counted in [`IngestStats::rejected_frames`];
+    /// 2. the body is structurally walked — any malformed entry likewise
+    ///    rejects the whole frame *before* anything is forwarded;
+    /// 3. each surviving report is deduplicated by its frame-declared user
+    ///    id against every other sealed frame of this round (duplicates
+    ///    counted in [`IngestStats::duplicate_reports`] and dropped);
+    /// 4. the cleaned report bytes are forwarded as an ordinary plain
+    ///    frame, so the worker pool and the final aggregate are
+    ///    bit-identical to ingesting the clean stream directly.
+    ///
+    /// Hostile input therefore never poisons the pipeline: a bad envelope
+    /// returns `Ok(())` and only moves a counter. Errors surface only for
+    /// pipeline-lifecycle reasons (poisoned by a worker, closed).
+    pub fn submit_sealed_frame(&self, frame: &[u8]) -> Result<()> {
+        let Ok(body) = wire::unseal_frame(frame) else {
+            self.rejected_frames.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        };
+        // Structural pre-walk: validate every entry before touching the
+        // dedup set, so a frame rejected halfway through never burns its
+        // users' one-report-per-round slots.
+        let mut entries = Vec::new();
+        let mut pos = 0;
+        while pos < body.len() {
+            match wire::next_sealed_entry(body, &mut pos) {
+                Ok(entry) => entries.push(entry),
+                Err(_) => {
+                    self.rejected_frames.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+            }
+        }
+        let mut clean = Vec::with_capacity(body.len());
+        let mut accepted = 0u64;
+        let mut duplicates = 0u64;
+        {
+            let mut seen = self.seen_users.lock().expect("dedup set lock");
+            for (user, span) in entries {
+                if seen.insert(user) {
+                    clean.extend_from_slice(&body[span]);
+                    accepted += 1;
+                } else {
+                    duplicates += 1;
+                }
+            }
+        }
+        self.duplicate_reports
+            .fetch_add(duplicates, Ordering::Relaxed);
+        if clean.is_empty() {
+            return Ok(());
+        }
+        self.accepted_reports.fetch_add(accepted, Ordering::Relaxed);
+        self.submit_frame(clean)
+    }
+
+    /// Snapshot of the sealed-frame validation counters so far. All zeros
+    /// when only the plain [`IngestPipeline::submit_frame`] path was used.
+    pub fn stats(&self) -> IngestStats {
+        IngestStats {
+            accepted_reports: self.accepted_reports.load(Ordering::Relaxed),
+            rejected_frames: self.rejected_frames.load(Ordering::Relaxed),
+            duplicate_reports: self.duplicate_reports.load(Ordering::Relaxed),
+        }
+    }
+
+    /// [`IngestPipeline::finish`], also returning the final
+    /// [`IngestStats`] so callers can fold them into session diagnostics
+    /// ([`crate::Session::record_ingest_stats`]).
+    pub fn finish_with_stats(self) -> Result<(ShardAggregator, IngestStats)> {
+        let stats = self.stats();
+        let shard = self.finish()?;
+        Ok((shard, stats))
     }
 
     /// Closes the round: no more frames are accepted, the queue drains,
@@ -463,5 +586,59 @@ mod tests {
         let pipeline = IngestPipeline::for_round(&spec(2), eps(), IngestConfig::default()).unwrap();
         let merged = pipeline.finish().unwrap();
         assert_eq!(merged.reports(), 0);
+    }
+
+    #[test]
+    fn sealed_path_drops_corruption_and_duplicates() {
+        let spec = spec(3);
+        let reports: Vec<(usize, Report)> = (0..90).map(|u| (u, Report::Expand(u % 3))).collect();
+        let mut serial = ShardAggregator::for_round(&spec, eps()).unwrap();
+        for (_, r) in &reports {
+            serial.absorb(r).unwrap();
+        }
+
+        let pipeline = IngestPipeline::for_round(
+            &spec,
+            eps(),
+            IngestConfig {
+                workers: 2,
+                queue_capacity: 8,
+            },
+        )
+        .unwrap();
+        for chunk in reports.chunks(10) {
+            let frame = wire::seal_frame(chunk);
+            pipeline.submit_sealed_frame(&frame).unwrap();
+            // Replaying the exact frame: every entry is a duplicate.
+            pipeline.submit_sealed_frame(&frame).unwrap();
+            // A bit-flip in transit: the whole frame is rejected.
+            let mut bad = frame.clone();
+            let mid = bad.len() / 2;
+            bad[mid] ^= 0x40;
+            pipeline.submit_sealed_frame(&bad).unwrap();
+        }
+        let (merged, stats) = pipeline.finish_with_stats().unwrap();
+        assert_eq!(
+            merged, serial,
+            "hostile stream must aggregate like the clean one"
+        );
+        assert_eq!(stats.accepted_reports, 90);
+        assert_eq!(stats.duplicate_reports, 90);
+        assert_eq!(stats.rejected_frames, 9);
+    }
+
+    #[test]
+    fn plain_path_leaves_stats_untouched() {
+        let spec = spec(2);
+        let pipeline = IngestPipeline::for_round(&spec, eps(), IngestConfig::default()).unwrap();
+        pipeline
+            .submit_reports(&[Report::Expand(0), Report::Expand(1)])
+            .unwrap();
+        // The plain path is the replay-tolerant one (streaming benches
+        // resubmit identical frames on purpose): no validation, no counters.
+        assert_eq!(pipeline.stats(), IngestStats::default());
+        let (merged, stats) = pipeline.finish_with_stats().unwrap();
+        assert_eq!(merged.reports(), 2);
+        assert_eq!(stats, IngestStats::default());
     }
 }

@@ -90,9 +90,9 @@ mod transform;
 mod wire;
 
 pub use client::{GroupAssignment, UserClient};
-pub use config::{BaselineConfig, PopulationSplit, Preprocessing, PrivShapeConfig};
+pub use config::{BaselineConfig, LengthOracle, PopulationSplit, Preprocessing, PrivShapeConfig};
 pub use error::{Error, Result};
-pub use ingest::{IngestConfig, IngestPipeline};
+pub use ingest::{IngestConfig, IngestPipeline, IngestStats};
 pub use params::{MechanismKind, ProtocolParams};
 pub use population::{chunk_of_rank, split_population, split_rounds, Groups};
 pub use postprocess::select_distinct_top_k;
@@ -101,3 +101,4 @@ pub use round::{Audience, Chunk, GroupId, Report, RoundSpec};
 pub use session::Session;
 pub use shard::ShardAggregator;
 pub use transform::transform_series;
+pub use wire::{seal_frame, unseal_frame};

@@ -6,7 +6,9 @@
 //! assignment and all of its randomness from these plus its own user id —
 //! the server never tells a user anything about other users' data.
 
-use crate::config::{BaselineConfig, PopulationSplit, Preprocessing, PrivShapeConfig};
+use crate::config::{
+    BaselineConfig, LengthOracle, PopulationSplit, Preprocessing, PrivShapeConfig,
+};
 use privshape_distance::DistanceKind;
 use privshape_ldp::Epsilon;
 use privshape_timeseries::SaxParams;
@@ -47,6 +49,8 @@ pub struct ProtocolParams {
     pub distance: DistanceKind,
     /// Inclusive clipping range for length estimation.
     pub length_range: (usize, usize),
+    /// Frequency oracle for the length-estimation round.
+    pub length_oracle: LengthOracle,
 }
 
 impl ProtocolParams {
@@ -63,6 +67,7 @@ impl ProtocolParams {
             preprocessing: config.preprocessing.clone(),
             distance: config.distance,
             length_range: config.length_range,
+            length_oracle: config.length_oracle,
         }
     }
 
@@ -77,6 +82,7 @@ impl ProtocolParams {
             preprocessing: config.preprocessing.clone(),
             distance: config.distance,
             length_range: config.length_range,
+            length_oracle: config.length_oracle,
         }
     }
 }

@@ -31,6 +31,15 @@ pub struct Diagnostics {
     /// fractions sum to less than 1, in which case that many users sit idle
     /// instead of contributing reports.
     pub unassigned_users: usize,
+    /// Whole wire frames rejected at the sealed-frame ingest boundary
+    /// (checksum mismatch or malformed body), summed across rounds. Stays
+    /// zero unless the sealed path
+    /// ([`crate::IngestPipeline::submit_sealed_frame`]) was used and fed
+    /// back via [`crate::Session::record_ingest_stats`].
+    pub rejected_frames: u64,
+    /// Reports dropped by per-round user-id deduplication at the sealed
+    /// ingest boundary, summed across rounds.
+    pub duplicate_reports: u64,
     /// Wall-clock time of the full run.
     pub elapsed: Duration,
 }

@@ -7,7 +7,8 @@
 //! user per mechanism run. Nothing else crosses — in particular no raw
 //! series, no symbol sequences, and no unperturbed statistics.
 
-use privshape_ldp::OueReport;
+use crate::config::LengthOracle;
+use privshape_ldp::{OlhReport, OueReport};
 use privshape_timeseries::CandidateTable;
 use std::sync::Arc;
 
@@ -71,13 +72,17 @@ impl Audience {
 /// earlier *perturbed* rounds), so broadcasting them consumes no budget.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RoundSpec {
-    /// Frequent-length estimation: GRR over the clipped-length domain
-    /// `[lo, hi]` (Eq. (1)).
+    /// Frequent-length estimation: a frequency oracle over the
+    /// clipped-length domain `[lo, hi]` (Eq. (1); GRR in the paper, the
+    /// other oracles via [`LengthOracle`]).
     Length {
         /// Addressed users.
         audience: Audience,
         /// Inclusive clipping range `[ℓ_low, ℓ_high]`.
         range: (usize, usize),
+        /// Which frequency oracle the round runs; the spec is
+        /// authoritative, so client and aggregator can never disagree.
+        oracle: LengthOracle,
     },
     /// Sub-shape estimation: GRR over the `t(t−1)` distinct-bigram domain
     /// at a uniformly self-sampled level (§IV-B).
@@ -156,6 +161,16 @@ pub enum Report {
     /// GRR report of the clipped length, as an offset into the range
     /// (`clipped − lo`).
     Length(usize),
+    /// OUE report of the clipped-length offset
+    /// ([`LengthOracle::Oue`] rounds).
+    LengthOue(OueReport),
+    /// OLH report of the clipped-length offset
+    /// ([`LengthOracle::Olh`] rounds).
+    LengthOlh(OlhReport),
+    /// Piecewise-Mechanism report of the clipped length mapped to
+    /// `[−1, 1]`, quantized to the fixed-point wire grid
+    /// ([`LengthOracle::Piecewise`] rounds).
+    LengthPiecewise(i64),
     /// Sub-shape report: the self-sampled level (data-independent, free)
     /// and the GRR-perturbed bigram index at that level.
     SubShape {
@@ -178,6 +193,9 @@ impl Report {
     pub fn kind(&self) -> &'static str {
         match self {
             Report::Length(_) => "length",
+            Report::LengthOue(_) => "length-oue",
+            Report::LengthOlh(_) => "length-olh",
+            Report::LengthPiecewise(_) => "length-piecewise",
             Report::SubShape { .. } => "sub-shape",
             Report::Expand(_) => "expand",
             Report::RefineSelect(_) => "refine-select",
@@ -204,6 +222,7 @@ mod tests {
         let spec = RoundSpec::Length {
             audience: Audience::group(GroupId::Pa),
             range: (1, 10),
+            oracle: LengthOracle::default(),
         };
         assert_eq!(spec.name(), "length");
         assert_eq!(spec.audience().group, GroupId::Pa);

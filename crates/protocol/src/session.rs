@@ -32,7 +32,7 @@
 
 use crate::config::{BaselineConfig, PrivShapeConfig};
 use crate::error::{Error, Result};
-use crate::ingest::{IngestConfig, IngestPipeline};
+use crate::ingest::{IngestConfig, IngestPipeline, IngestStats};
 use crate::params::ProtocolParams;
 use crate::population::{chunk_len, split_population, Groups};
 use crate::postprocess::select_distinct_top_k;
@@ -108,6 +108,7 @@ pub struct Session {
     trie: Option<ShapeTrie>,
     candidates_per_level: Vec<usize>,
     output: Option<Output>,
+    ingest: IngestStats,
     started: Instant,
 }
 
@@ -149,6 +150,7 @@ impl Session {
             trie: None,
             candidates_per_level: Vec::new(),
             output: None,
+            ingest: IngestStats::default(),
             started: Instant::now(),
         })
     }
@@ -198,6 +200,7 @@ impl Session {
             trie: None,
             candidates_per_level: Vec::new(),
             output: None,
+            ingest: IngestStats::default(),
             started: Instant::now(),
         })
     }
@@ -238,6 +241,20 @@ impl Session {
         IngestPipeline::for_round(&open.spec, self.params.epsilon, config)
     }
 
+    /// Folds one round's sealed-frame validation counters
+    /// ([`IngestPipeline::finish_with_stats`]) into the session, so the
+    /// final [`crate::Diagnostics`] reports how much hostile input the run
+    /// shed at the ingest boundary. Optional: sessions fed through the
+    /// plain frame path have nothing to record.
+    pub fn record_ingest_stats(&mut self, stats: &IngestStats) {
+        self.ingest.absorb(stats);
+    }
+
+    /// The sealed-frame validation counters recorded so far.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.ingest
+    }
+
     /// Finalizes the previous round (if any) and emits the next broadcast;
     /// `None` once the protocol is complete (then call [`Session::finish`]
     /// or [`Session::finish_labeled`]).
@@ -256,10 +273,12 @@ impl Session {
                         continue;
                     }
                     let audience_len = self.groups.pa.len();
+                    let oracle = self.params.length_oracle;
                     return self.open_round(
                         RoundSpec::Length {
                             audience: Audience::group(GroupId::Pa),
                             range: (lo, hi),
+                            oracle,
                         },
                         Vec::new(),
                         audience_len,
@@ -673,6 +692,8 @@ impl Session {
                 self.groups.pd.len(),
             ],
             unassigned_users: self.groups.unassigned,
+            rejected_frames: self.ingest.rejected_frames,
+            duplicate_reports: self.ingest.duplicate_reports,
             elapsed: self.started.elapsed(),
         }
     }
@@ -759,9 +780,14 @@ mod tests {
         let mut s = Session::privshape(config(), 500).unwrap();
         let spec = s.next_round().unwrap().unwrap();
         match spec {
-            RoundSpec::Length { audience, range } => {
+            RoundSpec::Length {
+                audience,
+                range,
+                oracle,
+            } => {
                 assert_eq!(audience.group, GroupId::Pa);
                 assert_eq!(range, (1, 6));
+                assert_eq!(oracle, crate::config::LengthOracle::Grr);
             }
             other => panic!("expected length round, got {other:?}"),
         }

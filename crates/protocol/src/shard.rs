@@ -8,10 +8,15 @@
 //! and merge order can never change the final extraction (enforced by the
 //! shard-merge property test).
 
+use crate::config::LengthOracle;
 use crate::error::{Error, Result};
 use crate::round::{Report, RoundSpec};
 use crate::wire;
-use privshape_ldp::{Epsilon, Grr, GrrAggregator, Oue, OueAggregator};
+use privshape_ldp::{
+    Epsilon, Grr, GrrAggregator, Olh, OlhAggregator, Oue, OueAggregator, PiecewiseAggregator,
+    PiecewiseMechanism,
+};
+use std::collections::HashSet;
 
 /// Partial aggregation state for one round, mergeable across shards.
 ///
@@ -24,10 +29,159 @@ pub struct ShardAggregator {
     inner: Inner,
 }
 
+/// Per-oracle aggregation state for a length round. Each variant is pure
+/// integer state (OLH support counts; piecewise reports are fixed-point
+/// quantized), so every oracle keeps the merge-order-insensitivity
+/// invariant exactly.
+#[derive(Debug, Clone, PartialEq)]
+enum LengthAgg {
+    Grr(GrrAggregator),
+    Oue(OueAggregator),
+    Olh(OlhAggregator),
+    Piecewise(PiecewiseAggregator),
+}
+
+impl LengthAgg {
+    fn same_oracle(&self, other: &LengthAgg) -> bool {
+        matches!(
+            (self, other),
+            (LengthAgg::Grr(_), LengthAgg::Grr(_))
+                | (LengthAgg::Oue(_), LengthAgg::Oue(_))
+                | (LengthAgg::Olh(_), LengthAgg::Olh(_))
+                | (LengthAgg::Piecewise(_), LengthAgg::Piecewise(_))
+        )
+    }
+
+    fn merge(&mut self, other: &LengthAgg) {
+        match (self, other) {
+            (LengthAgg::Grr(a), LengthAgg::Grr(b)) => a.merge(b),
+            (LengthAgg::Oue(a), LengthAgg::Oue(b)) => a.merge(b),
+            (LengthAgg::Olh(a), LengthAgg::Olh(b)) => a.merge(b),
+            (LengthAgg::Piecewise(a), LengthAgg::Piecewise(b)) => a.merge(b),
+            _ => unreachable!("same_oracle is checked before merging"),
+        }
+    }
+}
+
+/// Length-round absorption, split out of [`ShardAggregator::absorb`] and
+/// kept out of line: the length round fires once per session over a tiny
+/// domain, and folding its four-oracle dispatch into the hot absorb match
+/// measurably slows the expand/refine bulk (~10 ns/report).
+#[inline(never)]
+fn absorb_length(agg: &mut LengthAgg, domain: usize, report: &Report) -> Result<()> {
+    match (agg, report) {
+        (LengthAgg::Grr(agg), Report::Length(v)) => {
+            if *v >= domain {
+                return Err(Error::Protocol(format!(
+                    "length report {v} outside domain {domain}"
+                )));
+            }
+            agg.add(*v);
+        }
+        (LengthAgg::Oue(agg), Report::LengthOue(r)) => {
+            if r.set_bits().iter().any(|&b| b >= domain) {
+                return Err(Error::Protocol(format!(
+                    "length OUE report has bits outside domain {domain}"
+                )));
+            }
+            agg.add(r);
+        }
+        (LengthAgg::Olh(agg), Report::LengthOlh(r)) => {
+            if r.value >= agg.olh().g() {
+                return Err(Error::Protocol(format!(
+                    "length OLH report bucket {} outside hash range {}",
+                    r.value,
+                    agg.olh().g()
+                )));
+            }
+            agg.add(r);
+        }
+        (LengthAgg::Piecewise(agg), Report::LengthPiecewise(q)) => {
+            agg.add(*q)
+                .map_err(|e| Error::Protocol(format!("length piecewise report rejected: {e}")))?;
+        }
+        (_, report) => {
+            return Err(Error::Protocol(format!(
+                "report kind '{}' does not match round aggregate length",
+                report.kind(),
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Wire-side twin of [`absorb_length`] (same once-per-session rationale).
+#[inline(never)]
+fn absorb_wire_length(
+    agg: &mut LengthAgg,
+    domain: usize,
+    tag: u8,
+    frame: &[u8],
+    pos: &mut usize,
+    bits: &mut Vec<usize>,
+) -> Result<()> {
+    match (agg, tag) {
+        (LengthAgg::Grr(agg), wire::TAG_LENGTH) => {
+            let v = wire::read_usize(frame, pos)?;
+            if v >= domain {
+                return Err(Error::Protocol(format!(
+                    "length report {v} outside domain {domain}"
+                )));
+            }
+            agg.add(v);
+        }
+        (LengthAgg::Oue(agg), wire::TAG_LENGTH_OUE) => {
+            wire::read_oue_bits(frame, pos, bits)?;
+            if bits.iter().any(|&b| b >= domain) {
+                return Err(Error::Protocol(format!(
+                    "length OUE report has bits outside domain {domain}"
+                )));
+            }
+            agg.add_bits(bits);
+        }
+        (LengthAgg::Olh(agg), wire::TAG_LENGTH_OLH) => {
+            let seed = wire::read_varint(frame, pos)?;
+            let value = wire::read_usize(frame, pos)?;
+            if value >= agg.olh().g() {
+                return Err(Error::Protocol(format!(
+                    "length OLH report bucket {value} outside hash range {}",
+                    agg.olh().g()
+                )));
+            }
+            agg.add(&privshape_ldp::OlhReport { seed, value });
+        }
+        (LengthAgg::Piecewise(agg), wire::TAG_LENGTH_PIECEWISE) => {
+            let q = wire::unzigzag(wire::read_varint(frame, pos)?);
+            agg.add(q)
+                .map_err(|e| Error::Protocol(format!("length piecewise report rejected: {e}")))?;
+        }
+        (_, tag) => {
+            return Err(Error::Protocol(format!(
+                "report tag 0x{tag:02x} does not match round aggregate length"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Index of the largest estimate; ties go to the smaller index.
+/// `total_cmp` keeps the choice deterministic even if an estimate were
+/// ever NaN (it cannot be for integer counts, but the aggregator should
+/// not be the component that panics on it).
+fn argmax_f64(estimates: &[f64]) -> usize {
+    let mut best = 0usize;
+    for (i, v) in estimates.iter().enumerate().skip(1) {
+        if v.total_cmp(&estimates[best]) == std::cmp::Ordering::Greater {
+            best = i;
+        }
+    }
+    best
+}
+
 #[derive(Debug, Clone, PartialEq)]
 enum Inner {
-    /// GRR counts over the clipped-length domain.
-    Length { agg: GrrAggregator, domain: usize },
+    /// Frequency-oracle state over the clipped-length domain.
+    Length { agg: LengthAgg, domain: usize },
     /// Per-level GRR counts over the distinct-bigram domain.
     SubShape {
         aggs: Vec<GrrAggregator>,
@@ -60,7 +214,7 @@ impl ShardAggregator {
     /// mergeable) state from the spec alone.
     pub fn for_round(spec: &RoundSpec, epsilon: Epsilon) -> Result<Self> {
         let inner = match spec {
-            RoundSpec::Length { range, .. } => {
+            RoundSpec::Length { range, oracle, .. } => {
                 let (lo, hi) = *range;
                 if lo >= hi {
                     return Err(Error::Protocol(format!(
@@ -68,10 +222,21 @@ impl ShardAggregator {
                     )));
                 }
                 let domain = hi - lo + 1;
-                Inner::Length {
-                    agg: GrrAggregator::new(&Grr::new(domain, epsilon)?),
-                    domain,
-                }
+                let agg = match oracle {
+                    LengthOracle::Grr => {
+                        LengthAgg::Grr(GrrAggregator::new(&Grr::new(domain, epsilon)?))
+                    }
+                    LengthOracle::Oue => {
+                        LengthAgg::Oue(OueAggregator::new(&Oue::new(domain, epsilon)?))
+                    }
+                    LengthOracle::Olh => {
+                        LengthAgg::Olh(OlhAggregator::new(Olh::new(epsilon), domain)?)
+                    }
+                    LengthOracle::Piecewise => LengthAgg::Piecewise(PiecewiseAggregator::new(
+                        PiecewiseMechanism::new(epsilon),
+                    )),
+                };
+                Inner::Length { agg, domain }
             }
             RoundSpec::SubShape {
                 ell_s, alphabet, ..
@@ -128,15 +293,26 @@ impl ShardAggregator {
 
     /// Absorbs one report, validating that its kind and domain match the
     /// round this aggregator was built for.
+    ///
+    /// Arm order matters here: expand / refine-select reports are the
+    /// per-user-per-level bulk of every session and absorption runs at
+    /// ~10 ns/report, so the hot arms come first and the once-per-session
+    /// length-oracle dispatch lives in a non-inlined helper — keeping this
+    /// body small enough to stay inlined into the absorb loops.
     pub fn absorb(&mut self, report: &Report) -> Result<()> {
         match (&mut self.inner, report) {
-            (Inner::Length { agg, domain }, Report::Length(v)) => {
-                if *v >= *domain {
+            (Inner::Expand { counts, .. }, Report::Expand(sel))
+            | (Inner::RefineSelect { counts, .. }, Report::RefineSelect(sel)) => {
+                if *sel >= counts.len() {
                     return Err(Error::Protocol(format!(
-                        "length report {v} outside domain {domain}"
+                        "selection report {sel} outside {} candidates",
+                        counts.len()
                     )));
                 }
-                agg.add(*v);
+                counts[*sel] += 1;
+            }
+            (Inner::Length { agg, domain }, report) => {
+                absorb_length(agg, *domain, report)?;
             }
             (Inner::SubShape { aggs, domain }, Report::SubShape { level, value }) => {
                 if *level == 0 || *level > aggs.len() {
@@ -151,16 +327,6 @@ impl ShardAggregator {
                     )));
                 }
                 aggs[*level - 1].add(*value);
-            }
-            (Inner::Expand { counts, .. }, Report::Expand(sel))
-            | (Inner::RefineSelect { counts, .. }, Report::RefineSelect(sel)) => {
-                if *sel >= counts.len() {
-                    return Err(Error::Protocol(format!(
-                        "selection report {sel} outside {} candidates",
-                        counts.len()
-                    )));
-                }
-                counts[*sel] += 1;
             }
             (Inner::RefineLabeled { agg, .. }, Report::RefineLabeled(r)) => {
                 if let Some(agg) = agg {
@@ -210,7 +376,55 @@ impl ShardAggregator {
         Ok(absorbed)
     }
 
+    /// Absorbs a *sealed* frame ([`crate::seal_frame`]), enforcing the
+    /// one-report-per-user-per-round invariant: a report whose frame-
+    /// declared user id was already seen by this session shard (tracked in
+    /// `seen`, which the caller owns and keeps across frames) is skipped
+    /// instead of double-counted. Earlier versions trusted frame-declared
+    /// user ids blindly, so a replayed frame inflated the counts.
+    ///
+    /// Returns `(absorbed, duplicates_skipped)`. The dedup state lives
+    /// outside the aggregator so `PartialEq` still compares pure counts —
+    /// an aggregate fed deduplicated input is bit-identical to one that
+    /// never saw the duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a corrupted envelope (checksum mismatch — the whole frame
+    /// is rejected before any report is absorbed) or on any report whose
+    /// kind/domain does not match this round.
+    pub fn absorb_enveloped(
+        &mut self,
+        frame: &[u8],
+        seen: &mut HashSet<usize>,
+    ) -> Result<(usize, usize)> {
+        let body = wire::unseal_frame(frame)?;
+        let mut pos = 0usize;
+        let mut bits = Vec::new();
+        let mut absorbed = 0usize;
+        let mut duplicates = 0usize;
+        while pos < body.len() {
+            let (user, span) = wire::next_sealed_entry(body, &mut pos)?;
+            if !seen.insert(user) {
+                duplicates += 1;
+                continue;
+            }
+            let mut at = span.start;
+            self.absorb_wire_one(body, &mut at, &mut bits)?;
+            debug_assert_eq!(at, span.end);
+            absorbed += 1;
+        }
+        Ok((absorbed, duplicates))
+    }
+
     /// Decodes and absorbs one report starting at `*pos`.
+    ///
+    /// `inline(always)`: this is the body of the `absorb_wire` frame loop
+    /// (~10 ns/report); left to its own devices the compiler stopped
+    /// inlining it once the length-oracle dispatch grew, costing double-
+    /// digit percent off ingest throughput. The cold length/error paths
+    /// are `inline(never)` helpers precisely so this stays cheap to inline.
+    #[inline(always)]
     fn absorb_wire_one(
         &mut self,
         frame: &[u8],
@@ -218,15 +432,22 @@ impl ShardAggregator {
         bits: &mut Vec<usize>,
     ) -> Result<()> {
         let tag = wire::read_tag(frame, pos)?;
+        // Hot arms first: expand / refine-select / sub-shape reports are
+        // the per-user-per-level bulk of every session, while each length
+        // arm fires for at most one round — and this decode loop runs at
+        // ~10 ns/report, where a few extra discriminant compares ahead of
+        // the hot arms are a measurable throughput tax.
         match (&mut self.inner, tag) {
-            (Inner::Length { agg, domain }, wire::TAG_LENGTH) => {
-                let v = wire::read_usize(frame, pos)?;
-                if v >= *domain {
+            (Inner::Expand { counts, .. }, wire::TAG_EXPAND)
+            | (Inner::RefineSelect { counts, .. }, wire::TAG_REFINE_SELECT) => {
+                let sel = wire::read_usize(frame, pos)?;
+                if sel >= counts.len() {
                     return Err(Error::Protocol(format!(
-                        "length report {v} outside domain {domain}"
+                        "selection report {sel} outside {} candidates",
+                        counts.len()
                     )));
                 }
-                agg.add(v);
+                counts[sel] += 1;
             }
             (Inner::SubShape { aggs, domain }, wire::TAG_SUB_SHAPE) => {
                 let level = wire::read_usize(frame, pos)?;
@@ -244,17 +465,6 @@ impl ShardAggregator {
                 }
                 aggs[level - 1].add(value);
             }
-            (Inner::Expand { counts, .. }, wire::TAG_EXPAND)
-            | (Inner::RefineSelect { counts, .. }, wire::TAG_REFINE_SELECT) => {
-                let sel = wire::read_usize(frame, pos)?;
-                if sel >= counts.len() {
-                    return Err(Error::Protocol(format!(
-                        "selection report {sel} outside {} candidates",
-                        counts.len()
-                    )));
-                }
-                counts[sel] += 1;
-            }
             (Inner::RefineLabeled { agg, .. }, wire::TAG_REFINE_LABELED) => {
                 wire::read_oue_bits(frame, pos, bits)?;
                 if let Some(agg) = agg {
@@ -265,6 +475,9 @@ impl ShardAggregator {
                     }
                     agg.add_bits(bits);
                 }
+            }
+            (Inner::Length { agg, domain }, tag) => {
+                absorb_wire_length(agg, *domain, tag, frame, pos, bits)?;
             }
             (inner, tag) => {
                 return Err(Error::Protocol(format!(
@@ -288,7 +501,7 @@ impl ShardAggregator {
                     agg: other_agg,
                     domain: other_domain,
                 },
-            ) if domain == other_domain => agg.merge(other_agg),
+            ) if domain == other_domain && agg.same_oracle(other_agg) => agg.merge(other_agg),
             (
                 Inner::SubShape { aggs, domain },
                 Inner::SubShape {
@@ -387,10 +600,25 @@ impl ShardAggregator {
         Ok(shards.pop())
     }
 
-    /// The length estimate `ℓ_S = lo + argmax` once all shards are in.
+    /// The length estimate once all shards are in: `ℓ_S = lo + argmax`
+    /// of the oracle's frequency estimates, except under the piecewise
+    /// oracle, where the mean estimate is mapped back from `[−1, 1]` onto
+    /// the length range, rounded, and clamped.
     pub fn finalize_length(&self, lo: usize) -> Result<usize> {
         match &self.inner {
-            Inner::Length { agg, .. } => Ok(lo + agg.argmax()),
+            Inner::Length { agg, domain } => Ok(match agg {
+                LengthAgg::Grr(agg) => lo + agg.argmax(),
+                LengthAgg::Oue(agg) => lo + argmax_f64(&agg.estimates()),
+                LengthAgg::Olh(agg) => lo + argmax_f64(&agg.estimates()),
+                LengthAgg::Piecewise(agg) => {
+                    // mean ∈ [−1, 1] → offset ∈ [0, domain − 1]; no
+                    // reports estimates the bottom of the range, matching
+                    // the all-zero-counts argmax of the other oracles.
+                    let mean = agg.mean().unwrap_or(-1.0);
+                    let offset = (mean + 1.0) / 2.0 * (*domain as f64 - 1.0);
+                    lo + (offset.round().max(0.0) as usize).min(*domain - 1)
+                }
+            }),
             other => Err(wrong_finalize("length", other)),
         }
     }
@@ -474,9 +702,14 @@ mod tests {
     }
 
     fn length_spec() -> RoundSpec {
+        oracle_spec(LengthOracle::Grr)
+    }
+
+    fn oracle_spec(oracle: LengthOracle) -> RoundSpec {
         RoundSpec::Length {
             audience: Audience::group(GroupId::Pa),
             range: (1, 6),
+            oracle,
         }
     }
 
@@ -624,10 +857,132 @@ mod tests {
         let spec = RoundSpec::Length {
             audience: Audience::group(GroupId::Pa),
             range: (3, 3),
+            oracle: LengthOracle::Grr,
         };
         assert!(matches!(
             ShardAggregator::for_round(&spec, eps()),
             Err(Error::Protocol(_))
         ));
+    }
+
+    #[test]
+    fn oracle_rounds_absorb_matching_reports_only() {
+        use privshape_ldp::{OlhReport, OueReport};
+        // Each oracle's aggregator accepts its own report kind, validates
+        // domains, and rejects the other length-report kinds.
+        let mut oue = ShardAggregator::for_round(&oracle_spec(LengthOracle::Oue), eps()).unwrap();
+        let ok = Report::LengthOue(OueReport::from_set_bits(vec![0, 5]).unwrap());
+        assert!(oue.absorb(&ok).is_ok());
+        let out = Report::LengthOue(OueReport::from_set_bits(vec![6]).unwrap());
+        assert!(oue.absorb(&out).is_err(), "bit outside domain 6");
+        assert!(oue.absorb(&Report::Length(0)).is_err(), "wrong oracle");
+
+        let mut olh = ShardAggregator::for_round(&oracle_spec(LengthOracle::Olh), eps()).unwrap();
+        assert!(olh
+            .absorb(&Report::LengthOlh(OlhReport { seed: 9, value: 0 }))
+            .is_ok());
+        assert!(
+            olh.absorb(&Report::LengthOlh(OlhReport {
+                seed: 9,
+                value: 10_000
+            }))
+            .is_err(),
+            "bucket outside hash range"
+        );
+
+        let mut pw =
+            ShardAggregator::for_round(&oracle_spec(LengthOracle::Piecewise), eps()).unwrap();
+        assert!(pw.absorb(&Report::LengthPiecewise(0)).is_ok());
+        assert!(
+            pw.absorb(&Report::LengthPiecewise(i64::MAX)).is_err(),
+            "report beyond the mechanism's output bound"
+        );
+        assert!(pw.merge(&olh).is_err(), "cross-oracle merge refused");
+    }
+
+    #[test]
+    fn oracle_wire_absorb_equals_report_absorb() {
+        use privshape_ldp::{Olh, OueReport};
+        let olh = Olh::new(eps());
+        for oracle in [
+            LengthOracle::Oue,
+            LengthOracle::Olh,
+            LengthOracle::Piecewise,
+        ] {
+            let spec = oracle_spec(oracle);
+            let reports: Vec<Report> = (0..8)
+                .map(|i| match oracle {
+                    LengthOracle::Grr => unreachable!(),
+                    LengthOracle::Oue => {
+                        Report::LengthOue(OueReport::from_set_bits(vec![i % 6]).unwrap())
+                    }
+                    LengthOracle::Olh => Report::LengthOlh(privshape_ldp::OlhReport {
+                        seed: i as u64 * 77,
+                        value: i % olh.g(),
+                    }),
+                    LengthOracle::Piecewise => Report::LengthPiecewise((i as i64 - 4) * 100_000),
+                })
+                .collect();
+            let mut frame = Vec::new();
+            for r in &reports {
+                r.encode_into(&mut frame);
+            }
+            let mut via_wire = ShardAggregator::for_round(&spec, eps()).unwrap();
+            assert_eq!(via_wire.absorb_wire(&frame).unwrap(), reports.len());
+            let mut via_absorb = ShardAggregator::for_round(&spec, eps()).unwrap();
+            for r in &reports {
+                via_absorb.absorb(r).unwrap();
+            }
+            assert_eq!(via_wire, via_absorb, "{oracle:?} wire path diverged");
+        }
+    }
+
+    #[test]
+    fn enveloped_absorb_rejects_repeated_user_ids() {
+        // Regression: absorb_wire trusted frame-declared user ids, so a
+        // duplicated report was double-counted. The enveloped path must
+        // keep exactly one report per user per session shard.
+        let spec = length_spec();
+        let mut clean = ShardAggregator::for_round(&spec, eps()).unwrap();
+        let mut seen = HashSet::new();
+        let frame = crate::wire::seal_frame(&[
+            (0, Report::Length(2)),
+            (1, Report::Length(3)),
+            (2, Report::Length(2)),
+        ]);
+        assert_eq!(clean.absorb_enveloped(&frame, &mut seen).unwrap(), (3, 0));
+
+        // The same stream with user 1's report replayed twice more — once
+        // inside the same frame, once in a later frame.
+        let mut hostile = ShardAggregator::for_round(&spec, eps()).unwrap();
+        let mut hostile_seen = HashSet::new();
+        let replayed = crate::wire::seal_frame(&[
+            (0, Report::Length(2)),
+            (1, Report::Length(3)),
+            (1, Report::Length(3)),
+            (2, Report::Length(2)),
+        ]);
+        assert_eq!(
+            hostile
+                .absorb_enveloped(&replayed, &mut hostile_seen)
+                .unwrap(),
+            (3, 1)
+        );
+        let late_replay = crate::wire::seal_frame(&[(1, Report::Length(3))]);
+        assert_eq!(
+            hostile
+                .absorb_enveloped(&late_replay, &mut hostile_seen)
+                .unwrap(),
+            (0, 1),
+            "cross-frame replay must be caught by the shared seen-set"
+        );
+        assert_eq!(hostile, clean, "duplicates must not change the counts");
+
+        // A corrupted envelope is rejected wholesale.
+        let mut bad = crate::wire::seal_frame(&[(3, Report::Length(1))]);
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(clean.absorb_enveloped(&bad, &mut seen).is_err());
+        assert_eq!(clean.reports(), 3, "rejected frame absorbed nothing");
     }
 }

@@ -6,11 +6,14 @@
 //! the streaming ingest pipeline exercise is a realistic serialized one:
 //!
 //! ```text
-//! Length        := 0x01 varint(value)
-//! SubShape      := 0x02 varint(level) varint(value)
-//! Expand        := 0x03 varint(index)
-//! RefineSelect  := 0x04 varint(index)
-//! RefineLabeled := 0x05 varint(n_bits) varint(bit_0) varint(Δ_1) … varint(Δ_{n−1})
+//! Length          := 0x01 varint(value)
+//! SubShape        := 0x02 varint(level) varint(value)
+//! Expand          := 0x03 varint(index)
+//! RefineSelect    := 0x04 varint(index)
+//! RefineLabeled   := 0x05 varint(n_bits) varint(bit_0) varint(Δ_1) … varint(Δ_{n−1})
+//! LengthOue       := 0x06 varint(n_bits) varint(bit_0) varint(Δ_1) … varint(Δ_{n−1})
+//! LengthOlh       := 0x07 varint(seed) varint(bucket)
+//! LengthPiecewise := 0x08 varint(zigzag(q))
 //! ```
 //!
 //! OUE set bits are strictly ascending, so bits after the first are
@@ -20,13 +23,30 @@
 //! which is what [`crate::ShardAggregator::absorb_wire`] and the
 //! [`crate::ingest`] pipeline consume.
 //!
+//! # Sealed frames
+//!
+//! Plain frames carry no provenance, which is fine inside a trusted
+//! simulator but not at a real ingest boundary. A *sealed* frame wraps a
+//! body of `(varint(user_id) report)*` entries in a tamper-evident
+//! envelope:
+//!
+//! ```text
+//! SealedFrame := 0xF5 varint(body_len) u64_le(fnv1a64(body)) body
+//! ```
+//!
+//! The checksum catches bit-flips in transit ([`unseal_frame`] rejects the
+//! whole frame) and the per-report user ids let the ingest tier enforce
+//! the one-report-per-user-per-round invariant by dropping repeats. See
+//! [`seal_frame`] / [`unseal_frame`] and
+//! [`crate::IngestPipeline::submit_sealed_frame`].
+//!
 //! Decoding never panics on hostile input: truncated buffers, unknown
 //! tags, overlong varints, and non-ascending bit sets all come back as
 //! [`Error::Protocol`] (or the propagated LDP report validation error).
 
 use crate::error::{Error, Result};
 use crate::round::Report;
-use privshape_ldp::OueReport;
+use privshape_ldp::{OlhReport, OueReport};
 
 /// Wire tag of a [`Report::Length`] report.
 pub(crate) const TAG_LENGTH: u8 = 0x01;
@@ -38,6 +58,15 @@ pub(crate) const TAG_EXPAND: u8 = 0x03;
 pub(crate) const TAG_REFINE_SELECT: u8 = 0x04;
 /// Wire tag of a [`Report::RefineLabeled`] report.
 pub(crate) const TAG_REFINE_LABELED: u8 = 0x05;
+/// Wire tag of a [`Report::LengthOue`] report.
+pub(crate) const TAG_LENGTH_OUE: u8 = 0x06;
+/// Wire tag of a [`Report::LengthOlh`] report.
+pub(crate) const TAG_LENGTH_OLH: u8 = 0x07;
+/// Wire tag of a [`Report::LengthPiecewise`] report.
+pub(crate) const TAG_LENGTH_PIECEWISE: u8 = 0x08;
+/// Leading magic byte of a sealed frame (outside the report tag space, so
+/// a sealed frame can never be mistaken for a plain one).
+pub(crate) const FRAME_MAGIC: u8 = 0xF5;
 
 /// Appends `v` as an LEB128 varint (7 value bits per byte, high bit =
 /// continuation).
@@ -83,6 +112,27 @@ pub(crate) fn read_usize(buf: &[u8], pos: &mut usize) -> Result<usize> {
     let v = read_varint(buf, pos)?;
     usize::try_from(v)
         .map_err(|_| Error::Protocol(format!("report value {v} exceeds this platform's usize")))
+}
+
+/// ZigZag-maps a signed value onto the unsigned varint space (small
+/// magnitudes of either sign stay short on the wire).
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// FNV-1a 64-bit checksum (tamper evidence for sealed frames; not a MAC).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
 }
 
 /// Reads the tag byte of the next report.
@@ -131,6 +181,19 @@ pub(crate) fn read_oue_bits(buf: &[u8], pos: &mut usize, bits: &mut Vec<usize>) 
     Ok(())
 }
 
+/// Appends an OUE bit-set body (count + delta-coded ascending bits).
+fn put_oue_bits(buf: &mut Vec<u8>, r: &OueReport) {
+    let bits = r.set_bits();
+    put_varint(buf, bits.len() as u64);
+    let mut prev = 0usize;
+    for (i, &bit) in bits.iter().enumerate() {
+        // Bits are strictly ascending (an OueReport invariant), so the
+        // delta after the first is always >= 1.
+        put_varint(buf, if i == 0 { bit } else { bit - prev } as u64);
+        prev = bit;
+    }
+}
+
 impl Report {
     /// Appends this report's wire encoding to `buf` (self-delimiting, so
     /// encoding many reports into one buffer forms a valid frame).
@@ -155,15 +218,20 @@ impl Report {
             }
             Report::RefineLabeled(r) => {
                 buf.push(TAG_REFINE_LABELED);
-                let bits = r.set_bits();
-                put_varint(buf, bits.len() as u64);
-                let mut prev = 0usize;
-                for (i, &bit) in bits.iter().enumerate() {
-                    // Bits are strictly ascending (an OueReport invariant),
-                    // so the delta after the first is always >= 1.
-                    put_varint(buf, if i == 0 { bit } else { bit - prev } as u64);
-                    prev = bit;
-                }
+                put_oue_bits(buf, r);
+            }
+            Report::LengthOue(r) => {
+                buf.push(TAG_LENGTH_OUE);
+                put_oue_bits(buf, r);
+            }
+            Report::LengthOlh(r) => {
+                buf.push(TAG_LENGTH_OLH);
+                put_varint(buf, r.seed);
+                put_varint(buf, r.value as u64);
+            }
+            Report::LengthPiecewise(q) => {
+                buf.push(TAG_LENGTH_PIECEWISE);
+                put_varint(buf, zigzag(*q));
             }
         }
     }
@@ -201,6 +269,16 @@ impl Report {
                 read_oue_bits(buf, &mut pos, &mut bits)?;
                 Report::RefineLabeled(OueReport::from_set_bits(bits).map_err(Error::Ldp)?)
             }
+            TAG_LENGTH_OUE => {
+                let mut bits = Vec::new();
+                read_oue_bits(buf, &mut pos, &mut bits)?;
+                Report::LengthOue(OueReport::from_set_bits(bits).map_err(Error::Ldp)?)
+            }
+            TAG_LENGTH_OLH => Report::LengthOlh(OlhReport {
+                seed: read_varint(buf, &mut pos)?,
+                value: read_usize(buf, &mut pos)?,
+            }),
+            TAG_LENGTH_PIECEWISE => Report::LengthPiecewise(unzigzag(read_varint(buf, &mut pos)?)),
             tag => {
                 return Err(Error::Protocol(format!("unknown report tag 0x{tag:02x}")));
             }
@@ -218,6 +296,86 @@ impl Report {
         }
         Ok(out)
     }
+}
+
+/// Seals `(user_id, report)` entries into a tamper-evident frame:
+/// `0xF5 varint(body_len) u64_le(fnv1a64(body)) body`, where the body is
+/// the concatenation of `varint(user_id) report` per entry.
+///
+/// The envelope is what a real ingest boundary would receive from the
+/// transport tier: the checksum lets [`unseal_frame`] reject frames
+/// corrupted in transit, and the user ids let the aggregator enforce the
+/// one-report-per-user-per-round invariant.
+pub fn seal_frame(entries: &[(usize, Report)]) -> Vec<u8> {
+    let mut body = Vec::new();
+    for (user, report) in entries {
+        put_varint(&mut body, *user as u64);
+        report.encode_into(&mut body);
+    }
+    let mut frame = Vec::with_capacity(body.len() + 16);
+    frame.push(FRAME_MAGIC);
+    put_varint(&mut frame, body.len() as u64);
+    frame.extend_from_slice(&fnv1a64(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Validates a sealed frame's envelope and returns its body (the
+/// `(varint(user_id) report)*` bytes).
+///
+/// # Errors
+///
+/// [`Error::Protocol`] when the magic byte is wrong, the declared body
+/// length does not match the bytes present, or the checksum disagrees
+/// with the body (a bit flipped in transit). Validation is structural
+/// only — the body's reports are decoded later, at absorb time.
+pub fn unseal_frame(frame: &[u8]) -> Result<&[u8]> {
+    let mut pos = 0usize;
+    match frame.first() {
+        Some(&FRAME_MAGIC) => pos += 1,
+        Some(&b) => {
+            return Err(Error::Protocol(format!(
+                "sealed frame must start with 0x{FRAME_MAGIC:02x}, got 0x{b:02x}"
+            )));
+        }
+        None => return Err(Error::Protocol("sealed frame is empty".into())),
+    }
+    let body_len = read_usize(frame, &mut pos)?;
+    let Some(checksum_bytes) = frame.get(pos..pos + 8) else {
+        return Err(Error::Protocol(
+            "truncated sealed frame: checksum missing".into(),
+        ));
+    };
+    let declared = u64::from_le_bytes(checksum_bytes.try_into().expect("8-byte slice"));
+    pos += 8;
+    let body = &frame[pos..];
+    if body.len() != body_len {
+        return Err(Error::Protocol(format!(
+            "sealed frame declares {body_len} body bytes but carries {}",
+            body.len()
+        )));
+    }
+    if fnv1a64(body) != declared {
+        return Err(Error::Protocol(
+            "sealed frame checksum mismatch (corrupted in transit)".into(),
+        ));
+    }
+    Ok(body)
+}
+
+/// Reads the next `(user_id, report byte range)` entry of a sealed-frame
+/// body, advancing `*pos` past it. The report is structurally decoded to
+/// find its span but not returned — callers that only need to forward or
+/// skip the bytes never materialize it.
+pub(crate) fn next_sealed_entry(
+    body: &[u8],
+    pos: &mut usize,
+) -> Result<(usize, std::ops::Range<usize>)> {
+    let user = read_usize(body, pos)?;
+    let start = *pos;
+    let (_, used) = Report::decode(&body[start..])?;
+    *pos = start + used;
+    Ok((user, start..*pos))
 }
 
 #[cfg(test)]
@@ -283,5 +441,71 @@ mod tests {
         let mut buf = vec![TAG_REFINE_LABELED];
         put_varint(&mut buf, u64::MAX); // absurd bit count
         assert!(matches!(Report::decode(&buf), Err(Error::Protocol(_))));
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 2, -2, 1 << 40, -(1 << 40), i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes of either sign stay small on the wire.
+        assert!(zigzag(-3) < 8);
+    }
+
+    #[test]
+    fn length_oracle_reports_round_trip() {
+        let reports = vec![
+            Report::LengthOue(OueReport::from_set_bits(vec![1, 4, 9]).unwrap()),
+            Report::LengthOlh(OlhReport {
+                seed: 1 << 50,
+                value: 3,
+            }),
+            Report::LengthPiecewise(-12_345_678),
+            Report::LengthPiecewise(0),
+        ];
+        let mut frame = Vec::new();
+        for r in &reports {
+            r.encode_into(&mut frame);
+        }
+        assert_eq!(Report::decode_frame(&frame).unwrap(), reports);
+    }
+
+    #[test]
+    fn sealed_frames_round_trip() {
+        let entries = vec![
+            (0usize, Report::Length(3)),
+            (7, Report::LengthPiecewise(-9)),
+            (1_000_000, Report::SubShape { level: 1, value: 2 }),
+        ];
+        let frame = seal_frame(&entries);
+        let body = unseal_frame(&frame).unwrap();
+        let mut pos = 0;
+        let mut seen = Vec::new();
+        while pos < body.len() {
+            let (user, span) = next_sealed_entry(body, &mut pos).unwrap();
+            let (report, used) = Report::decode(&body[span.clone()]).unwrap();
+            assert_eq!(used, span.len());
+            seen.push((user, report));
+        }
+        assert_eq!(seen, entries);
+    }
+
+    #[test]
+    fn sealed_frame_rejects_corruption() {
+        let frame = seal_frame(&[(4, Report::Length(2)), (5, Report::Length(0))]);
+        // Every single-bit flip anywhere in the frame is caught: either the
+        // magic/length/checksum structure breaks or the checksum mismatches.
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(unseal_frame(&bad).is_err(), "flip at {byte}:{bit} accepted");
+            }
+        }
+        // Truncations are rejected too.
+        for cut in 0..frame.len() {
+            assert!(unseal_frame(&frame[..cut]).is_err());
+        }
+        assert!(unseal_frame(&[]).is_err());
     }
 }

@@ -7,7 +7,7 @@
 
 use privshape_ldp::Epsilon;
 use privshape_protocol::{
-    Audience, GroupAssignment, GroupId, PrivShapeConfig, ProtocolParams, RoundSpec,
+    Audience, GroupAssignment, GroupId, LengthOracle, PrivShapeConfig, ProtocolParams, RoundSpec,
     ShardAggregator, UserClient,
 };
 use privshape_timeseries::{CandidateTable, SaxParams, SymbolSeq};
@@ -75,6 +75,7 @@ fn length_round_recovers_dominant_length() {
     let spec = RoundSpec::Length {
         audience: Audience::group(GroupId::Pa),
         range: (1, 10),
+        oracle: LengthOracle::Grr,
     };
     let mut clients = clients_for(&seqs, GroupId::Pa, &p);
     let agg = aggregate(&mut clients, &spec, &p);
@@ -90,6 +91,7 @@ fn length_round_clips_out_of_range_lengths() {
     let spec = RoundSpec::Length {
         audience: Audience::group(GroupId::Pa),
         range: (2, 8),
+        oracle: LengthOracle::Grr,
     };
     let mut clients = clients_for(&seqs, GroupId::Pa, &p);
     let agg = aggregate(&mut clients, &spec, &p);

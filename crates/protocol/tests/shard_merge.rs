@@ -6,7 +6,8 @@
 
 use privshape_ldp::Epsilon;
 use privshape_protocol::{
-    Extraction, PrivShapeConfig, Report, RoundSpec, Session, ShardAggregator, UserClient,
+    Extraction, LengthOracle, PrivShapeConfig, Report, RoundSpec, Session, ShardAggregator,
+    UserClient,
 };
 use privshape_timeseries::{SaxParams, TimeSeries};
 use proptest::prelude::*;
@@ -146,6 +147,36 @@ proptest! {
         let eps = eps_step as f64 * 1.5;
         let single = drive_single_shot(config(eps, seed), &series);
         let sharded = drive_sharded(config(eps, seed), &series, (cut_a, cut_b), perm);
+        assert_same_extraction(&single, &sharded);
+    }
+
+    /// The same invariant for every length-round frequency oracle. OUE and
+    /// OLH aggregate support vectors, piecewise aggregates a fixed-point
+    /// sum — all integer counts, so merge order must stay unobservable no
+    /// matter which oracle the length round runs.
+    #[test]
+    fn length_oracle_shards_merge_in_any_order(
+        n in 60usize..140,
+        seed in 0u64..1_000,
+        cut_a in 0.0f64..1.0,
+        cut_b in 0.0f64..1.0,
+        perm in 0usize..6,
+        oracle_idx in 0usize..4,
+    ) {
+        let oracle = [
+            LengthOracle::Grr,
+            LengthOracle::Oue,
+            LengthOracle::Olh,
+            LengthOracle::Piecewise,
+        ][oracle_idx];
+        let series = planted(n);
+        let cfg = || {
+            let mut c = config(3.0, seed);
+            c.length_oracle = oracle;
+            c
+        };
+        let single = drive_single_shot(cfg(), &series);
+        let sharded = drive_sharded(cfg(), &series, (cut_a, cut_b), perm);
         assert_same_extraction(&single, &sharded);
     }
 }

@@ -92,7 +92,9 @@ proptest! {
 
 #[test]
 fn unknown_tags_are_rejected() {
-    for tag in [0u8, 0x06, 0x7f, 0xff] {
+    // 0xF5 is the sealed-frame magic: valid as an envelope prefix, never
+    // as a bare report tag.
+    for tag in [0u8, 0x09, 0x7f, 0xf5, 0xff] {
         assert!(
             Report::decode(&[tag, 0x00]).is_err(),
             "tag 0x{tag:02x} accepted"

@@ -17,9 +17,16 @@ use privshape_timeseries::{SaxParams, TimeSeries};
 
 fn describe(spec: &RoundSpec) -> String {
     match spec {
-        RoundSpec::Length { audience, range } => format!(
-            "length estimation: GRR over clipped lengths [{}, {}] → group {:?}",
-            range.0, range.1, audience.group
+        RoundSpec::Length {
+            audience,
+            range,
+            oracle,
+        } => format!(
+            "length estimation: {} over clipped lengths [{}, {}] → group {:?}",
+            oracle.name().to_uppercase(),
+            range.0,
+            range.1,
+            audience.group
         ),
         RoundSpec::SubShape {
             audience,
