@@ -28,7 +28,7 @@ use std::process::ExitCode;
 type Extractor = fn(&Json) -> Metrics;
 
 /// The gated trajectory files: extractor + improvement direction.
-const FILES: [(&str, Extractor, Direction); 4] = [
+const FILES: [(&str, Extractor, Direction); 5] = [
     (
         "BENCH_protocol.json",
         gate::protocol_metrics,
@@ -42,6 +42,11 @@ const FILES: [(&str, Extractor, Direction); 4] = [
     (
         "BENCH_streaming.json",
         gate::streaming_metrics,
+        Direction::HigherIsBetter,
+    ),
+    (
+        "BENCH_service.json",
+        gate::service_metrics,
         Direction::HigherIsBetter,
     ),
     (

@@ -46,6 +46,10 @@ struct Point {
     serial_secs: f64,
     streaming_secs: f64,
     workers: usize,
+    /// Deepest the bounded frame queue ever got, across rounds.
+    queue_high_water: u64,
+    /// Submits that blocked on a full queue, summed across rounds.
+    backpressure_stalls: u64,
 }
 
 impl Point {
@@ -91,6 +95,8 @@ fn run_point(users: usize, eps: f64, seed: u64, workers: usize) -> Point {
         serial_secs: 0.0,
         streaming_secs: 0.0,
         workers: ingest_config.resolved_workers(),
+        queue_high_water: 0,
+        backpressure_stalls: 0,
     };
 
     while let Some(spec) = session.next_round().expect("protocol advances") {
@@ -135,8 +141,10 @@ fn run_point(users: usize, eps: f64, seed: u64, workers: usize) -> Point {
             for frame in &frames {
                 pipeline.submit_frame(frame.clone()).expect("pipeline open");
             }
-            let streamed = pipeline.finish().expect("workers succeed");
+            let (streamed, stats) = pipeline.finish_with_stats().expect("workers succeed");
             point.streaming_secs += started.elapsed().as_secs_f64();
+            point.queue_high_water = point.queue_high_water.max(stats.queue_high_water);
+            point.backpressure_stalls += stats.backpressure_stalls;
 
             assert_eq!(
                 streamed, serial,
@@ -188,7 +196,8 @@ fn main() {
              \"replayed_reports\": {}, \"workers\": {},\n      \
              \"serial_secs\": {:.6}, \"streaming_secs\": {:.6},\n      \
              \"serial_reports_per_sec\": {:.1}, \"streaming_reports_per_sec\": {:.1},\n      \
-             \"speedup\": {:.3}\n    }}{}\n",
+             \"speedup\": {:.3},\n      \
+             \"queue_high_water\": {}, \"backpressure_stalls\": {}\n    }}{}\n",
             p.users,
             p.rounds,
             p.reports,
@@ -199,6 +208,8 @@ fn main() {
             p.serial_rps(),
             p.streaming_rps(),
             p.speedup(),
+            p.queue_high_water,
+            p.backpressure_stalls,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }

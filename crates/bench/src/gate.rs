@@ -287,6 +287,16 @@ pub fn streaming_metrics(doc: &Json) -> Metrics {
     out
 }
 
+/// Metrics of `BENCH_service.json`: the multi-session service drive's
+/// end-to-end throughput. Per-session validation counters (duplicates,
+/// rejections, queue depth) are asserted by `service_smoke` itself and
+/// stay informational here — they measure the probes, not the service.
+pub fn service_metrics(doc: &Json) -> Metrics {
+    doc.num("reports_per_sec")
+        .map(|v| vec![("service.reports_per_sec".to_string(), v)])
+        .unwrap_or_default()
+}
+
 /// Metrics of `BENCH_quality.json`: per-cell DTW and SED distance to the
 /// generator's ground truth, keyed by the cell's matrix coordinates.
 ///
@@ -528,6 +538,15 @@ mod tests {
                 ("streaming.u600.serial_rps".to_string(), 10.0),
                 ("streaming.u600.streaming_rps".to_string(), 25.0),
             ]
+        );
+        let service = Json::parse(
+            r#"{"sessions": 8, "reports_per_sec": 800000.0,
+                "duplicate_reports": 512, "rejected_frames": 2}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            service_metrics(&service),
+            vec![("service.reports_per_sec".to_string(), 800000.0)]
         );
     }
 

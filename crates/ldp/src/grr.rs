@@ -147,6 +147,39 @@ impl GrrAggregator {
         self.total += other.total;
     }
 
+    /// Raw per-value report counts — the full dynamic state of the
+    /// aggregator (the mechanism constants are derivable from the round
+    /// spec). Exposed for snapshot serialization.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Overwrites the dynamic state from snapshotted raw counts.
+    ///
+    /// The mechanism constants stay as constructed; only the counts and
+    /// report total are replaced. Untrusted snapshot bytes are validated
+    /// against the GRR structural invariants: the count vector must match
+    /// this aggregator's domain and sum exactly to `total` (every report
+    /// increments exactly one count).
+    pub fn restore_counts(&mut self, counts: &[u64], total: u64) -> Result<()> {
+        if counts.len() != self.counts.len() {
+            return Err(LdpError::MalformedReport(format!(
+                "GRR snapshot domain {} != aggregator domain {}",
+                counts.len(),
+                self.counts.len()
+            )));
+        }
+        let sum: u64 = counts.iter().sum();
+        if sum != total {
+            return Err(LdpError::MalformedReport(format!(
+                "GRR snapshot counts sum to {sum} but claim {total} reports"
+            )));
+        }
+        self.counts.copy_from_slice(counts);
+        self.total = total;
+        Ok(())
+    }
+
     /// Unbiased estimate of the number of users holding `v`.
     pub fn estimate(&self, v: usize) -> f64 {
         let n = self.total as f64;

@@ -165,6 +165,35 @@ impl OlhAggregator {
         self.total += other.total;
     }
 
+    /// Raw per-value support counts — the full dynamic state of the
+    /// aggregator. Exposed for snapshot serialization.
+    pub fn support(&self) -> &[u64] {
+        &self.support
+    }
+
+    /// Overwrites the dynamic state from snapshotted support counts.
+    ///
+    /// Validated against the OLH structural invariants: the support vector
+    /// must match this aggregator's domain and no value can be supported by
+    /// more reports than were ingested.
+    pub fn restore_support(&mut self, support: &[u64], total: u64) -> Result<()> {
+        if support.len() != self.support.len() {
+            return Err(LdpError::MalformedReport(format!(
+                "OLH snapshot domain {} != aggregator domain {}",
+                support.len(),
+                self.support.len()
+            )));
+        }
+        if let Some(&s) = support.iter().find(|&&s| s > total) {
+            return Err(LdpError::MalformedReport(format!(
+                "OLH snapshot support {s} exceeds {total} reports"
+            )));
+        }
+        self.support.copy_from_slice(support);
+        self.total = total;
+        Ok(())
+    }
+
     /// Unbiased count estimate:
     /// `ĉ(v) = (support(v) − n/g) / (p − 1/g)`.
     pub fn estimate(&self, v: usize) -> f64 {

@@ -186,6 +186,35 @@ impl OueAggregator {
         self.total += other.total;
     }
 
+    /// Raw per-bit counts — the full dynamic state of the aggregator.
+    /// Exposed for snapshot serialization.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Overwrites the dynamic state from snapshotted raw counts.
+    ///
+    /// Validated against the OUE structural invariants: the count vector
+    /// must match this aggregator's domain and no bit can have been set by
+    /// more reports than were ingested.
+    pub fn restore_counts(&mut self, counts: &[u64], total: u64) -> Result<()> {
+        if counts.len() != self.counts.len() {
+            return Err(LdpError::MalformedReport(format!(
+                "OUE snapshot domain {} != aggregator domain {}",
+                counts.len(),
+                self.counts.len()
+            )));
+        }
+        if let Some(&c) = counts.iter().find(|&&c| c > total) {
+            return Err(LdpError::MalformedReport(format!(
+                "OUE snapshot bit count {c} exceeds {total} reports"
+            )));
+        }
+        self.counts.copy_from_slice(counts);
+        self.total = total;
+        Ok(())
+    }
+
     /// Unbiased estimate of the number of users holding `v`.
     pub fn estimate(&self, v: usize) -> f64 {
         let n = self.total as f64;

@@ -165,6 +165,30 @@ impl PiecewiseAggregator {
         self.total += other.total;
     }
 
+    /// Exact integer sum of all quantized reports — the full dynamic state
+    /// alongside [`PiecewiseAggregator::total`]. Exposed for snapshot
+    /// serialization.
+    pub fn sum(&self) -> i128 {
+        self.sum
+    }
+
+    /// Overwrites the dynamic state from a snapshotted sum.
+    ///
+    /// Validated against the mechanism's declared output range: `total`
+    /// in-range reports can never sum past `total · quantized_bound` in
+    /// magnitude, so anything beyond that is a forged snapshot.
+    pub fn restore_sum(&mut self, sum: i128, total: u64) -> Result<()> {
+        let bound = i128::from(total) * i128::from(self.mechanism.quantized_bound());
+        if sum.abs() > bound {
+            return Err(LdpError::MalformedReport(format!(
+                "piecewise snapshot sum {sum} exceeds bound {bound} for {total} reports"
+            )));
+        }
+        self.sum = sum;
+        self.total = total;
+        Ok(())
+    }
+
     /// Unbiased estimate of the mean true input, or `None` when no reports
     /// have arrived.
     pub fn mean(&self) -> Option<f64> {

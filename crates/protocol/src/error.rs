@@ -24,6 +24,32 @@ pub enum Error {
     /// domain for the open round, shard aggregates over mismatched rounds,
     /// or session methods called out of order.
     Protocol(String),
+    /// A routed wire frame named a session id the router does not know
+    /// (never admitted, already drained, or lost to a crash without a
+    /// snapshot).
+    UnknownSession {
+        /// The unrecognized session id.
+        session_id: u64,
+    },
+    /// A routed wire frame carried a generation tag (for table rounds, the
+    /// `CandidateTable` fingerprint) that does not match the session's
+    /// current round — a stale producer talking across a round boundary.
+    /// Absorbing it would silently mix counts from different candidate
+    /// sets, so the router rejects it instead.
+    StaleGeneration {
+        /// The session the frame addressed.
+        session_id: u64,
+        /// Generation the session's open round expects.
+        expected: u64,
+        /// Generation the frame carried.
+        got: u64,
+    },
+    /// A routed wire frame declared a codec version this build does not
+    /// speak.
+    UnsupportedVersion {
+        /// The version byte from the frame header.
+        got: u8,
+    },
     /// Propagated time-series error.
     Ts(TsError),
     /// Propagated LDP-primitive error.
@@ -41,6 +67,20 @@ impl fmt::Display for Error {
             }
             Error::BadLabels(msg) => write!(f, "bad labels: {msg}"),
             Error::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            Error::UnknownSession { session_id } => {
+                write!(f, "unknown session id {session_id}")
+            }
+            Error::StaleGeneration {
+                session_id,
+                expected,
+                got,
+            } => write!(
+                f,
+                "stale generation for session {session_id}: expected {expected:#x}, got {got:#x}"
+            ),
+            Error::UnsupportedVersion { got } => {
+                write!(f, "unsupported wire codec version {got}")
+            }
             Error::Ts(e) => write!(f, "time series error: {e}"),
             Error::Ldp(e) => write!(f, "LDP error: {e}"),
             Error::Trie(e) => write!(f, "trie error: {e}"),
@@ -92,6 +132,19 @@ mod tests {
         assert!(Error::Protocol("wrong report kind".into())
             .to_string()
             .contains("protocol violation"));
+        assert!(Error::UnknownSession { session_id: 7 }
+            .to_string()
+            .contains("unknown session id 7"));
+        let stale = Error::StaleGeneration {
+            session_id: 3,
+            expected: 0xAB,
+            got: 0xCD,
+        }
+        .to_string();
+        assert!(stale.contains("session 3") && stale.contains("0xab") && stale.contains("0xcd"));
+        assert!(Error::UnsupportedVersion { got: 9 }
+            .to_string()
+            .contains("version 9"));
         let e: Error = TsError::EmptySeries.into();
         assert!(e.to_string().contains("time series"));
         let e: Error = LdpError::InvalidEpsilon(0.0).into();

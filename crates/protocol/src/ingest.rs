@@ -60,14 +60,27 @@ pub struct IngestStats {
     /// Reports dropped because their frame-declared user id had already
     /// reported in this round (one-report-per-user-per-round invariant).
     pub duplicate_reports: u64,
+    /// Deepest the frame queue ever got (frames, not reports). A
+    /// high-water mark near the configured capacity means producers are
+    /// outrunning the worker pool — the saturation signal an admission
+    /// layer throttles on.
+    pub queue_high_water: u64,
+    /// Number of submits that found the queue full and had to block until
+    /// a worker drained a slot. Nonzero stalls with a maxed high-water
+    /// mark is sustained backpressure, not a transient burst.
+    pub backpressure_stalls: u64,
 }
 
 impl IngestStats {
     /// Accumulates another round's counters (sessions sum across rounds).
+    /// Counts add; the queue high-water mark, being a maximum, absorbs by
+    /// `max` — the session-level value is the worst depth any round saw.
     pub fn absorb(&mut self, other: &IngestStats) {
         self.accepted_reports += other.accepted_reports;
         self.rejected_frames += other.rejected_frames;
         self.duplicate_reports += other.duplicate_reports;
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.backpressure_stalls += other.backpressure_stalls;
     }
 }
 
@@ -128,6 +141,10 @@ struct QueueState {
     capacity: usize,
     closed: bool,
     poisoned: bool,
+    /// Deepest `frames` ever got (updated on every push).
+    high_water: usize,
+    /// Pushes that found the queue full and blocked.
+    stalls: u64,
 }
 
 impl FrameQueue {
@@ -138,6 +155,8 @@ impl FrameQueue {
                 capacity,
                 closed: false,
                 poisoned: false,
+                high_water: 0,
+                stalls: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -147,6 +166,10 @@ impl FrameQueue {
     /// Blocks while the queue is full; fails once it is closed/poisoned.
     fn push(&self, frame: Vec<u8>) -> Result<()> {
         let mut state = self.state.lock().expect("queue lock");
+        if state.frames.len() >= state.capacity && !state.closed && !state.poisoned {
+            // Counted once per blocked push, however long the wait.
+            state.stalls += 1;
+        }
         while state.frames.len() >= state.capacity && !state.closed && !state.poisoned {
             state = self.not_full.wait(state).expect("queue lock");
         }
@@ -161,9 +184,17 @@ impl FrameQueue {
             ));
         }
         state.frames.push_back(frame);
+        state.high_water = state.high_water.max(state.frames.len());
         drop(state);
         self.not_empty.notify_one();
         Ok(())
+    }
+
+    /// `(high_water, stalls)` so far — read under the same lock pushes
+    /// take, so a snapshot never tears.
+    fn depth_metrics(&self) -> (u64, u64) {
+        let state = self.state.lock().expect("queue lock");
+        (state.high_water as u64, state.stalls)
     }
 
     /// Blocks while the queue is open and empty; `None` once it is drained
@@ -369,13 +400,18 @@ impl IngestPipeline {
         self.submit_frame(clean)
     }
 
-    /// Snapshot of the sealed-frame validation counters so far. All zeros
-    /// when only the plain [`IngestPipeline::submit_frame`] path was used.
+    /// Snapshot of the validation counters and queue-depth metrics so far.
+    /// The validation counters are all zeros when only the plain
+    /// [`IngestPipeline::submit_frame`] path was used; the queue metrics
+    /// cover every path (both submit flavors share the frame queue).
     pub fn stats(&self) -> IngestStats {
+        let (queue_high_water, backpressure_stalls) = self.queue.depth_metrics();
         IngestStats {
             accepted_reports: self.accepted_reports.load(Ordering::Relaxed),
             rejected_frames: self.rejected_frames.load(Ordering::Relaxed),
             duplicate_reports: self.duplicate_reports.load(Ordering::Relaxed),
+            queue_high_water,
+            backpressure_stalls,
         }
     }
 
@@ -628,17 +664,71 @@ mod tests {
     }
 
     #[test]
-    fn plain_path_leaves_stats_untouched() {
+    fn plain_path_leaves_validation_counters_untouched() {
         let spec = spec(2);
         let pipeline = IngestPipeline::for_round(&spec, eps(), IngestConfig::default()).unwrap();
         pipeline
             .submit_reports(&[Report::Expand(0), Report::Expand(1)])
             .unwrap();
         // The plain path is the replay-tolerant one (streaming benches
-        // resubmit identical frames on purpose): no validation, no counters.
-        assert_eq!(pipeline.stats(), IngestStats::default());
+        // resubmit identical frames on purpose): no validation, so the
+        // validation counters never move. The queue-depth metrics do —
+        // both submit flavors share the frame queue.
         let (merged, stats) = pipeline.finish_with_stats().unwrap();
         assert_eq!(merged.reports(), 2);
-        assert_eq!(stats, IngestStats::default());
+        assert_eq!(stats.accepted_reports, 0);
+        assert_eq!(stats.rejected_frames, 0);
+        assert_eq!(stats.duplicate_reports, 0);
+        assert!(stats.queue_high_water >= 1);
+    }
+
+    #[test]
+    fn queue_metrics_see_saturation() {
+        let spec = spec(2);
+        // One deliberately slow consumer behind a 1-deep queue: concurrent
+        // producers must stall and the high-water mark must hit capacity.
+        let pipeline = Arc::new(
+            IngestPipeline::for_round(
+                &spec,
+                eps(),
+                IngestConfig {
+                    workers: 1,
+                    queue_capacity: 1,
+                },
+            )
+            .unwrap(),
+        );
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let pipeline = Arc::clone(&pipeline);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        pipeline.submit_reports(&[Report::Expand(i % 2)]).unwrap();
+                    }
+                });
+            }
+        });
+        let (merged, stats) = Arc::into_inner(pipeline)
+            .unwrap()
+            .finish_with_stats()
+            .unwrap();
+        assert_eq!(merged.reports(), 100);
+        assert_eq!(stats.queue_high_water, 1);
+        assert!(
+            stats.backpressure_stalls > 0,
+            "100 pushes through a 1-deep queue never stalled"
+        );
+
+        // Session-level accumulation: counts add, the high-water mark maxes.
+        let mut acc = IngestStats::default();
+        acc.absorb(&stats);
+        let later = IngestStats {
+            backpressure_stalls: 3,
+            queue_high_water: stats.queue_high_water.saturating_sub(1),
+            ..Default::default()
+        };
+        acc.absorb(&later);
+        assert_eq!(acc.queue_high_water, stats.queue_high_water);
+        assert_eq!(acc.backpressure_stalls, stats.backpressure_stalls + 3);
     }
 }

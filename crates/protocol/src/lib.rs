@@ -98,7 +98,7 @@ pub use population::{chunk_of_rank, split_population, split_rounds, Groups};
 pub use postprocess::select_distinct_top_k;
 pub use report::{ClassShapes, Diagnostics, ExtractedShape, Extraction, LabeledExtraction};
 pub use round::{Audience, Chunk, GroupId, Report, RoundSpec};
-pub use session::Session;
+pub use session::{Session, SNAPSHOT_VERSION};
 pub use shard::ShardAggregator;
 pub use transform::transform_series;
-pub use wire::{seal_frame, unseal_frame};
+pub use wire::{route_frame, seal_frame, unseal_frame, RoutedFrame, ROUTED_VERSION};

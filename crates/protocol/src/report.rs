@@ -61,7 +61,7 @@ impl Extraction {
 }
 
 /// Per-class shapes from a labeled (classification-oriented) extraction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassShapes {
     /// The class label.
     pub label: usize,

@@ -30,6 +30,10 @@
 //! length range, `ℓ_S = 1` sub-shapes, an empty addressed group) are
 //! skipped server-side with the documented fallbacks, never broadcast.
 
+mod snapshot;
+
+pub use snapshot::SNAPSHOT_VERSION;
+
 use crate::config::{BaselineConfig, PrivShapeConfig};
 use crate::error::{Error, Result};
 use crate::ingest::{IngestConfig, IngestPipeline, IngestStats};
@@ -51,6 +55,15 @@ enum Plan {
     PrivShape,
     /// Absolute-threshold pruning, unconstrained expansion.
     Baseline { prune_threshold: f64 },
+}
+
+/// The validated configuration the session was built from, retained so a
+/// snapshot can serialize it and a restore can rebuild every static field
+/// (params, groups, plan) through the same constructor path.
+#[derive(Debug, Clone)]
+enum Origin {
+    PrivShape(PrivShapeConfig),
+    Baseline(BaselineConfig),
 }
 
 /// Output mode, fixed at session construction.
@@ -92,6 +105,7 @@ enum Output {
 /// Server-side session state machine for one extraction run.
 #[derive(Debug)]
 pub struct Session {
+    origin: Origin,
     params: ProtocolParams,
     plan: Plan,
     mode: Mode,
@@ -102,6 +116,9 @@ pub struct Session {
     alphabet: usize,
     groups: Groups,
     phase: Phase,
+    /// Rounds opened so far (including the currently open one); gives
+    /// non-table rounds a generation tag and snapshots a stable cursor.
+    round_index: u64,
     open: Option<OpenRound>,
     ell_s: usize,
     bigram_sets: Vec<BigramSet>,
@@ -144,7 +161,9 @@ impl Session {
             alphabet,
             groups,
             phase: Phase::Length,
+            round_index: 0,
             open: None,
+            origin: Origin::PrivShape(config),
             ell_s: 0,
             bigram_sets: Vec::new(),
             trie: None,
@@ -194,7 +213,9 @@ impl Session {
             alphabet,
             groups,
             phase: Phase::Length,
+            round_index: 0,
             open: None,
+            origin: Origin::Baseline(config),
             ell_s: 0,
             bigram_sets: Vec::new(),
             trie: None,
@@ -214,6 +235,27 @@ impl Session {
     /// reports.
     pub fn current_round(&self) -> Option<&RoundSpec> {
         self.open.as_ref().map(|o| &o.spec)
+    }
+
+    /// The generation tag routed wire frames must carry to be absorbed
+    /// into the currently open round (`None` when no round is open).
+    ///
+    /// For candidate-table rounds (expansion, refinement) the generation
+    /// is the broadcast [`CandidateTable::fingerprint`], so a frame
+    /// produced against a stale table can never slip into the wrong
+    /// count vector. Length and sub-shape rounds have no table; they use
+    /// a hash of the session's round cursor, which changes every round
+    /// for the same reason.
+    pub fn round_generation(&self) -> Option<u64> {
+        let open = self.open.as_ref()?;
+        Some(match &open.spec {
+            RoundSpec::Expand { candidates, .. }
+            | RoundSpec::RefineUnlabeled { candidates, .. }
+            | RoundSpec::RefineLabeled { candidates, .. } => candidates.fingerprint(),
+            RoundSpec::Length { .. } | RoundSpec::SubShape { .. } => {
+                crate::wire::fnv1a64(&self.round_index.to_le_bytes())
+            }
+        })
     }
 
     /// An empty shard aggregate matching the currently open round, for
@@ -418,6 +460,7 @@ impl Session {
         audience_len: usize,
     ) -> Result<Option<RoundSpec>> {
         let agg = ShardAggregator::for_round(&spec, self.params.epsilon)?;
+        self.round_index += 1;
         self.open = Some(OpenRound {
             spec: spec.clone(),
             agg,
@@ -792,6 +835,145 @@ mod tests {
             other => panic!("expected length round, got {other:?}"),
         }
         assert!(s.current_round().is_some());
+    }
+
+    /// Deterministic synthetic reports for `spec`, enough to exercise
+    /// every count vector without simulating clients.
+    fn synthetic_reports(spec: &RoundSpec) -> Vec<Report> {
+        match spec {
+            // Length reports concentrate on offset 2 so ℓ_S comes out > 1
+            // and the sub-shape phase actually runs.
+            RoundSpec::Length {
+                range: (lo, hi), ..
+            } => (0..40)
+                .map(|i| {
+                    let mode = 2.min(hi - lo);
+                    Report::Length(if i % 4 == 0 { i % (hi - lo + 1) } else { mode })
+                })
+                .collect(),
+            RoundSpec::SubShape {
+                ell_s, alphabet, ..
+            } => {
+                let domain = alphabet * (alphabet - 1);
+                (0..60)
+                    .map(|i| Report::SubShape {
+                        level: 1 + i % (ell_s - 1),
+                        value: (i * 5) % domain,
+                    })
+                    .collect()
+            }
+            RoundSpec::Expand { candidates, .. } => (0..50)
+                .map(|i| Report::Expand((i * 3) % candidates.len()))
+                .collect(),
+            RoundSpec::RefineUnlabeled { candidates, .. } => (0..50)
+                .map(|i| Report::RefineSelect((i * 3) % candidates.len()))
+                .collect(),
+            RoundSpec::RefineLabeled {
+                candidates,
+                n_classes,
+                ..
+            } => {
+                let cells = candidates.len() * n_classes;
+                (0..50)
+                    .map(|i| {
+                        Report::RefineLabeled(
+                            privshape_ldp::OueReport::from_set_bits(vec![i % cells]).unwrap(),
+                        )
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_mid_round_restores_bit_identically() {
+        let mut original = Session::privshape(config(), 500).unwrap();
+        let spec = original.next_round().unwrap().expect("length round");
+        let reports = synthetic_reports(&spec);
+        let (first, second) = reports.split_at(reports.len() / 2);
+        original.submit(first).unwrap();
+
+        // Kill mid-round: half the reports are already aggregated.
+        let mut restored = Session::restore(&original.snapshot()).unwrap();
+        assert_eq!(restored.current_round(), original.current_round());
+        assert_eq!(restored.round_generation(), original.round_generation());
+
+        // Both sessions keep running on identical inputs and stay in
+        // lockstep through every remaining broadcast...
+        original.submit(second).unwrap();
+        restored.submit(second).unwrap();
+        loop {
+            let a = original.next_round().unwrap();
+            let b = restored.next_round().unwrap();
+            assert_eq!(a, b, "broadcasts diverged after restore");
+            // Snapshotting at every round boundary must also round-trip.
+            restored = Session::restore(&restored.snapshot()).unwrap();
+            assert_eq!(restored.current_round(), original.current_round());
+            let Some(spec) = a else { break };
+            let reports = synthetic_reports(&spec);
+            original.submit(&reports).unwrap();
+            restored.submit(&reports).unwrap();
+        }
+        // ...down to the extracted shapes.
+        let a = original.finish().unwrap();
+        let b = restored.finish().unwrap();
+        assert_eq!(a.shapes, b.shapes);
+        assert_eq!(a.diagnostics.ell_s, b.diagnostics.ell_s);
+        assert_eq!(
+            a.diagnostics.candidates_per_level,
+            b.diagnostics.candidates_per_level
+        );
+    }
+
+    #[test]
+    fn restore_rejects_tampered_snapshots() {
+        let mut s = Session::privshape(config(), 300).unwrap();
+        let spec = s.next_round().unwrap().unwrap();
+        s.submit(&synthetic_reports(&spec)).unwrap();
+        let snap = s.snapshot();
+        assert!(Session::restore(&snap).is_ok());
+        // Any single bit-flip is rejected (checksum or field validation).
+        for i in 0..snap.len() {
+            let mut forged = snap.clone();
+            forged[i] ^= 0x01;
+            assert!(Session::restore(&forged).is_err(), "bit-flip at {i}");
+        }
+        // Any truncation is rejected.
+        for cut in 0..snap.len() {
+            assert!(
+                Session::restore(&snap[..cut]).is_err(),
+                "truncation at {cut}"
+            );
+        }
+        // A future format version is a typed error.
+        let mut future = snap.clone();
+        future[1] = SNAPSHOT_VERSION + 1;
+        assert!(matches!(
+            Session::restore(&future),
+            Err(Error::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn round_generation_tracks_rounds() {
+        let mut s = Session::privshape(config(), 500).unwrap();
+        assert_eq!(s.round_generation(), None, "no open round yet");
+        let spec = s.next_round().unwrap().unwrap();
+        let length_gen = s.round_generation().expect("length round open");
+        s.submit(&synthetic_reports(&spec)).unwrap();
+        let spec = s.next_round().unwrap().unwrap();
+        let subshape_gen = s.round_generation().expect("sub-shape round open");
+        assert_ne!(length_gen, subshape_gen);
+        s.submit(&synthetic_reports(&spec)).unwrap();
+        let spec = s.next_round().unwrap().unwrap();
+        let RoundSpec::Expand { candidates, .. } = &spec else {
+            panic!("expected expansion round");
+        };
+        assert_eq!(
+            s.round_generation(),
+            Some(candidates.fingerprint()),
+            "table rounds use the candidate-table fingerprint as generation"
+        );
     }
 
     #[test]

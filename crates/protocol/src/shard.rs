@@ -672,6 +672,257 @@ impl ShardAggregator {
     }
 }
 
+/// Appends one LDP-aggregator count vector: `varint(total) varint(len)
+/// varint(count)*`.
+fn put_counts(buf: &mut Vec<u8>, counts: &[u64], total: u64) {
+    wire::put_varint(buf, total);
+    wire::put_varint(buf, counts.len() as u64);
+    for &c in counts {
+        wire::put_varint(buf, c);
+    }
+}
+
+/// Inverse of [`put_counts`].
+fn read_counts(buf: &[u8], pos: &mut usize) -> Result<(Vec<u64>, u64)> {
+    let total = wire::read_varint(buf, pos)?;
+    let len = wire::read_usize(buf, pos)?;
+    // Every count needs at least one byte, so a length beyond the
+    // remaining buffer is a truncation — refuse before reserving memory.
+    if len > buf.len() - *pos {
+        return Err(Error::Protocol(format!(
+            "truncated snapshot: {len} counts claimed, {} bytes left",
+            buf.len() - *pos
+        )));
+    }
+    let mut counts = Vec::with_capacity(len);
+    for _ in 0..len {
+        counts.push(wire::read_varint(buf, pos)?);
+    }
+    Ok((counts, total))
+}
+
+fn snapshot_err(msg: impl Into<String>) -> Error {
+    Error::Protocol(format!("invalid aggregator snapshot: {}", msg.into()))
+}
+
+/// Snapshot codec for the aggregator's dynamic state. The *static* shape
+/// (round kind, domain, mechanism constants) is never serialized — the
+/// restoring side rebuilds it from the round spec via
+/// [`ShardAggregator::for_round`] and these methods only move the counts,
+/// validating every structural invariant on the way in. Raw integer counts
+/// round-trip exactly, so a restored aggregator is bit-identical to the
+/// one dumped.
+impl ShardAggregator {
+    /// Appends the dynamic state (report total + raw counts) to `buf`
+    /// using the wire codec's varint idioms.
+    pub(crate) fn snapshot_state_into(&self, buf: &mut Vec<u8>) {
+        wire::put_varint(buf, self.reports);
+        match &self.inner {
+            Inner::Length { agg, .. } => {
+                buf.push(1);
+                match agg {
+                    LengthAgg::Grr(a) => {
+                        buf.push(1);
+                        put_counts(buf, a.counts(), a.total());
+                    }
+                    LengthAgg::Oue(a) => {
+                        buf.push(2);
+                        put_counts(buf, a.counts(), a.total());
+                    }
+                    LengthAgg::Olh(a) => {
+                        buf.push(3);
+                        put_counts(buf, a.support(), a.total());
+                    }
+                    LengthAgg::Piecewise(a) => {
+                        buf.push(4);
+                        wire::put_varint(buf, a.total());
+                        buf.extend_from_slice(&a.sum().to_le_bytes());
+                    }
+                }
+            }
+            Inner::SubShape { aggs, .. } => {
+                buf.push(2);
+                wire::put_varint(buf, aggs.len() as u64);
+                for a in aggs {
+                    put_counts(buf, a.counts(), a.total());
+                }
+            }
+            Inner::Expand {
+                counts, table_gen, ..
+            }
+            | Inner::RefineSelect { counts, table_gen } => {
+                buf.push(if matches!(self.inner, Inner::Expand { .. }) {
+                    3
+                } else {
+                    4
+                });
+                wire::put_varint(buf, *table_gen);
+                wire::put_varint(buf, counts.len() as u64);
+                for &c in counts {
+                    wire::put_varint(buf, c);
+                }
+            }
+            Inner::RefineLabeled { agg, table_gen, .. } => {
+                buf.push(5);
+                wire::put_varint(buf, *table_gen);
+                match agg {
+                    Some(a) => {
+                        buf.push(1);
+                        put_counts(buf, a.counts(), a.total());
+                    }
+                    None => buf.push(0),
+                }
+            }
+        }
+    }
+
+    /// Loads a snapshot produced by
+    /// [`ShardAggregator::snapshot_state_into`] into this freshly built
+    /// (`for_round`) aggregator, advancing `*pos` past it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Protocol`] when the snapshot's round kind, oracle, domain,
+    /// or candidate-table generation disagrees with the round this
+    /// aggregator was built for, when a count vector violates an LDP
+    /// structural invariant, or on truncation. On error the aggregator is
+    /// left unusable for the round (partially restored) — callers discard
+    /// it.
+    pub(crate) fn restore_state(&mut self, buf: &[u8], pos: &mut usize) -> Result<()> {
+        let reports = wire::read_varint(buf, pos)?;
+        let tag = wire::read_tag(buf, pos)?;
+        match (&mut self.inner, tag) {
+            (Inner::Length { agg, .. }, 1) => {
+                let oracle_tag = wire::read_tag(buf, pos)?;
+                match (agg, oracle_tag) {
+                    (LengthAgg::Grr(a), 1) => {
+                        let (counts, total) = read_counts(buf, pos)?;
+                        a.restore_counts(&counts, total)?;
+                        check_total(total, reports)?;
+                    }
+                    (LengthAgg::Oue(a), 2) => {
+                        let (counts, total) = read_counts(buf, pos)?;
+                        a.restore_counts(&counts, total)?;
+                        check_total(total, reports)?;
+                    }
+                    (LengthAgg::Olh(a), 3) => {
+                        let (support, total) = read_counts(buf, pos)?;
+                        a.restore_support(&support, total)?;
+                        check_total(total, reports)?;
+                    }
+                    (LengthAgg::Piecewise(a), 4) => {
+                        let total = wire::read_varint(buf, pos)?;
+                        let Some(bytes) = buf.get(*pos..*pos + 16) else {
+                            return Err(snapshot_err("truncated piecewise sum"));
+                        };
+                        *pos += 16;
+                        let sum = i128::from_le_bytes(bytes.try_into().expect("16-byte slice"));
+                        a.restore_sum(sum, total)?;
+                        check_total(total, reports)?;
+                    }
+                    (_, t) => {
+                        return Err(snapshot_err(format!(
+                            "length oracle tag {t} does not match the round's oracle"
+                        )));
+                    }
+                }
+            }
+            (Inner::SubShape { aggs, .. }, 2) => {
+                let n = wire::read_usize(buf, pos)?;
+                if n != aggs.len() {
+                    return Err(snapshot_err(format!(
+                        "sub-shape snapshot has {n} levels, round has {}",
+                        aggs.len()
+                    )));
+                }
+                let mut sum = 0u64;
+                for a in aggs.iter_mut() {
+                    let (counts, total) = read_counts(buf, pos)?;
+                    a.restore_counts(&counts, total)?;
+                    sum += total;
+                }
+                check_total(sum, reports)?;
+            }
+            (
+                Inner::Expand {
+                    counts, table_gen, ..
+                },
+                3,
+            )
+            | (Inner::RefineSelect { counts, table_gen }, 4) => {
+                let gen = wire::read_varint(buf, pos)?;
+                if gen != *table_gen {
+                    return Err(snapshot_err(format!(
+                        "candidate-table generation {gen:#x} does not match the rebuilt \
+                         round's {:#x}",
+                        table_gen
+                    )));
+                }
+                let len = wire::read_usize(buf, pos)?;
+                if len > buf.len() - *pos {
+                    return Err(snapshot_err("truncated selection counts"));
+                }
+                let mut vals = Vec::with_capacity(len);
+                for _ in 0..len {
+                    vals.push(wire::read_varint(buf, pos)?);
+                }
+                if vals.len() != counts.len() {
+                    return Err(snapshot_err(format!(
+                        "{} selection counts, round has {}",
+                        vals.len(),
+                        counts.len()
+                    )));
+                }
+                check_total(vals.iter().sum(), reports)?;
+                counts.copy_from_slice(&vals);
+            }
+            (Inner::RefineLabeled { agg, table_gen, .. }, 5) => {
+                let gen = wire::read_varint(buf, pos)?;
+                if gen != *table_gen {
+                    return Err(snapshot_err(format!(
+                        "candidate-table generation {gen:#x} does not match the rebuilt \
+                         round's {:#x}",
+                        table_gen
+                    )));
+                }
+                let has_agg = wire::read_tag(buf, pos)?;
+                match (agg.as_mut(), has_agg) {
+                    (Some(a), 1) => {
+                        let (counts, total) = read_counts(buf, pos)?;
+                        a.restore_counts(&counts, total)?;
+                        check_total(total, reports)?;
+                    }
+                    (None, 0) => {}
+                    _ => {
+                        return Err(snapshot_err(
+                            "labeled-grid presence flag disagrees with the round",
+                        ));
+                    }
+                }
+            }
+            (inner, tag) => {
+                return Err(snapshot_err(format!(
+                    "snapshot kind tag {tag} does not match round aggregate {}",
+                    inner.kind()
+                )));
+            }
+        }
+        self.reports = reports;
+        Ok(())
+    }
+}
+
+/// A snapshot whose per-oracle report total disagrees with its declared
+/// overall report count is forged or corrupted.
+fn check_total(total: u64, reports: u64) -> Result<()> {
+    if total != reports {
+        return Err(snapshot_err(format!(
+            "aggregate holds {total} reports but the snapshot declares {reports}"
+        )));
+    }
+    Ok(())
+}
+
 fn wrong_finalize(wanted: &str, got: &Inner) -> Error {
     Error::Protocol(format!(
         "finalizing {wanted} round but aggregate holds {} state",
@@ -984,5 +1235,164 @@ mod tests {
         bad[last] ^= 0x40;
         assert!(clean.absorb_enveloped(&bad, &mut seen).is_err());
         assert_eq!(clean.reports(), 3, "rejected frame absorbed nothing");
+    }
+
+    #[test]
+    fn snapshot_state_round_trips_every_round_kind() {
+        use privshape_ldp::{Olh, OlhReport, OueReport};
+        let olh = Olh::new(eps());
+        let subshape_spec = RoundSpec::SubShape {
+            audience: Audience::group(GroupId::Pb),
+            ell_s: 3,
+            alphabet: 4,
+        };
+        let refine_spec = RoundSpec::RefineUnlabeled {
+            audience: Audience::group(GroupId::Pd),
+            candidates: std::sync::Arc::new(
+                CandidateTable::parse_rows(&["ab", "ba", "bc"]).unwrap(),
+            ),
+        };
+        let labeled_spec = RoundSpec::RefineLabeled {
+            audience: Audience::group(GroupId::Pd),
+            candidates: std::sync::Arc::new(CandidateTable::parse_rows(&["ab", "cb"]).unwrap()),
+            n_classes: 2,
+        };
+        let cases: Vec<(RoundSpec, Vec<Report>)> = vec![
+            (
+                oracle_spec(LengthOracle::Grr),
+                vec![Report::Length(1), Report::Length(4), Report::Length(1)],
+            ),
+            (
+                oracle_spec(LengthOracle::Oue),
+                vec![
+                    Report::LengthOue(OueReport::from_set_bits(vec![0, 3]).unwrap()),
+                    Report::LengthOue(OueReport::from_set_bits(vec![]).unwrap()),
+                ],
+            ),
+            (
+                oracle_spec(LengthOracle::Olh),
+                vec![
+                    Report::LengthOlh(OlhReport { seed: 11, value: 0 }),
+                    Report::LengthOlh(OlhReport {
+                        seed: 12,
+                        value: 1 % olh.g(),
+                    }),
+                ],
+            ),
+            (
+                oracle_spec(LengthOracle::Piecewise),
+                vec![
+                    Report::LengthPiecewise(-250_000),
+                    Report::LengthPiecewise(90_000),
+                ],
+            ),
+            (
+                subshape_spec,
+                vec![
+                    Report::SubShape { level: 1, value: 0 },
+                    Report::SubShape { level: 2, value: 7 },
+                    Report::SubShape {
+                        level: 1,
+                        value: 11,
+                    },
+                ],
+            ),
+            (
+                expand_spec(4),
+                vec![Report::Expand(0), Report::Expand(3), Report::Expand(0)],
+            ),
+            (
+                refine_spec,
+                vec![Report::RefineSelect(2), Report::RefineSelect(1)],
+            ),
+            (
+                labeled_spec,
+                vec![
+                    Report::RefineLabeled(OueReport::from_set_bits(vec![0, 3]).unwrap()),
+                    Report::RefineLabeled(OueReport::from_set_bits(vec![1]).unwrap()),
+                ],
+            ),
+        ];
+        for (spec, reports) in cases {
+            let mut original = ShardAggregator::for_round(&spec, eps()).unwrap();
+            for r in &reports {
+                original.absorb(r).unwrap();
+            }
+            let mut buf = Vec::new();
+            original.snapshot_state_into(&mut buf);
+            // Restore into a freshly built aggregator for the same round.
+            let mut restored = ShardAggregator::for_round(&spec, eps()).unwrap();
+            let mut pos = 0;
+            restored.restore_state(&buf, &mut pos).unwrap();
+            assert_eq!(pos, buf.len(), "{}: snapshot fully consumed", spec.name());
+            assert_eq!(
+                restored,
+                original,
+                "{}: restored state differs",
+                spec.name()
+            );
+            // The restored aggregator keeps evolving identically.
+            original.absorb(&reports[0]).unwrap();
+            restored.absorb(&reports[0]).unwrap();
+            assert_eq!(
+                restored,
+                original,
+                "{}: post-restore divergence",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn restore_state_rejects_forged_snapshots() {
+        // Snapshot a GRR length round, then try to load it into rounds and
+        // states it does not describe.
+        let mut grr = ShardAggregator::for_round(&length_spec(), eps()).unwrap();
+        grr.absorb(&Report::Length(2)).unwrap();
+        let mut grr_snap = Vec::new();
+        grr.snapshot_state_into(&mut grr_snap);
+
+        // Wrong round kind.
+        let mut expand = ShardAggregator::for_round(&expand_spec(3), eps()).unwrap();
+        assert!(expand.restore_state(&grr_snap, &mut 0).is_err());
+        // Wrong length oracle.
+        let mut oue = ShardAggregator::for_round(&oracle_spec(LengthOracle::Oue), eps()).unwrap();
+        assert!(oue.restore_state(&grr_snap, &mut 0).is_err());
+        // Declared reports disagreeing with the oracle's total.
+        let mut forged = grr_snap.clone();
+        forged[0] = 9; // reports varint
+        let mut fresh = ShardAggregator::for_round(&length_spec(), eps()).unwrap();
+        assert!(fresh.restore_state(&forged, &mut 0).is_err());
+        // Truncation anywhere is refused.
+        for cut in 0..grr_snap.len() {
+            let mut fresh = ShardAggregator::for_round(&length_spec(), eps()).unwrap();
+            assert!(
+                fresh.restore_state(&grr_snap[..cut], &mut 0).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+
+        // An expand snapshot for a different candidate table (same size) is
+        // rejected by the generation check.
+        let table_a = RoundSpec::Expand {
+            audience: Audience::chunk(GroupId::Pc, 0, 1),
+            level: 1,
+            candidates: std::sync::Arc::new(CandidateTable::parse_rows(&["a", "b"]).unwrap()),
+        };
+        let table_b = RoundSpec::Expand {
+            audience: Audience::chunk(GroupId::Pc, 0, 1),
+            level: 1,
+            candidates: std::sync::Arc::new(CandidateTable::parse_rows(&["a", "c"]).unwrap()),
+        };
+        let mut a = ShardAggregator::for_round(&table_a, eps()).unwrap();
+        a.absorb(&Report::Expand(1)).unwrap();
+        let mut snap = Vec::new();
+        a.snapshot_state_into(&mut snap);
+        let mut b = ShardAggregator::for_round(&table_b, eps()).unwrap();
+        let err = b.restore_state(&snap, &mut 0).unwrap_err();
+        assert!(
+            err.to_string().contains("generation"),
+            "expected generation mismatch, got: {err}"
+        );
     }
 }

@@ -67,6 +67,14 @@ pub(crate) const TAG_LENGTH_PIECEWISE: u8 = 0x08;
 /// Leading magic byte of a sealed frame (outside the report tag space, so
 /// a sealed frame can never be mistaken for a plain one).
 pub(crate) const FRAME_MAGIC: u8 = 0xF5;
+/// Leading magic byte of a routed frame (distinct from both the report tag
+/// space and the sealed-frame magic, and more than one bit away from
+/// `0xF5`, so no single bit flip turns one envelope into the other).
+pub(crate) const ROUTED_MAGIC: u8 = 0xF6;
+/// Routed-frame codec version this build speaks. Decoding rejects every
+/// other value with [`Error::UnsupportedVersion`], so the header can evolve
+/// without old services silently misparsing new frames.
+pub const ROUTED_VERSION: u8 = 1;
 
 /// Appends `v` as an LEB128 varint (7 value bits per byte, high bit =
 /// continuation).
@@ -363,6 +371,112 @@ pub fn unseal_frame(frame: &[u8]) -> Result<&[u8]> {
     Ok(body)
 }
 
+/// A decoded routed-frame header with its borrowed payload.
+///
+/// A multi-session service cannot tell frames apart by content — every
+/// session speaks the same report codec — so producers wrap each frame in
+/// a routing envelope naming the owning session and the round generation
+/// they are reporting into:
+///
+/// ```text
+/// RoutedFrame := 0xF6 u8(version) varint(session_id) varint(generation) payload
+/// ```
+///
+/// The payload is an ordinary frame (sealed `0xF5 …` or plain concatenated
+/// reports); the envelope adds routing only, no re-encoding. The
+/// `generation` tag is the session's current round identity — for trie
+/// rounds, the [`privshape_timeseries::CandidateTable::fingerprint`] of the
+/// round's candidate set — and lets the router refuse frames from
+/// producers still reporting into a previous round (see
+/// [`RoutedFrame::check_session`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutedFrame<'a> {
+    /// Id of the session the frame addresses.
+    pub session_id: u64,
+    /// Round-generation tag the producer stamped on the frame.
+    pub generation: u64,
+    /// The enclosed frame bytes (sealed or plain), untouched.
+    pub payload: &'a [u8],
+}
+
+impl<'a> RoutedFrame<'a> {
+    /// Decodes a routed frame's header, borrowing the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnsupportedVersion`] when the version byte is not
+    /// [`ROUTED_VERSION`]; [`Error::Protocol`] on a wrong magic byte or a
+    /// header truncated mid-field. Never panics on hostile input.
+    pub fn decode(frame: &'a [u8]) -> Result<Self> {
+        let mut pos = 0usize;
+        match frame.first() {
+            Some(&ROUTED_MAGIC) => pos += 1,
+            Some(&b) => {
+                return Err(Error::Protocol(format!(
+                    "routed frame must start with 0x{ROUTED_MAGIC:02x}, got 0x{b:02x}"
+                )));
+            }
+            None => return Err(Error::Protocol("routed frame is empty".into())),
+        }
+        let Some(&version) = frame.get(pos) else {
+            return Err(Error::Protocol(
+                "truncated routed frame: version byte missing".into(),
+            ));
+        };
+        pos += 1;
+        if version != ROUTED_VERSION {
+            return Err(Error::UnsupportedVersion { got: version });
+        }
+        let session_id = read_varint(frame, &mut pos)?;
+        let generation = read_varint(frame, &mut pos)?;
+        Ok(Self {
+            session_id,
+            generation,
+            payload: &frame[pos..],
+        })
+    }
+
+    /// Validates this frame against the router's view of its session.
+    ///
+    /// `current_generation` is what the router knows about the addressed
+    /// session id: `None` when no such session exists, `Some(g)` when its
+    /// open round expects generation `g`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownSession`] for an unrecognized id and
+    /// [`Error::StaleGeneration`] for a generation mismatch — the typed
+    /// rejections a stale or confused producer needs to resynchronize,
+    /// instead of its counts being silently absorbed into the wrong round.
+    pub fn check_session(&self, current_generation: Option<u64>) -> Result<()> {
+        let Some(expected) = current_generation else {
+            return Err(Error::UnknownSession {
+                session_id: self.session_id,
+            });
+        };
+        if self.generation != expected {
+            return Err(Error::StaleGeneration {
+                session_id: self.session_id,
+                expected,
+                got: self.generation,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Wraps a frame (sealed or plain) in a routing envelope for
+/// `session_id` at round generation `generation`.
+pub fn route_frame(session_id: u64, generation: u64, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(payload.len() + 22);
+    frame.push(ROUTED_MAGIC);
+    frame.push(ROUTED_VERSION);
+    put_varint(&mut frame, session_id);
+    put_varint(&mut frame, generation);
+    frame.extend_from_slice(payload);
+    frame
+}
+
 /// Reads the next `(user_id, report byte range)` entry of a sealed-frame
 /// body, advancing `*pos` past it. The report is structurally decoded to
 /// find its span but not returned — callers that only need to forward or
@@ -507,5 +621,68 @@ mod tests {
             assert!(unseal_frame(&frame[..cut]).is_err());
         }
         assert!(unseal_frame(&[]).is_err());
+    }
+
+    #[test]
+    fn routed_frames_round_trip_sealed_and_plain() {
+        let sealed = seal_frame(&[(3, Report::Length(4))]);
+        let routed = route_frame(42, 0xDEAD_BEEF, &sealed);
+        let decoded = RoutedFrame::decode(&routed).unwrap();
+        assert_eq!(decoded.session_id, 42);
+        assert_eq!(decoded.generation, 0xDEAD_BEEF);
+        assert_eq!(decoded.payload, &sealed[..]);
+        unseal_frame(decoded.payload).unwrap();
+
+        let plain = Report::Length(9).encode();
+        let routed = route_frame(u64::MAX, 0, &plain);
+        let decoded = RoutedFrame::decode(&routed).unwrap();
+        assert_eq!(decoded.session_id, u64::MAX);
+        assert_eq!(decoded.payload, &plain[..]);
+
+        // Empty payloads are structurally fine; rejecting them is the
+        // ingest tier's call, not the codec's.
+        assert!(RoutedFrame::decode(&route_frame(0, 0, &[])).is_ok());
+    }
+
+    #[test]
+    fn routed_frame_rejects_bad_headers() {
+        let routed = route_frame(7, 11, &Report::Expand(1).encode());
+        // Wrong magic (a sealed frame is not a routed frame).
+        let sealed = seal_frame(&[(0, Report::Length(1))]);
+        assert!(matches!(
+            RoutedFrame::decode(&sealed),
+            Err(Error::Protocol(_))
+        ));
+        assert!(matches!(RoutedFrame::decode(&[]), Err(Error::Protocol(_))));
+        // Unknown version byte is a typed rejection.
+        let mut bad = routed.clone();
+        bad[1] = 2;
+        assert!(matches!(
+            RoutedFrame::decode(&bad),
+            Err(Error::UnsupportedVersion { got: 2 })
+        ));
+        // Header truncations.
+        for cut in 0..4 {
+            assert!(RoutedFrame::decode(&routed[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn check_session_produces_typed_rejections() {
+        let routed = route_frame(5, 100, &[]);
+        let decoded = RoutedFrame::decode(&routed).unwrap();
+        assert!(decoded.check_session(Some(100)).is_ok());
+        assert!(matches!(
+            decoded.check_session(None),
+            Err(Error::UnknownSession { session_id: 5 })
+        ));
+        assert!(matches!(
+            decoded.check_session(Some(101)),
+            Err(Error::StaleGeneration {
+                session_id: 5,
+                expected: 101,
+                got: 100,
+            })
+        ));
     }
 }

@@ -4,7 +4,9 @@
 //! silently wrong report.
 
 use privshape_ldp::OueReport;
-use privshape_protocol::Report;
+use privshape_protocol::{
+    route_frame, seal_frame, unseal_frame, Error, Report, RoutedFrame, ROUTED_VERSION,
+};
 use proptest::prelude::*;
 
 /// Arbitrary valid reports, covering every variant. OUE bit sets are built
@@ -87,6 +89,89 @@ proptest! {
                 prop_assert_eq!(again, decoded);
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Routed envelopes round trip: session id, generation, and payload
+    /// come back exactly, for arbitrary payload bytes.
+    #[test]
+    fn routed_envelope_round_trips(
+        session_id in any::<u64>(),
+        generation in any::<u64>(),
+        payload in prop::collection::vec(0u8..=255, 0..256),
+    ) {
+        let envelope = route_frame(session_id, generation, &payload);
+        let routed = RoutedFrame::decode(&envelope).unwrap();
+        prop_assert_eq!(routed.session_id, session_id);
+        prop_assert_eq!(routed.generation, generation);
+        prop_assert_eq!(routed.payload, &payload[..]);
+    }
+
+    /// Every strict prefix of a routed envelope is rejected somewhere in
+    /// the stack: header truncations fail `RoutedFrame::decode`, and
+    /// payload truncations survive routing (the payload is the remainder
+    /// of the buffer) only to fail the sealed frame's declared length or
+    /// checksum — a shortened frame can never reach the aggregator.
+    #[test]
+    fn routed_truncations_are_rejected(
+        session_id in any::<u64>(),
+        generation in any::<u64>(),
+        reports in prop::collection::vec(report_strategy(), 1..8),
+    ) {
+        let entries: Vec<(usize, Report)> =
+            reports.into_iter().enumerate().collect();
+        let envelope = route_frame(session_id, generation, &seal_frame(&entries));
+        for cut in 0..envelope.len() {
+            let rejected = match RoutedFrame::decode(&envelope[..cut]) {
+                Err(_) => true,
+                Ok(routed) => unseal_frame(routed.payload).is_err(),
+            };
+            prop_assert!(rejected, "prefix of {} bytes accepted", cut);
+        }
+    }
+
+    /// Any version byte this build does not speak is a typed
+    /// `UnsupportedVersion` error carrying the offending byte.
+    #[test]
+    fn routed_wrong_versions_are_typed_errors(
+        session_id in any::<u64>(),
+        generation in any::<u64>(),
+        offset in 1u8..=255,
+    ) {
+        let version = ROUTED_VERSION.wrapping_add(offset);
+        let mut envelope = route_frame(session_id, generation, b"payload");
+        envelope[1] = version;
+        prop_assert!(matches!(
+            RoutedFrame::decode(&envelope),
+            Err(Error::UnsupportedVersion { got }) if got == version
+        ));
+    }
+
+    /// Session validation is typed: an unknown session (the router knows
+    /// no generation for the id) and a stale generation both reject with
+    /// the frame's identifiers in the error, never a silent absorb.
+    #[test]
+    fn routed_session_checks_are_typed_errors(
+        session_id in any::<u64>(),
+        generation in any::<u64>(),
+        delta in 1u64..=u64::MAX,
+    ) {
+        let envelope = route_frame(session_id, generation, b"x");
+        let routed = RoutedFrame::decode(&envelope).unwrap();
+        prop_assert!(routed.check_session(Some(generation)).is_ok());
+        prop_assert!(matches!(
+            routed.check_session(None),
+            Err(Error::UnknownSession { session_id: s }) if s == session_id
+        ));
+        let other = generation.wrapping_add(delta);
+        prop_assert!(matches!(
+            routed.check_session(Some(other)),
+            Err(Error::StaleGeneration { session_id: s, expected, got })
+                if s == session_id && expected == other && got == generation
+        ));
     }
 }
 

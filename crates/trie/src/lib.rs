@@ -27,4 +27,4 @@ mod bigram;
 mod trie;
 
 pub use bigram::BigramSet;
-pub use trie::{NodeId, ShapeTrie, TrieError};
+pub use trie::{NodeDump, NodeId, ShapeTrie, TrieDump, TrieError};

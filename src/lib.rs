@@ -12,6 +12,8 @@
 //! * [`privshape_distance`] — DTW / SED / Euclidean / Hausdorff;
 //! * [`privshape_ldp`] — GRR / OUE / EM / Piecewise Mechanism;
 //! * [`privshape_trie`] — the candidate shape trie;
+//! * [`privshape_service`] — the multi-session aggregation service
+//!   (admission, frame routing, crash-safe snapshot/restore);
 //! * [`privshape_datasets`] — synthetic Symbols/Trace/trigonometric data;
 //! * [`privshape_patternldp`] — the PatternLDP comparison baseline;
 //! * [`privshape_eval`] — KMeans, KShape, random forest, ARI, accuracy.
@@ -23,5 +25,6 @@ pub use privshape_eval;
 pub use privshape_ldp;
 pub use privshape_patternldp;
 pub use privshape_protocol;
+pub use privshape_service;
 pub use privshape_timeseries;
 pub use privshape_trie;
