@@ -18,6 +18,7 @@ use privshape::protocol::{RoundSpec, Session};
 use privshape::{PrivShapeConfig, SimulatedFleet};
 use privshape_bench::ExpCtx;
 use privshape_datasets::{generate_symbols_like, SymbolsLikeConfig};
+use privshape_distance::ScanStats;
 use privshape_ldp::Epsilon;
 use privshape_timeseries::SaxParams;
 use std::collections::BTreeMap;
@@ -29,6 +30,31 @@ struct StageStats {
     rounds: usize,
     reports: usize,
     secs: f64,
+    /// Scorer counters attributed to this stage (drained from the fleet's
+    /// worker workspaces after each round).
+    scan: ScanStats,
+}
+
+/// `Option<f64>`-valued ratio as a JSON literal (`null` when undefined).
+fn json_ratio(r: Option<f64>) -> String {
+    r.map_or_else(|| "null".into(), |v| format!("{v:.4}"))
+}
+
+/// The scan-counter object serialized per stage and per sweep point.
+fn json_scan(s: &ScanStats) -> String {
+    format!(
+        "{{\"rows\": {}, \"lane_rows\": {}, \"lane_batches\": {}, \
+         \"lane_occupancy\": {}, \"lane_coverage\": {}, \
+         \"lb_checked\": {}, \"lb_pruned\": {}, \"lb_hit_rate\": {}}}",
+        s.rows,
+        s.lane_rows,
+        s.lane_batches,
+        json_ratio(s.lane_occupancy()),
+        json_ratio(s.lane_coverage()),
+        s.lb_checked,
+        s.lb_pruned,
+        json_ratio(s.lb_hit_rate()),
+    )
 }
 
 /// One sweep point: a full session at a given fleet size / candidate cap.
@@ -46,6 +72,10 @@ struct SweepPoint {
     /// Candidate rows broadcast per expand level (`level → rows`): the
     /// prefix-sharing opportunity at each depth.
     level_candidates: BTreeMap<usize, usize>,
+    /// Whole-session scan counters (sum of the per-stage ones).
+    scan: ScanStats,
+    /// Whether the session ran the labeled refine stage (argmin + bounds).
+    labeled: bool,
 }
 
 /// JSON-safe stage key (`refine (unlabeled)` → `refine`).
@@ -57,7 +87,7 @@ fn stage_key(name: &'static str) -> &'static str {
     }
 }
 
-fn run_point(users: usize, k: usize, eps: f64, seed: u64, deep: bool) -> SweepPoint {
+fn run_point(users: usize, k: usize, eps: f64, seed: u64, deep: bool, labeled: bool) -> SweepPoint {
     let (w, t, _) = privshape_bench::symbols_settings();
     let w = if deep { w * 2 } else { w };
     let data = generate_symbols_like(&SymbolsLikeConfig {
@@ -76,8 +106,16 @@ fn run_point(users: usize, k: usize, eps: f64, seed: u64, deep: bool) -> SweepPo
     let max_candidates = config.c * config.k;
 
     let started = Instant::now();
-    let mut session = Session::privshape(config, n).expect("valid session");
-    let mut fleet = SimulatedFleet::new(data.series(), None, session.params(), 0);
+    // The labeled variant runs the labeled refine stage, whose argmin scan
+    // is where the envelope lower bounds fire.
+    let mut session = if labeled {
+        let n_classes = data.n_classes().expect("generator labels its classes");
+        Session::privshape_labeled(config, n, n_classes).expect("valid session")
+    } else {
+        Session::privshape(config, n).expect("valid session")
+    };
+    let labels = labeled.then(|| data.labels().expect("labeled dataset").to_vec());
+    let mut fleet = SimulatedFleet::new(data.series(), labels.as_deref(), session.params(), 0);
     let enroll_secs = started.elapsed().as_secs_f64();
 
     let mut stages: BTreeMap<&'static str, StageStats> = BTreeMap::new();
@@ -99,10 +137,19 @@ fn run_point(users: usize, k: usize, eps: f64, seed: u64, deep: bool) -> SweepPo
         entry.rounds += 1;
         entry.reports += batch.len();
         entry.secs += answered_secs;
+        entry.scan.merge(&fleet.take_scan_stats());
         reports += batch.len();
     }
-    session.finish().expect("session complete");
+    if labeled {
+        session.finish_labeled().expect("session complete");
+    } else {
+        session.finish().expect("session complete");
+    }
     let loop_secs = loop_started.elapsed().as_secs_f64();
+    let mut scan = ScanStats::default();
+    for s in stages.values() {
+        scan.merge(&s.scan);
+    }
 
     SweepPoint {
         users: n,
@@ -114,6 +161,8 @@ fn run_point(users: usize, k: usize, eps: f64, seed: u64, deep: bool) -> SweepPo
         reports,
         stages,
         level_candidates,
+        scan,
+        labeled,
     }
 }
 
@@ -125,40 +174,80 @@ fn main() {
     let ks = [2usize, 6];
 
     let mut points = Vec::new();
-    println!("== scaling smoke (max users={}, eps={eps}) ==", ctx.users);
     println!(
-        "{:>8} {:>4} {:>6} {:>6} {:>7} {:>10} {:>12} {:>14}",
-        "users", "k", "cands", "deep", "levels", "reports", "loop secs", "reports/sec"
+        "== scaling smoke (max users={}, eps={eps}, simd={}) ==",
+        ctx.users,
+        privshape_distance::simd_enabled()
     );
-    let mut grid: Vec<(usize, usize, bool)> = Vec::new();
+    println!(
+        "{:>8} {:>4} {:>6} {:>6} {:>6} {:>7} {:>10} {:>12} {:>14} {:>6} {:>6}",
+        "users",
+        "k",
+        "cands",
+        "deep",
+        "lbl",
+        "levels",
+        "reports",
+        "loop secs",
+        "reports/sec",
+        "lane%",
+        "lb%"
+    );
+    let mut grid: Vec<(usize, usize, bool, bool)> = Vec::new();
     for &users in &fleet_sizes {
         for &k in &ks {
-            grid.push((users, k, false));
+            grid.push((users, k, false, false));
         }
     }
     // The deep-level point: largest fleet, heaviest candidate pressure,
     // doubled SAX word ⇒ deeper trie levels with more shared prefix per
     // sibling batch.
-    grid.push((ctx.users, 6, true));
-    for (users, k, deep) in grid {
-        let p = run_point(users, k, eps, ctx.seed, deep);
+    grid.push((ctx.users, 6, true, false));
+    // The labeled point: same shape, but the labeled refine stage runs the
+    // early-abandoned argmin where the envelope lower bounds fire.
+    grid.push((ctx.users, 6, true, true));
+    for (users, k, deep, labeled) in grid {
+        let p = run_point(users, k, eps, ctx.seed, deep, labeled);
         let rps = p.reports as f64 / p.loop_secs.max(1e-9);
+        let pct = |r: Option<f64>| r.map_or_else(|| "-".into(), |v| format!("{:.0}", v * 100.0));
         println!(
-            "{:>8} {:>4} {:>6} {:>6} {:>7} {:>10} {:>12.3} {:>14.0}",
+            "{:>8} {:>4} {:>6} {:>6} {:>6} {:>7} {:>10} {:>12.3} {:>14.0} {:>6} {:>6}",
             p.users,
             p.k,
             p.max_candidates,
             p.deep,
+            p.labeled,
             p.level_candidates.len(),
             p.reports,
             p.loop_secs,
-            rps
+            rps,
+            pct(p.scan.lane_coverage()),
+            pct(p.scan.lb_hit_rate()),
         );
+        if privshape_distance::simd_enabled() {
+            if let Some(cov) = p.scan.lane_coverage() {
+                if cov < 0.5 {
+                    println!(
+                        "    note: lane coverage {:.0}% (users={}, k={}, deep={}) — \
+                         most sibling batches were too small (or shared too little \
+                         prefix) to fill {}-wide lanes, so those rows ran scalar",
+                        cov * 100.0,
+                        p.users,
+                        p.k,
+                        p.deep,
+                        ScanStats::LANE_WIDTH
+                    );
+                }
+            }
+        }
         points.push(p);
     }
 
     // Hand-rolled JSON (the workspace is offline — no serde).
-    let mut json = String::from("{\n  \"sweeps\": [\n");
+    let mut json = format!(
+        "{{\n  \"simd\": {},\n  \"sweeps\": [\n",
+        privshape_distance::simd_enabled()
+    );
     for (i, p) in points.iter().enumerate() {
         let rps = p.reports as f64 / p.loop_secs.max(1e-9);
         let levels: Vec<String> = p
@@ -167,30 +256,34 @@ fn main() {
             .map(|(level, rows)| format!("[{level}, {rows}]"))
             .collect();
         json.push_str(&format!(
-            "    {{\n      \"users\": {}, \"k\": {}, \"max_candidates\": {}, \"deep\": {},\n      \
+            "    {{\n      \"users\": {}, \"k\": {}, \"max_candidates\": {}, \"deep\": {}, \
+             \"labeled\": {},\n      \
              \"enroll_secs\": {:.6}, \"round_loop_secs\": {:.6},\n      \
              \"reports\": {}, \"reports_per_sec\": {:.1},\n      \
-             \"level_candidates\": [{}],\n      \"stages\": {{\n",
+             \"level_candidates\": [{}],\n      \"scan\": {},\n      \"stages\": {{\n",
             p.users,
             p.k,
             p.max_candidates,
             p.deep,
+            p.labeled,
             p.enroll_secs,
             p.loop_secs,
             p.reports,
             rps,
-            levels.join(", ")
+            levels.join(", "),
+            json_scan(&p.scan)
         ));
         let n_stages = p.stages.len();
         for (j, (stage, s)) in p.stages.iter().enumerate() {
             let stage_rps = s.reports as f64 / s.secs.max(1e-9);
             json.push_str(&format!(
                 "        \"{stage}\": {{\"rounds\": {}, \"reports\": {}, \
-                 \"secs\": {:.6}, \"reports_per_sec\": {:.1}}}{}\n",
+                 \"secs\": {:.6}, \"reports_per_sec\": {:.1}, \"scan\": {}}}{}\n",
                 s.rounds,
                 s.reports,
                 s.secs,
                 stage_rps,
+                json_scan(&s.scan),
                 if j + 1 < n_stages { "," } else { "" }
             ));
         }

@@ -255,7 +255,16 @@ pub fn scaling_metrics(doc: &Json) -> Metrics {
             continue;
         };
         let deep = matches!(point.get("deep"), Some(Json::Bool(true)));
-        let suffix = if deep { ".deep" } else { "" };
+        let labeled = matches!(point.get("labeled"), Some(Json::Bool(true)));
+        // `deep` and `labeled` are part of the metric identity: the deep
+        // labeled and unlabeled points share users/k, and duplicate names
+        // would pair both baselines against one fresh value.
+        let suffix = match (deep, labeled) {
+            (true, true) => ".deep.labeled",
+            (true, false) => ".deep",
+            (false, true) => ".labeled",
+            (false, false) => "",
+        };
         out.push((
             format!("scaling.u{users}.k{k}{suffix}.reports_per_sec"),
             rps,
@@ -517,13 +526,15 @@ mod tests {
         let scaling = Json::parse(
             r#"{"sweeps": [
                 {"users": 600, "k": 2, "deep": false, "reports_per_sec": 5.0},
-                {"users": 600, "k": 6, "deep": true, "reports_per_sec": 7.0}
+                {"users": 600, "k": 6, "deep": true, "reports_per_sec": 7.0},
+                {"users": 600, "k": 6, "deep": true, "labeled": true, "reports_per_sec": 9.0}
             ]}"#,
         )
         .unwrap();
         let m = scaling_metrics(&scaling);
         assert_eq!(m[0].0, "scaling.u600.k2.reports_per_sec");
         assert_eq!(m[1].0, "scaling.u600.k6.deep.reports_per_sec");
+        assert_eq!(m[2].0, "scaling.u600.k6.deep.labeled.reports_per_sec");
         let streaming = Json::parse(
             r#"{"points": [{"users": 600, "serial_reports_per_sec": 10.0,
                 "streaming_reports_per_sec": 25.0, "speedup": 2.5}]}"#,

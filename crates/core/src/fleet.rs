@@ -8,7 +8,7 @@
 //! `baseline.rs` only ever see [`RoundSpec`]s and [`Report`]s.
 
 use crate::par;
-use privshape_distance::DistanceWorkspace;
+use privshape_distance::{DistanceWorkspace, ScanStats};
 use privshape_protocol::{
     GroupAssignment, ProtocolParams, Report, Result, RoundSpec, Session, ShardAggregator,
     UserClient,
@@ -72,6 +72,28 @@ impl SimulatedFleet {
     /// Number of enrolled clients.
     pub fn len(&self) -> usize {
         self.clients.len()
+    }
+
+    /// Scan counters accumulated across every worker workspace since the
+    /// fleet was built (or since [`SimulatedFleet::take_scan_stats`]):
+    /// rows scored by the table scorers, lane-kernel usage, and
+    /// lower-bound prunes. Purely observational.
+    pub fn scan_stats(&self) -> ScanStats {
+        let mut total = ScanStats::default();
+        for worker in &self.workers {
+            total.merge(&worker.ws.stats());
+        }
+        total
+    }
+
+    /// Returns the merged scan counters and resets every worker's to zero,
+    /// so callers can attribute counters to a protocol stage or round.
+    pub fn take_scan_stats(&mut self) -> ScanStats {
+        let mut total = ScanStats::default();
+        for worker in &mut self.workers {
+            total.merge(&worker.ws.take_stats());
+        }
+        total
     }
 
     /// Whether the fleet is empty.

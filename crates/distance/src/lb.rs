@@ -1,0 +1,168 @@
+//! Cheap admissible lower bounds on the symbol domain (LB_Keogh style).
+//!
+//! The candidate tables broadcast by the trie carry precomputed envelope
+//! columns ([`CandidateTable::envelope`], [`CandidateTable::row_mask`]):
+//! each row's lowest/highest symbol and symbol set. Against a fixed `own`
+//! sequence, those columns turn into **O(1)-per-row lower bounds** on the
+//! true elastic distance — evaluated before any dynamic-programming work,
+//! so an argmin scan can reject a row (and, with prefix sharing, every
+//! sibling of a doomed subtree, each at O(1)) without touching its DP.
+//!
+//! # Admissibility
+//!
+//! * **DTW** ([`DtwEnvelopeBound`]) — every element of `own` is aligned to
+//!   at least one candidate element, and its local cost `|own_j − c|` is
+//!   at least the gap from `own_j` to the candidate's symbol interval
+//!   `[lo, hi]`. Summing those gaps over `own` never exceeds the total
+//!   cost along the warping path, so `Σ_j gap(own_j, [lo, hi]) ≤ DTW`.
+//!   All quantities are sums of integer alphabet-index differences —
+//!   exactly representable in `f64`, so the comparison is exact.
+//! * **SED** ([`SedEnvelopeBound`]) — any edit script must (a) bridge the
+//!   length difference, one insertion/deletion each, and (b) rewrite or
+//!   delete every `own` position holding a symbol the candidate does not
+//!   contain at all, one edit each — and those edits are distinct per
+//!   position. Hence `max(|m − l|, #own positions with symbol ∉
+//!   candidate) ≤ SED`.
+//!
+//! Bounds are *lower* bounds only — rows they keep still run the full DP,
+//! so results are bit-identical to a scan without bounds (pinned by the
+//! admissibility property tests). Both profiles are built once per scan in
+//! O(alphabet + |own|).
+
+use privshape_timeseries::{Symbol, MAX_ALPHABET};
+
+/// Per-`own` profile for the O(1) DTW envelope bound.
+///
+/// Precomputes, for every alphabet index `s`, the total gap of `own`
+/// below and above `s`, so `bound(lo, hi)` is two table lookups and one
+/// addition.
+#[derive(Debug, Clone)]
+pub struct DtwEnvelopeBound {
+    /// `below[s] = Σ_j max(0, s − own_j)`.
+    below: [f64; MAX_ALPHABET],
+    /// `above[s] = Σ_j max(0, own_j − s)`.
+    above: [f64; MAX_ALPHABET],
+}
+
+impl DtwEnvelopeBound {
+    /// Builds the profile for `own` given as alphabet indices (the
+    /// workspace's numeric view). O(alphabet + |own|).
+    pub fn new(own: &[f64]) -> Self {
+        let mut cnt = [0u64; MAX_ALPHABET];
+        for &x in own {
+            cnt[x as usize] += 1;
+        }
+        // below[s + 1] − below[s] = #{j : own_j ≤ s}; integer recurrences
+        // evaluated in u64, converted once — every value is exact in f64.
+        let mut below = [0.0; MAX_ALPHABET];
+        let (mut acc, mut le) = (0u64, 0u64);
+        for (s, slot) in below.iter_mut().enumerate() {
+            *slot = acc as f64;
+            le += cnt[s];
+            acc += le;
+        }
+        let mut above = [0.0; MAX_ALPHABET];
+        let (mut acc, mut ge) = (0u64, 0u64);
+        for (s, slot) in above.iter_mut().enumerate().rev() {
+            *slot = acc as f64;
+            ge += cnt[s];
+            acc += ge;
+        }
+        Self { below, above }
+    }
+
+    /// The admissible bound against a candidate whose symbols all lie in
+    /// `[lo, hi]`: `Σ_j gap(own_j, [lo, hi]) ≤ DTW(own, candidate)`.
+    #[inline]
+    pub fn bound(&self, lo: Symbol, hi: Symbol) -> f64 {
+        self.below[lo.index()] + self.above[hi.index()]
+    }
+}
+
+/// Per-`own` profile for the O(1) SED envelope bound.
+#[derive(Debug, Clone)]
+pub struct SedEnvelopeBound {
+    /// Occurrence count of each symbol in `own`.
+    hist: [u64; MAX_ALPHABET],
+    /// `own.len()`.
+    m: usize,
+}
+
+impl SedEnvelopeBound {
+    /// Builds the profile for `own`. O(|own|).
+    pub fn new(own: &[Symbol]) -> Self {
+        let mut hist = [0u64; MAX_ALPHABET];
+        for &s in own {
+            hist[s.index()] += 1;
+        }
+        Self { hist, m: own.len() }
+    }
+
+    /// The admissible bound against a candidate of length `cand_len`
+    /// whose symbol set is `mask` (bit `s` ⇔ contains symbol index `s`):
+    /// `max(|m − l|, #own positions whose symbol ∉ mask) ≤ SED`.
+    #[inline]
+    pub fn bound(&self, cand_len: usize, mask: u32) -> f64 {
+        let mut present = 0u64;
+        let mut mask = mask;
+        while mask != 0 {
+            present += self.hist[mask.trailing_zeros() as usize];
+            mask &= mask - 1;
+        }
+        let missing = self.m as u64 - present;
+        (self.m.abs_diff(cand_len) as u64).max(missing) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DistanceKind;
+    use privshape_timeseries::{CandidateTable, SymbolSeq};
+
+    #[test]
+    fn dtw_bound_is_admissible_and_tight_on_disjoint_ranges() {
+        let own = SymbolSeq::parse("aabb").unwrap();
+        let idx: Vec<f64> = own.as_indices();
+        let lb = DtwEnvelopeBound::new(&idx);
+        let t = CandidateTable::parse_rows(&["dd", "ab", "dzd"]).unwrap();
+        for i in 0..t.len() {
+            let (lo, hi) = t.envelope(i).unwrap();
+            let d = DistanceKind::Dtw.dist(&own, &t.seq(i));
+            assert!(lb.bound(lo, hi) <= d, "row {i}: {} > {d}", lb.bound(lo, hi));
+        }
+        // "dd" is entirely above own's range: every own element gaps to 'd'.
+        let (lo, hi) = t.envelope(0).unwrap();
+        assert_eq!(lb.bound(lo, hi), (3 + 3 + 2 + 2) as f64);
+        // A candidate covering own's range bounds to zero.
+        let (lo, hi) = t.envelope(1).unwrap();
+        assert_eq!(lb.bound(lo, hi), 0.0);
+    }
+
+    #[test]
+    fn sed_bound_is_admissible() {
+        let own = SymbolSeq::parse("abca").unwrap();
+        let lb = SedEnvelopeBound::new(own.symbols());
+        let t = CandidateTable::parse_rows(&["dd", "abca", "a", "zzzzzzzz"]).unwrap();
+        for i in 0..t.len() {
+            let d = DistanceKind::Sed.dist(&own, &t.seq(i));
+            let b = lb.bound(t.row(i).len(), t.row_mask(i));
+            assert!(b <= d, "row {i}: {b} > {d}");
+        }
+        // "dd": all four own symbols are absent from the candidate.
+        assert_eq!(lb.bound(2, t.row_mask(0)), 4.0);
+        // Identical sequence bounds to zero.
+        assert_eq!(lb.bound(4, t.row_mask(1)), 0.0);
+        // Length dominates when symbols all match.
+        assert_eq!(lb.bound(1, t.row_mask(2)), 3.0);
+    }
+
+    #[test]
+    fn empty_own_bounds_are_zero_or_length() {
+        let lb = DtwEnvelopeBound::new(&[]);
+        assert_eq!(lb.bound(Symbol::from_index(0), Symbol::from_index(25)), 0.0);
+        let slb = SedEnvelopeBound::new(&[]);
+        assert_eq!(slb.bound(3, 0b111), 3.0);
+        assert_eq!(slb.bound(0, 0), 0.0);
+    }
+}

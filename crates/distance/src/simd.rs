@@ -1,0 +1,683 @@
+//! Candidate-parallel lane kernels for the prefix-resumable table scorers
+//! (`--features simd`).
+//!
+//! Four consecutive table rows of equal length `l` that share their first
+//! `p` symbols also share the whole dynamic program above depth `p`: only
+//! their suffix rows differ. The kernels here advance those suffix rows
+//! for a *window* of four candidates at once, one lane per candidate:
+//!
+//! * **Sibling windows** (`p = l − 1`, the children of one trie node)
+//!   advance a single row. That path is fully register-resident: the
+//!   shared predecessor row is read once, each lane's running `left`
+//!   chain lives in a [`F64_LANES`]-wide array, and nothing is stored per
+//!   cell — only each lane's final cell ([`SiblingBlock::out`]) survives,
+//!   because the lanes never feed back into the shared DP stack.
+//! * **Deeper windows** (`p < l − 1`, cousins or unrelated same-length
+//!   rows) advance `l − p` rows through a lane-major ping-pong scratch
+//!   ([`SiblingBlock`]'s `rows`, cell `(j, lane)` at `j·LANES + lane`):
+//!   the first row broadcasts from the shared scalar row, middle rows
+//!   stream lane-major, and the final row stays in registers. Four
+//!   independent DP recurrences interleave, so the loop-carried `left`
+//!   dependency that serializes the scalar path runs four-wide.
+//!
+//! The caller (`prefix::dtw_batch_lanes` / `prefix::sed_batch_lanes`)
+//! decides per window whether the lane work `LANES · (l − p)` is worth it
+//! against the scalar resume work, so these kernels never see a window
+//! that was cheaper to do serially.
+//!
+//! # Exactness
+//!
+//! Each lane computes *exactly* the scalar recurrence of
+//! `prefix::dtw_extend` / `prefix::sed_extend` for its candidate — the
+//! same operands in the same order, lanes never mix — with two
+//! value-preserving rewrites:
+//!
+//! * where a predecessor value is shared across lanes (broadcast rows),
+//!   the shared `up.min(diag)` of DTW is hoisted out of the lane loop
+//!   (`min` is associative on totally ordered inputs, and every operand
+//!   here is a non-NaN, non-negative sum of absolute differences, so no
+//!   NaN or `−0.0` tie can make the grouping observable);
+//! * `min` is evaluated as `if a < b { a } else { b }` ([`fmin`]), which
+//!   agrees with `f64::min` everywhere except NaN operands and `±0.0`
+//!   ties — neither of which is reachable from this domain.
+//!
+//! Recomputing a candidate's row `d` from the shared row `p` instead of
+//! resuming it from its own deeper LCP is also value-preserving: a DP row
+//! is a pure function of `own` and the candidate prefix it represents, so
+//! *where* the computation restarts cannot change any cell. Interleaving
+//! independent scalar computations cannot change their IEEE-754 results
+//! either, so lane outputs are bit-identical to the scalar path (pinned
+//! by the crate's property tests, which compare against the flat
+//! `f64::min`-based scorer). The kernels are hand-unrolled over
+//! fixed-size arrays on stable Rust — no intrinsics — and the
+//! fixed-width, branch-free lane loops are what the autovectorizer turns
+//! into vector arithmetic.
+//!
+//! Two widths are provided: the `f64x4` kernels back the protocol's
+//! double-precision scorers, and an `f32x8` DTW kernel is available for
+//! single-precision engines (bit-identical to the equivalent `f32` scalar
+//! recurrence, *not* to the `f64` path — `f32` rounds differently).
+
+use privshape_timeseries::Symbol;
+
+/// Lane width of the `f64` kernels.
+pub const F64_LANES: usize = 4;
+
+/// Lane width of the `f32` kernel.
+pub const F32_LANES: usize = 8;
+
+/// Branchless minimum: identical in value to `f64::min` for non-NaN
+/// operands without `±0.0` ties (the only values the DP recurrences
+/// produce), but compiles to a single compare-select the autovectorizer
+/// maps straight onto vector-min instructions.
+#[inline(always)]
+fn fmin(a: f64, b: f64) -> f64 {
+    if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Lane state of one candidate window: the per-lane outputs, the
+/// lane-major row scratch for multi-row windows, and the gathered per-step
+/// lane symbols.
+///
+/// Owned by `DistanceWorkspace` so the batch loops reuse the buffers
+/// across windows, rows, and rounds; a warmed-up scorer allocates nothing
+/// here.
+#[derive(Debug, Clone, Default)]
+pub struct SiblingBlock {
+    /// Final DP cell per lane (the candidate's distance for DTW/SED).
+    out: [f64; F64_LANES],
+    /// Lane-major ping-pong scratch for multi-row windows: two halves of
+    /// `width · F64_LANES` cells each, cell `(j, lane)` at
+    /// `j · F64_LANES + lane`.
+    rows: Vec<f64>,
+    /// Per-step lane symbols of the current DTW window (alphabet indices
+    /// as `f64`), gathered by the batch driver.
+    pub(crate) syms_f64: Vec<[f64; F64_LANES]>,
+    /// Per-step lane symbols of the current SED window.
+    pub(crate) syms_sym: Vec<[Symbol; F64_LANES]>,
+}
+
+impl SiblingBlock {
+    /// Final DP cell per lane after a kernel call.
+    pub fn out(&self) -> &[f64; F64_LANES] {
+        &self.out
+    }
+}
+
+/// One DTW row for four lanes, register-resident, reading the *shared*
+/// predecessor row (`None` for depth 0). Returns each lane's final cell.
+fn dtw_last_row_lanes(
+    prev: Option<&[f64]>,
+    own: &[f64],
+    syms: &[f64; F64_LANES],
+) -> [f64; F64_LANES] {
+    debug_assert!(!own.is_empty(), "DTW needs a non-empty own sequence");
+    let mut left = [f64::INFINITY; F64_LANES];
+    match prev {
+        None => {
+            // Depth-0 row: cell (0, 0) starts the path; right neighbours
+            // only have a `left` predecessor (same as scalar `dtw_extend`
+            // with `i == 0`).
+            for (j, &x) in own.iter().enumerate() {
+                let mut v = [0.0; F64_LANES];
+                for lane in 0..F64_LANES {
+                    let cost = (syms[lane] - x).abs();
+                    v[lane] = if j == 0 { cost } else { cost + left[lane] };
+                }
+                left = v;
+            }
+        }
+        Some(prev) => {
+            debug_assert!(prev.len() >= own.len());
+            let mut diag = f64::INFINITY;
+            for (j, &x) in own.iter().enumerate() {
+                let up = prev[j];
+                // Shared across lanes; hoisting it out of the lane loop is
+                // value-preserving (see the module docs).
+                let base = fmin(up, diag);
+                let mut v = [0.0; F64_LANES];
+                for lane in 0..F64_LANES {
+                    let cost = (syms[lane] - x).abs();
+                    v[lane] = cost + fmin(base, left[lane]);
+                }
+                diag = up;
+                left = v;
+            }
+        }
+    }
+    left
+}
+
+/// One DTW row for four lanes reading the *shared* predecessor row,
+/// storing every cell lane-major into `cur` (the first row of a
+/// multi-row window).
+fn dtw_step0_store(cur: &mut [f64], prev: Option<&[f64]>, own: &[f64], syms: &[f64; F64_LANES]) {
+    let mut left = [f64::INFINITY; F64_LANES];
+    match prev {
+        None => {
+            for (j, &x) in own.iter().enumerate() {
+                let base = j * F64_LANES;
+                for lane in 0..F64_LANES {
+                    let cost = (syms[lane] - x).abs();
+                    let v = if j == 0 { cost } else { cost + left[lane] };
+                    cur[base + lane] = v;
+                    left[lane] = v;
+                }
+            }
+        }
+        Some(prev) => {
+            let mut diag = f64::INFINITY;
+            for (j, &x) in own.iter().enumerate() {
+                let up = prev[j];
+                let shared = fmin(up, diag);
+                let base = j * F64_LANES;
+                for lane in 0..F64_LANES {
+                    let cost = (syms[lane] - x).abs();
+                    let v = cost + fmin(shared, left[lane]);
+                    cur[base + lane] = v;
+                    left[lane] = v;
+                }
+                diag = up;
+            }
+        }
+    }
+}
+
+/// One DTW row for four lanes reading a *lane-major* predecessor row,
+/// storing every cell lane-major into `cur` (a middle row of a multi-row
+/// window). Per lane this is exactly the scalar `dtw_extend` recurrence —
+/// `up`/`diag` are per-lane here, so nothing is hoisted.
+fn dtw_step_store(cur: &mut [f64], prev: &[f64], own: &[f64], syms: &[f64; F64_LANES]) {
+    let mut left = [f64::INFINITY; F64_LANES];
+    let mut diag = [f64::INFINITY; F64_LANES];
+    for (j, &x) in own.iter().enumerate() {
+        let base = j * F64_LANES;
+        for lane in 0..F64_LANES {
+            let cost = (syms[lane] - x).abs();
+            let up = prev[base + lane];
+            let v = cost + fmin(fmin(up, left[lane]), diag[lane]);
+            cur[base + lane] = v;
+            diag[lane] = up;
+            left[lane] = v;
+        }
+    }
+}
+
+/// The final DTW row of a multi-row window: reads a lane-major
+/// predecessor row, keeps everything in registers, returns each lane's
+/// final cell.
+fn dtw_last_from_lanes(prev: &[f64], own: &[f64], syms: &[f64; F64_LANES]) -> [f64; F64_LANES] {
+    let mut left = [f64::INFINITY; F64_LANES];
+    let mut diag = [f64::INFINITY; F64_LANES];
+    for (j, &x) in own.iter().enumerate() {
+        let base = j * F64_LANES;
+        let mut v = [0.0; F64_LANES];
+        for lane in 0..F64_LANES {
+            let cost = (syms[lane] - x).abs();
+            let up = prev[base + lane];
+            v[lane] = cost + fmin(fmin(up, left[lane]), diag[lane]);
+            diag[lane] = up;
+        }
+        left = v;
+    }
+    left
+}
+
+/// Advances the final DTW row for four sibling candidates at once.
+///
+/// `prev` is the shared DP row of the common prefix (depth `l − 2`), or
+/// `None` when the candidates have length 1 (no predecessor row);
+/// `own` is the inner (column) dimension and must be non-empty;
+/// `syms[lane]` is `lane`'s distinguishing last symbol as an alphabet
+/// index.
+///
+/// Per lane this is exactly the scalar `dtw_extend` recurrence: the shared
+/// `up`/`diag` values broadcast from `prev`, only `left` is per-lane.
+pub fn dtw_last_row_f64x4(
+    block: &mut SiblingBlock,
+    prev: Option<&[f64]>,
+    own: &[f64],
+    syms: &[f64; F64_LANES],
+) {
+    block.out = dtw_last_row_lanes(prev, own, syms);
+}
+
+/// Advances a whole window of DTW suffix rows for four candidates at
+/// once: `block.syms_f64[s][lane]` is lane `lane`'s symbol at suffix step
+/// `s` (candidate depth `p + s`), `prev` is the shared DP row at depth
+/// `p − 1` (`None` when `p == 0`), and the window's length-`l` candidates
+/// contribute `l − p = block.syms_f64.len() ≥ 1` steps. Lane results land
+/// in [`SiblingBlock::out`].
+///
+/// Single-step windows (sibling runs) take the fully register-resident
+/// path; deeper windows ping-pong lane-major rows through the block's
+/// scratch, with the final row kept in registers.
+pub fn dtw_rows_f64x4(block: &mut SiblingBlock, prev: Option<&[f64]>, own: &[f64]) {
+    let steps = block.syms_f64.len();
+    debug_assert!(steps >= 1, "a window advances at least one row");
+    if steps == 1 {
+        block.out = dtw_last_row_lanes(prev, own, &block.syms_f64[0]);
+        return;
+    }
+    let lane_w = own.len() * F64_LANES;
+    if block.rows.len() < 2 * lane_w {
+        block.rows.resize(2 * lane_w, 0.0);
+    }
+    let (a, b) = block.rows.split_at_mut(lane_w);
+    let (mut cur, mut nxt) = (&mut a[..lane_w], &mut b[..lane_w]);
+    dtw_step0_store(cur, prev, own, &block.syms_f64[0]);
+    for syms in &block.syms_f64[1..steps - 1] {
+        dtw_step_store(nxt, cur, own, syms);
+        std::mem::swap(&mut cur, &mut nxt);
+    }
+    block.out = dtw_last_from_lanes(cur, own, &block.syms_f64[steps - 1]);
+}
+
+/// One SED row for four lanes, register-resident, reading the *shared*
+/// predecessor row. Returns each lane's final cell.
+fn sed_last_row_lanes(
+    prev: &[f64],
+    depth: usize,
+    own: &[Symbol],
+    syms: &[Symbol; F64_LANES],
+) -> [f64; F64_LANES] {
+    debug_assert!(depth >= 1);
+    debug_assert!(prev.len() > own.len());
+    let mut left = [depth as f64; F64_LANES];
+    for (j, &o) in own.iter().enumerate() {
+        let sub_base = prev[j];
+        let del = prev[j + 1] + 1.0;
+        let mut v = [0.0; F64_LANES];
+        for lane in 0..F64_LANES {
+            let sub = sub_base + if syms[lane] == o { 0.0 } else { 1.0 };
+            let ins = left[lane] + 1.0;
+            v[lane] = fmin(fmin(sub, del), ins);
+        }
+        left = v;
+    }
+    left
+}
+
+/// One SED row for four lanes reading the *shared* predecessor row,
+/// storing every cell lane-major into `cur`.
+fn sed_step0_store(
+    cur: &mut [f64],
+    prev: &[f64],
+    depth: usize,
+    own: &[Symbol],
+    syms: &[Symbol; F64_LANES],
+) {
+    let d = depth as f64;
+    let mut left = [d; F64_LANES];
+    cur[..F64_LANES].fill(d);
+    for (j, &o) in own.iter().enumerate() {
+        let sub_base = prev[j];
+        let del = prev[j + 1] + 1.0;
+        let base = (j + 1) * F64_LANES;
+        for lane in 0..F64_LANES {
+            let sub = sub_base + if syms[lane] == o { 0.0 } else { 1.0 };
+            let ins = left[lane] + 1.0;
+            let v = fmin(fmin(sub, del), ins);
+            cur[base + lane] = v;
+            left[lane] = v;
+        }
+    }
+}
+
+/// One SED row for four lanes reading a *lane-major* predecessor row,
+/// storing every cell lane-major into `cur`.
+fn sed_step_store(
+    cur: &mut [f64],
+    prev: &[f64],
+    depth: usize,
+    own: &[Symbol],
+    syms: &[Symbol; F64_LANES],
+) {
+    let d = depth as f64;
+    let mut left = [d; F64_LANES];
+    cur[..F64_LANES].fill(d);
+    for (j, &o) in own.iter().enumerate() {
+        let base = j * F64_LANES;
+        let up = (j + 1) * F64_LANES;
+        for lane in 0..F64_LANES {
+            let sub = prev[base + lane] + if syms[lane] == o { 0.0 } else { 1.0 };
+            let del = prev[up + lane] + 1.0;
+            let ins = left[lane] + 1.0;
+            let v = fmin(fmin(sub, del), ins);
+            cur[up + lane] = v;
+            left[lane] = v;
+        }
+    }
+}
+
+/// The final SED row of a multi-row window: reads a lane-major
+/// predecessor row, keeps everything in registers, returns each lane's
+/// final cell.
+fn sed_last_from_lanes(
+    prev: &[f64],
+    depth: usize,
+    own: &[Symbol],
+    syms: &[Symbol; F64_LANES],
+) -> [f64; F64_LANES] {
+    let mut left = [depth as f64; F64_LANES];
+    for (j, &o) in own.iter().enumerate() {
+        let base = j * F64_LANES;
+        let up = (j + 1) * F64_LANES;
+        let mut v = [0.0; F64_LANES];
+        for lane in 0..F64_LANES {
+            let sub = prev[base + lane] + if syms[lane] == o { 0.0 } else { 1.0 };
+            let del = prev[up + lane] + 1.0;
+            let ins = left[lane] + 1.0;
+            v[lane] = fmin(fmin(sub, del), ins);
+        }
+        left = v;
+    }
+    left
+}
+
+/// Advances the final SED (Levenshtein) row for four sibling candidates
+/// at once.
+///
+/// `prev` is the shared row of the common prefix (depth `l − 1`, width
+/// `own.len() + 1` — always present thanks to the depth-0 base row),
+/// `depth` is the candidates' length `l ≥ 1`, and `syms[lane]` is `lane`'s
+/// distinguishing last symbol. Per lane this is exactly the scalar
+/// `sed_extend` recurrence; values are integer-valued so exactness is
+/// immediate.
+pub fn sed_last_row_f64x4(
+    block: &mut SiblingBlock,
+    prev: &[f64],
+    depth: usize,
+    own: &[Symbol],
+    syms: &[Symbol; F64_LANES],
+) {
+    block.out = sed_last_row_lanes(prev, depth, own, syms);
+}
+
+/// Advances a whole window of SED suffix rows for four candidates at
+/// once: `block.syms_sym[s][lane]` is lane `lane`'s symbol at suffix step
+/// `s` (candidate depth `base_depth + 1 + s`), and `prev` is the shared
+/// DP row at depth `base_depth` (the depth-0 base row when
+/// `base_depth == 0`). Lane results land in [`SiblingBlock::out`].
+pub fn sed_rows_f64x4(block: &mut SiblingBlock, prev: &[f64], base_depth: usize, own: &[Symbol]) {
+    let steps = block.syms_sym.len();
+    debug_assert!(steps >= 1, "a window advances at least one row");
+    if steps == 1 {
+        block.out = sed_last_row_lanes(prev, base_depth + 1, own, &block.syms_sym[0]);
+        return;
+    }
+    let lane_w = (own.len() + 1) * F64_LANES;
+    if block.rows.len() < 2 * lane_w {
+        block.rows.resize(2 * lane_w, 0.0);
+    }
+    let (a, b) = block.rows.split_at_mut(lane_w);
+    let (mut cur, mut nxt) = (&mut a[..lane_w], &mut b[..lane_w]);
+    sed_step0_store(cur, prev, base_depth + 1, own, &block.syms_sym[0]);
+    for (s, syms) in block.syms_sym[1..steps - 1].iter().enumerate() {
+        sed_step_store(nxt, cur, base_depth + 2 + s, own, syms);
+        std::mem::swap(&mut cur, &mut nxt);
+    }
+    block.out = sed_last_from_lanes(cur, base_depth + steps, own, &block.syms_sym[steps - 1]);
+}
+
+/// Single-precision, eight-lane variant of [`dtw_last_row_f64x4`] for
+/// engines that run their DP in `f32`.
+///
+/// Returns each lane's final cell. Bit-identical to the equivalent scalar
+/// `f32` recurrence (each lane is that scalar op sequence); **not**
+/// interchangeable with the `f64` path, which rounds differently. The
+/// double-precision protocol scorers do not use it.
+pub fn dtw_last_row_f32x8(
+    prev: Option<&[f32]>,
+    own: &[f32],
+    syms: &[f32; F32_LANES],
+) -> [f32; F32_LANES] {
+    debug_assert!(!own.is_empty(), "DTW needs a non-empty own sequence");
+    #[inline(always)]
+    fn fmin32(a: f32, b: f32) -> f32 {
+        if a < b {
+            a
+        } else {
+            b
+        }
+    }
+    let mut left = [f32::INFINITY; F32_LANES];
+    match prev {
+        None => {
+            for (j, &x) in own.iter().enumerate() {
+                let mut v = [0.0f32; F32_LANES];
+                for lane in 0..F32_LANES {
+                    let cost = (syms[lane] - x).abs();
+                    v[lane] = if j == 0 { cost } else { cost + left[lane] };
+                }
+                left = v;
+            }
+        }
+        Some(prev) => {
+            debug_assert!(prev.len() >= own.len());
+            let mut diag = f32::INFINITY;
+            for (j, &x) in own.iter().enumerate() {
+                let up = prev[j];
+                let base = fmin32(up, diag);
+                let mut v = [0.0f32; F32_LANES];
+                for lane in 0..F32_LANES {
+                    let cost = (syms[lane] - x).abs();
+                    v[lane] = cost + fmin32(base, left[lane]);
+                }
+                diag = up;
+                left = v;
+            }
+        }
+    }
+    left
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar f64 reference: one DTW row, mirroring `prefix::dtw_extend`
+    /// (including its `f64::min` calls — the kernels' compare-select min
+    /// must agree with it on every reachable input).
+    fn dtw_row_scalar(prev: Option<&[f64]>, own: &[f64], sym: f64) -> Vec<f64> {
+        let mut row = Vec::with_capacity(own.len());
+        let mut left = f64::INFINITY;
+        match prev {
+            None => {
+                for (j, &x) in own.iter().enumerate() {
+                    let cost = (sym - x).abs();
+                    let v = if j == 0 { cost } else { cost + left };
+                    row.push(v);
+                    left = v;
+                }
+            }
+            Some(prev) => {
+                let mut diag = f64::INFINITY;
+                for (j, &x) in own.iter().enumerate() {
+                    let cost = (sym - x).abs();
+                    let up = prev[j];
+                    let v = cost + up.min(left).min(diag);
+                    diag = up;
+                    row.push(v);
+                    left = v;
+                }
+            }
+        }
+        row
+    }
+
+    #[test]
+    fn dtw_lanes_match_scalar_rows_cell_for_cell() {
+        let own = [2.0, 0.0, 3.0, 1.0, 4.0];
+        let prev = [1.0, 2.5, 0.5, 3.0, 2.0];
+        let syms = [0.0, 1.0, 3.0, 5.0];
+        let mut block = SiblingBlock::default();
+        for prev in [None, Some(&prev[..])] {
+            // Running the kernel on every own-prefix pins every cell of
+            // the full row: cell `p − 1` of the prefix-`p` run equals cell
+            // `p − 1` of the full run (the DP row is prefix-closed).
+            for p in 1..=own.len() {
+                let prev_p = prev.map(|q| &q[..p]);
+                dtw_last_row_f64x4(&mut block, prev_p, &own[..p], &syms);
+                for (lane, &sym) in syms.iter().enumerate() {
+                    let want = dtw_row_scalar(prev_p, &own[..p], sym);
+                    assert_eq!(block.out()[lane], want[p - 1], "lane {lane} prefix {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dtw_multi_row_window_matches_scalar_stack() {
+        // Four candidates sharing the 2-symbol prefix "ca" (indices 2, 0)
+        // with 3-step suffixes: the multi-row kernel must reproduce each
+        // lane's scalar `dtw_extend` chain exactly.
+        let own = [2.0, 0.0, 3.0, 1.0, 4.0, 2.0];
+        let m = own.len();
+        let shared = [2.0, 0.0];
+        let suffixes: [[f64; 3]; F64_LANES] = [
+            [0.0, 1.0, 2.0],
+            [3.0, 0.0, 1.0],
+            [1.0, 1.0, 1.0],
+            [2.0, 3.0, 0.0],
+        ];
+        // Shared rows 0..2 on a scalar stack.
+        let mut stack = Vec::new();
+        for (d, &sym) in shared.iter().enumerate() {
+            crate::prefix::dtw_extend(&mut stack, &own, d, sym);
+        }
+        let prev = stack[m..2 * m].to_vec();
+        let mut block = SiblingBlock::default();
+        block.syms_f64.clear();
+        for s in 0..3 {
+            let mut lane_syms = [0.0; F64_LANES];
+            for (lane, suffix) in suffixes.iter().enumerate() {
+                lane_syms[lane] = suffix[s];
+            }
+            block.syms_f64.push(lane_syms);
+        }
+        dtw_rows_f64x4(&mut block, Some(&prev), &own);
+        for (lane, suffix) in suffixes.iter().enumerate() {
+            let mut lane_stack = stack.clone();
+            for (s, &sym) in suffix.iter().enumerate() {
+                crate::prefix::dtw_extend(&mut lane_stack, &own, shared.len() + s, sym);
+            }
+            let want = lane_stack[(shared.len() + 2) * m + m - 1];
+            assert_eq!(block.out()[lane], want, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn sed_lanes_match_scalar_recurrence() {
+        use privshape_timeseries::SymbolSeq;
+        let own = SymbolSeq::parse("acbd").unwrap();
+        let own = own.symbols();
+        // prev = SED row of the shared prefix "ab" (depth 2) vs own.
+        let mut stack = Vec::new();
+        crate::prefix::sed_base(&mut stack, own.len());
+        let ab = SymbolSeq::parse("ab").unwrap();
+        for (d, &sym) in ab.symbols().iter().enumerate() {
+            crate::prefix::sed_extend(&mut stack, own, d + 1, sym);
+        }
+        let w = own.len() + 1;
+        let prev = stack[2 * w..3 * w].to_vec();
+        let syms_seq = SymbolSeq::parse("abcz").unwrap();
+        let syms: [Symbol; F64_LANES] = syms_seq.symbols().try_into().unwrap();
+        let mut block = SiblingBlock::default();
+        // Every own-prefix pins every cell of the depth-3 row (cell `p` of
+        // the prefix-`p` run is the row's cell `p`; `out` is its last).
+        for p in 1..=own.len() {
+            sed_last_row_f64x4(&mut block, &prev[..p + 1], 3, &own[..p], &syms);
+            for (lane, &sym) in syms.iter().enumerate() {
+                let mut lane_stack: Vec<f64> = Vec::new();
+                crate::prefix::sed_base(&mut lane_stack, p);
+                // Rebuild the prefix rows against the truncated own.
+                for (d, &s) in ab.symbols().iter().enumerate() {
+                    crate::prefix::sed_extend(&mut lane_stack, &own[..p], d + 1, s);
+                }
+                crate::prefix::sed_extend(&mut lane_stack, &own[..p], 3, sym);
+                let wp = p + 1;
+                let want = lane_stack[3 * wp + wp - 1];
+                assert_eq!(block.out()[lane], want, "lane {lane} prefix {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn sed_multi_row_window_matches_scalar_stack() {
+        use privshape_timeseries::SymbolSeq;
+        let own_seq = SymbolSeq::parse("acbdca").unwrap();
+        let own = own_seq.symbols();
+        let w = own.len() + 1;
+        // Shared prefix "cb" (depth 2); 3-step suffixes per lane.
+        let shared = SymbolSeq::parse("cb").unwrap();
+        let suffix_seqs = ["abc", "cab", "bbb", "dda"];
+        let mut stack = Vec::new();
+        crate::prefix::sed_base(&mut stack, own.len());
+        for (d, &sym) in shared.symbols().iter().enumerate() {
+            crate::prefix::sed_extend(&mut stack, own, d + 1, sym);
+        }
+        let prev = stack[2 * w..3 * w].to_vec();
+        let mut block = SiblingBlock::default();
+        block.syms_sym.clear();
+        let suffixes: Vec<Vec<Symbol>> = suffix_seqs
+            .iter()
+            .map(|s| SymbolSeq::parse(s).unwrap().symbols().to_vec())
+            .collect();
+        for s in 0..3 {
+            let mut lane_syms = [Symbol::from_index(0); F64_LANES];
+            for (lane, suffix) in suffixes.iter().enumerate() {
+                lane_syms[lane] = suffix[s];
+            }
+            block.syms_sym.push(lane_syms);
+        }
+        sed_rows_f64x4(&mut block, &prev, 2, own);
+        for (lane, suffix) in suffixes.iter().enumerate() {
+            let mut lane_stack = stack.clone();
+            for (s, &sym) in suffix.iter().enumerate() {
+                crate::prefix::sed_extend(&mut lane_stack, own, 3 + s, sym);
+            }
+            let want = lane_stack[5 * w + w - 1];
+            assert_eq!(block.out()[lane], want, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn f32_kernel_matches_f32_scalar_reference() {
+        let own = [2.0f32, 0.0, 3.0, 1.0];
+        let prev = [1.0f32, 2.5, 0.5, 3.0];
+        let syms = [0.0f32, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        for prev in [None, Some(&prev[..])] {
+            for p in 1..=own.len() {
+                let prev_p = prev.map(|q| &q[..p]);
+                let out = dtw_last_row_f32x8(prev_p, &own[..p], &syms);
+                for (lane, &sym) in syms.iter().enumerate() {
+                    // Scalar f32 recurrence for this lane.
+                    let mut left = f32::INFINITY;
+                    let mut diag = f32::INFINITY;
+                    let mut want = 0.0f32;
+                    for (j, &x) in own[..p].iter().enumerate() {
+                        let cost = (sym - x).abs();
+                        let v = match prev_p {
+                            None if j == 0 => cost,
+                            None => cost + left,
+                            Some(q) => {
+                                let up = q[j];
+                                let v = cost + up.min(left).min(diag);
+                                diag = up;
+                                v
+                            }
+                        };
+                        left = v;
+                        want = v;
+                    }
+                    assert_eq!(out[lane], want, "lane {lane} prefix {p}");
+                }
+            }
+        }
+    }
+}

@@ -2,8 +2,15 @@
 //! DP state across candidates must be a pure optimization — bit-identical
 //! distances and identical argmins versus the flat per-candidate path, for
 //! every distance kind, on prefix-ordered *and* arbitrarily ordered tables.
+//!
+//! Built with `--features simd`, `dist_batch_table` routes DTW/SED through
+//! the candidate-parallel lane kernels and `argmin_table` screens rows with
+//! the envelope lower bounds, so the same assertions below also pin
+//! lanes-vs-scalar bit-identity and bound admissibility. The sibling-run
+//! test targets the lane path specifically: explicit sibling groups of
+//! every size from 1 up past the lane width, trie-ordered and shuffled.
 
-use privshape_distance::{DistanceKind, DistanceWorkspace};
+use privshape_distance::{DistanceKind, DistanceWorkspace, DtwEnvelopeBound, SedEnvelopeBound};
 use privshape_timeseries::{CandidateTable, Symbol, SymbolSeq};
 use proptest::prelude::*;
 
@@ -33,6 +40,47 @@ fn trie_ordered(rows: &[SymbolSeq]) -> Vec<SymbolSeq> {
 /// Exact equality that also accepts two same-signed infinities.
 fn same(a: f64, b: f64) -> bool {
     a == b || (a.is_infinite() && b.is_infinite() && a.signum() == b.signum())
+}
+
+/// Sibling-group rows: each group is a shared prefix plus 1..=5 children
+/// differing only in their final symbol (duplicates allowed) — exactly the
+/// shape the lane kernels batch, with ragged tails at every size from a
+/// single row up past the 4-wide lanes.
+fn sibling_rows_strategy() -> impl Strategy<Value = Vec<SymbolSeq>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0u8..4, 0..10),
+            prop::collection::vec(0u8..4, 1..6),
+        ),
+        1..6,
+    )
+    .prop_map(|groups| {
+        let mut rows = Vec::new();
+        for (prefix, lasts) in groups {
+            for last in lasts {
+                let mut r = prefix.clone();
+                r.push(last);
+                rows.push(SymbolSeq::from_symbols(
+                    r.into_iter().map(Symbol::from_index).collect(),
+                ));
+            }
+        }
+        rows
+    })
+}
+
+/// Deterministic Fisher–Yates driven by an LCG on `seed` (the vendored
+/// proptest has no shuffle combinator).
+fn shuffled(rows: &[SymbolSeq], mut seed: u64) -> Vec<SymbolSeq> {
+    let mut v = rows.to_vec();
+    for i in (1..v.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        v.swap(i, j);
+    }
+    v
 }
 
 proptest! {
@@ -112,6 +160,58 @@ proptest! {
                     "{} on {}: {} != {}", kind, own, got.1, want.1
                 );
             }
+        }
+    }
+
+    /// Sibling-run tables — the exact shape the lane kernels batch, with
+    /// run lengths straddling the lane width — score bit-identically to
+    /// the flat scalar path, trie-ordered and shuffled, with one workspace
+    /// reused throughout. Under `--features simd` every multi-row run in
+    /// the trie-ordered table goes through the f64x4 kernels (ragged tails
+    /// included); without the feature this pins the same scalar reference
+    /// the kernels are held to.
+    #[test]
+    fn lane_batches_are_bit_identical_on_sibling_runs(
+        own in seq_strategy(),
+        rows in sibling_rows_strategy(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut ws = DistanceWorkspace::new();
+        for ordered in [trie_ordered(&rows), rows.clone(), shuffled(&rows, seed)] {
+            let table = table_of(&ordered);
+            for kind in [DistanceKind::Dtw, DistanceKind::Sed] {
+                let batch = kind.dist_batch_table(&mut ws, own.symbols(), &table).to_vec();
+                for (got, cand) in batch.iter().zip(&ordered) {
+                    let want = kind.dist(&own, cand);
+                    prop_assert!(
+                        same(*got, want),
+                        "{} on {} vs {}: {} != {}", kind, own, cand, got, want
+                    );
+                }
+            }
+        }
+    }
+
+    /// The envelope lower bounds are admissible: never above the true
+    /// distance, for every row of any table. (Admissibility is exactly
+    /// what makes the argmin's strict `bound > best` skip lossless.)
+    #[test]
+    fn envelope_bounds_never_exceed_true_distances(
+        own in seq_strategy(),
+        rows in prop::collection::vec(seq_strategy(), 1..14),
+    ) {
+        let table = table_of(&rows);
+        let dtw_lb = DtwEnvelopeBound::new(&own.as_indices());
+        let sed_lb = SedEnvelopeBound::new(own.symbols());
+        for (i, cand) in rows.iter().enumerate() {
+            if let Some((lo, hi)) = table.envelope(i) {
+                let d = DistanceKind::Dtw.dist(&own, cand);
+                let b = dtw_lb.bound(lo, hi);
+                prop_assert!(b <= d, "dtw {} vs {}: bound {} > {}", own, cand, b, d);
+            }
+            let d = DistanceKind::Sed.dist(&own, cand);
+            let b = sed_lb.bound(cand.len(), table.row_mask(i));
+            prop_assert!(b <= d, "sed {} vs {}: bound {} > {}", own, cand, b, d);
         }
     }
 }

@@ -56,6 +56,7 @@ pub trait UniformSample: Sized {
 }
 
 impl UniformSample for u64 {
+    #[inline]
     fn uniform_sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
         rng.next_u64()
     }
@@ -69,6 +70,7 @@ impl UniformSample for u32 {
 
 impl UniformSample for f64 {
     /// Uniform on `[0, 1)` with 53 bits of precision (the upstream method).
+    #[inline]
     fn uniform_sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
         (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
@@ -141,6 +143,7 @@ impl SampleRange for core::ops::Range<f64> {
 pub trait RngExt: Rng {
     /// Samples a value uniformly: `f64` from `[0, 1)`, integers over their
     /// full range.
+    #[inline]
     fn random<T: UniformSample>(&mut self) -> T {
         T::uniform_sample(self)
     }

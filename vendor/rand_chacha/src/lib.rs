@@ -47,46 +47,70 @@ pub struct ChaCha12Rng {
     idx: usize,
 }
 
-#[inline(always)]
-fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
-    state[a] = state[a].wrapping_add(state[b]);
-    state[d] = (state[d] ^ state[a]).rotate_left(16);
-    state[c] = state[c].wrapping_add(state[d]);
-    state[b] = (state[b] ^ state[c]).rotate_left(12);
-    state[a] = state[a].wrapping_add(state[b]);
-    state[d] = (state[d] ^ state[a]).rotate_left(8);
-    state[c] = state[c].wrapping_add(state[d]);
-    state[b] = (state[b] ^ state[c]).rotate_left(7);
+/// One ChaCha quarter round over four state words held in registers (the
+/// state never round-trips through memory inside the block function).
+macro_rules! quarter_round {
+    ($a:ident, $b:ident, $c:ident, $d:ident) => {
+        $a = $a.wrapping_add($b);
+        $d = ($d ^ $a).rotate_left(16);
+        $c = $c.wrapping_add($d);
+        $b = ($b ^ $c).rotate_left(12);
+        $a = $a.wrapping_add($b);
+        $d = ($d ^ $a).rotate_left(8);
+        $c = $c.wrapping_add($d);
+        $b = ($b ^ $c).rotate_left(7);
+    };
 }
 
 impl ChaCha12Rng {
     /// Runs the ChaCha block function for the current counter and refills
     /// the output buffer.
+    ///
+    /// The sixteen state words live in locals so the whole block stays in
+    /// registers; this produces the exact same keystream as the original
+    /// array-indexed formulation (pinned by the golden-stream test below),
+    /// it only removes the per-round loads and stores.
     fn refill(&mut self) {
-        let mut state = [0u32; 16];
-        state[..4].copy_from_slice(&CONSTANTS);
-        state[4..12].copy_from_slice(&self.key);
-        state[12] = self.counter as u32;
-        state[13] = (self.counter >> 32) as u32;
-        // state[14], state[15]: zero nonce.
+        let [mut x0, mut x1, mut x2, mut x3] = CONSTANTS;
+        let [mut x4, mut x5, mut x6, mut x7, mut x8, mut x9, mut x10, mut x11] = self.key;
+        let mut x12 = self.counter as u32;
+        let mut x13 = (self.counter >> 32) as u32;
+        let mut x14 = 0u32;
+        let mut x15 = 0u32;
 
-        let input = state;
         for _ in 0..DOUBLE_ROUNDS {
             // Column round.
-            quarter_round(&mut state, 0, 4, 8, 12);
-            quarter_round(&mut state, 1, 5, 9, 13);
-            quarter_round(&mut state, 2, 6, 10, 14);
-            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round!(x0, x4, x8, x12);
+            quarter_round!(x1, x5, x9, x13);
+            quarter_round!(x2, x6, x10, x14);
+            quarter_round!(x3, x7, x11, x15);
             // Diagonal round.
-            quarter_round(&mut state, 0, 5, 10, 15);
-            quarter_round(&mut state, 1, 6, 11, 12);
-            quarter_round(&mut state, 2, 7, 8, 13);
-            quarter_round(&mut state, 3, 4, 9, 14);
+            quarter_round!(x0, x5, x10, x15);
+            quarter_round!(x1, x6, x11, x12);
+            quarter_round!(x2, x7, x8, x13);
+            quarter_round!(x3, x4, x9, x14);
         }
-        for (word, init) in state.iter_mut().zip(input) {
-            *word = word.wrapping_add(init);
-        }
-        for (slot, pair) in self.buf.iter_mut().zip(state.chunks_exact(2)) {
+
+        let key = &self.key;
+        let words = [
+            x0.wrapping_add(CONSTANTS[0]),
+            x1.wrapping_add(CONSTANTS[1]),
+            x2.wrapping_add(CONSTANTS[2]),
+            x3.wrapping_add(CONSTANTS[3]),
+            x4.wrapping_add(key[0]),
+            x5.wrapping_add(key[1]),
+            x6.wrapping_add(key[2]),
+            x7.wrapping_add(key[3]),
+            x8.wrapping_add(key[4]),
+            x9.wrapping_add(key[5]),
+            x10.wrapping_add(key[6]),
+            x11.wrapping_add(key[7]),
+            x12.wrapping_add(self.counter as u32),
+            x13.wrapping_add((self.counter >> 32) as u32),
+            x14, // zero nonce words: adding the input is a no-op
+            x15,
+        ];
+        for (slot, pair) in self.buf.iter_mut().zip(words.chunks_exact(2)) {
             *slot = pair[0] as u64 | ((pair[1] as u64) << 32);
         }
         self.counter = self.counter.wrapping_add(1);
@@ -112,6 +136,7 @@ impl SeedableRng for ChaCha12Rng {
 }
 
 impl Rng for ChaCha12Rng {
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         if self.idx >= self.buf.len() {
             self.refill();
@@ -161,5 +186,119 @@ mod tests {
         let n = 10_000;
         let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+}
+
+#[cfg(test)]
+mod golden_stream {
+    use super::*;
+    use rand::RngExt;
+
+    /// Pins the exact keystream across implementation changes: every seeded
+    /// simulation in the workspace depends on this stream staying put, so
+    /// the block function may be reorganised for speed but must never
+    /// change a single output word. Values were captured from the original
+    /// array-indexed block function.
+    #[test]
+    fn keystream_is_pinned() {
+        let cases: [(u64, [u64; 12]); 4] = [
+            (
+                0,
+                [
+                    0xd18c9d7b82b67bca,
+                    0x73f1688add8c2eb1,
+                    0x65b16a722bbe7197,
+                    0x544515e3ab5ceb0a,
+                    0xc348ae597cefd08f,
+                    0x19169280adcb0258,
+                    0xbea270700513251c,
+                    0xa4599b32f8fca523,
+                    0x90eb499ae6e15f10,
+                    0xc07d704bbedb63ec,
+                    0x0b80d6d78222e7fc,
+                    0x53588c93df5b06ad,
+                ],
+            ),
+            (
+                7,
+                [
+                    0xe091a5383013b8f1,
+                    0x1ad8aad677b7ca2d,
+                    0x831327f7d5b7d7b1,
+                    0x81692753ed9fdb8b,
+                    0x9465ed4edf9f1c1a,
+                    0x79d83adadea6cfeb,
+                    0xf7b284363a9b84a7,
+                    0x7c91dd974a751bb7,
+                    0xd4834e32e27ff3a6,
+                    0x4140d40500ee196b,
+                    0x13259af7e28ed6fc,
+                    0x8fa235dbefe0aeb6,
+                ],
+            ),
+            (
+                42,
+                [
+                    0x280b7b79f392fa12,
+                    0x4dadef83bc931d07,
+                    0xc195c99ba5375e5f,
+                    0x7e657f1b6bdc3bfd,
+                    0xfe40a244bc14b82f,
+                    0x3dd75b637ba65c81,
+                    0x91c8dff96cfcd24a,
+                    0xcb61b56a793c1223,
+                    0x49f35f0c5ba79217,
+                    0xc640814a217a5f72,
+                    0x66cbd4caafa4775f,
+                    0xc610074c770620a6,
+                ],
+            ),
+            (
+                u64::MAX,
+                [
+                    0xfaad820e10198c2a,
+                    0xcbe4ff9da3a93d15,
+                    0x17872c999978ada3,
+                    0xb06dcc25cfc766f4,
+                    0x1df25c2947f0c52d,
+                    0x0ee836091c828f1f,
+                    0x8fc7a92d1229eb29,
+                    0xc8a8773a1eca2617,
+                    0x401a5821989bfad9,
+                    0x7755e8377912e93f,
+                    0xb2b14bb8edba0b44,
+                    0x28d2cb2d84a6ec0d,
+                ],
+            ),
+        ];
+        for (seed, want) in cases {
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            let got: Vec<u64> = (0..12).map(|_| rng.next_u64()).collect();
+            assert_eq!(got, want, "seed {seed}");
+        }
+        // A full 32-byte key exercises every key word.
+        let mut rng = ChaCha12Rng::from_seed([0xAB; 32]);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            [
+                0xc20659d9780cf266,
+                0x02136a761d0ae5df,
+                0xc88c2c1a3966577c,
+                0x787419f1401de40e
+            ]
+        );
+        // The derived f64 stream (what mechanism sampling consumes).
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let f: Vec<f64> = (0..4).map(|_| rng.random::<f64>()).collect();
+        assert_eq!(
+            f,
+            [
+                0.8772223722626923,
+                0.10486858116175235,
+                0.5120110492768781,
+                0.5055107669737703
+            ]
+        );
     }
 }
