@@ -28,7 +28,7 @@ use std::process::ExitCode;
 type Extractor = fn(&Json) -> Metrics;
 
 /// The gated trajectory files: extractor + improvement direction.
-const FILES: [(&str, Extractor, Direction); 5] = [
+const FILES: [(&str, Extractor, Direction); 6] = [
     (
         "BENCH_protocol.json",
         gate::protocol_metrics,
@@ -47,6 +47,11 @@ const FILES: [(&str, Extractor, Direction); 5] = [
     (
         "BENCH_service.json",
         gate::service_metrics,
+        Direction::HigherIsBetter,
+    ),
+    (
+        "BENCH_chaos.json",
+        gate::chaos_metrics,
         Direction::HigherIsBetter,
     ),
     (

@@ -187,6 +187,7 @@ struct Row {
     rejected: u64,
     queue_high_water: u64,
     backpressure_stalls: u64,
+    worker_panics: u64,
     restored: bool,
 }
 
@@ -457,6 +458,7 @@ fn main() {
                 rejected: stats.rejected_frames,
                 queue_high_water: stats.queue_high_water,
                 backpressure_stalls: stats.backpressure_stalls,
+                worker_panics: stats.worker_panics,
                 restored: tenant.restored,
             });
         }
@@ -477,6 +479,7 @@ fn main() {
     let queue_high_water: u64 = rows.iter().map(|r| r.queue_high_water).max().unwrap_or(0);
     let backpressure_stalls: u64 = rows.iter().map(|r| r.backpressure_stalls).sum();
     let restored_sessions = rows.iter().filter(|r| r.restored).count();
+    let total_worker_panics: u64 = rows.iter().map(|r| r.worker_panics).sum();
     let reports_per_sec = total_reports as f64 / service_secs.max(1e-9);
 
     assert!(exercised_duplicates > 0, "duplicate replay never ran");
@@ -490,6 +493,10 @@ fn main() {
         "corrupted frames were not rejected"
     );
     assert_eq!(restored_sessions, 2, "both crash drills must run");
+    assert_eq!(
+        total_worker_panics, 0,
+        "no chaos is injected here — a worker panic is a real bug"
+    );
 
     println!(
         "{:<14} {:>5} {:>3} {:>8} {:>7} {:>10} {:>7} {:>5} {:>5} {:>7} {:>9}",
@@ -536,7 +543,7 @@ fn main() {
          \"total_rounds\": {}, \"service_secs\": {:.6}, \"reports_per_sec\": {:.1},\n  \
          \"duplicate_reports\": {}, \"rejected_frames\": {},\n  \
          \"queue_high_water\": {}, \"backpressure_stalls\": {},\n  \
-         \"restored_sessions\": {},\n  \"per_session\": [\n",
+         \"worker_panics\": {}, \"restored_sessions\": {},\n  \"per_session\": [\n",
         rows.len(),
         total_users,
         total_reports,
@@ -547,6 +554,7 @@ fn main() {
         total_rejected,
         queue_high_water,
         backpressure_stalls,
+        total_worker_panics,
         restored_sessions,
     );
     for (i, r) in rows.iter().enumerate() {
@@ -554,7 +562,7 @@ fn main() {
             "    {{\"name\": \"{}\", \"mechanism\": \"{}\", \"labeled\": {}, \
              \"eps\": {}, \"k\": {},\n     \"users\": {}, \"rounds\": {}, \"reports\": {}, \
              \"duplicates\": {}, \"rejected\": {},\n     \"queue_high_water\": {}, \
-             \"backpressure_stalls\": {}, \"restored\": {}}}{}\n",
+             \"backpressure_stalls\": {}, \"worker_panics\": {}, \"restored\": {}}}{}\n",
             r.name,
             r.mechanism,
             r.labeled,
@@ -567,6 +575,7 @@ fn main() {
             r.rejected,
             r.queue_high_water,
             r.backpressure_stalls,
+            r.worker_panics,
             r.restored,
             if i + 1 < rows.len() { "," } else { "" }
         ));

@@ -306,6 +306,22 @@ pub fn service_metrics(doc: &Json) -> Metrics {
         .unwrap_or_default()
 }
 
+/// Metrics of `BENCH_chaos.json`: how many faulted sessions recovered,
+/// and the end-to-end throughput of the recovered sessions. The fault
+/// matrix is fixed, so `recovered_sessions` is an exact count — any drop
+/// means a recovery path stopped working. Retry/quarantine counters stay
+/// informational: `chaos_smoke` asserts their exact values itself.
+pub fn chaos_metrics(doc: &Json) -> Metrics {
+    let mut out = Vec::new();
+    if let Some(v) = doc.num("recovered_sessions") {
+        out.push(("chaos.recovered_sessions".to_string(), v));
+    }
+    if let Some(v) = doc.num("recovered_reports_per_sec") {
+        out.push(("chaos.recovered_reports_per_sec".to_string(), v));
+    }
+    out
+}
+
 /// Metrics of `BENCH_quality.json`: per-cell DTW and SED distance to the
 /// generator's ground truth, keyed by the cell's matrix coordinates.
 ///
@@ -558,6 +574,20 @@ mod tests {
         assert_eq!(
             service_metrics(&service),
             vec![("service.reports_per_sec".to_string(), 800000.0)]
+        );
+        let chaos = Json::parse(
+            r#"{"sessions": 9, "recovered_sessions": 3, "quarantined_sessions": 1,
+                "retries": 4, "recovered_reports_per_sec": 61000.5}"#,
+        )
+        .unwrap();
+        // Retry/quarantine counters are asserted by the smoke itself and
+        // stay informational; only recovery coverage and throughput gate.
+        assert_eq!(
+            chaos_metrics(&chaos),
+            vec![
+                ("chaos.recovered_sessions".to_string(), 3.0),
+                ("chaos.recovered_reports_per_sec".to_string(), 61000.5),
+            ]
         );
     }
 

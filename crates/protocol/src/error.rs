@@ -50,6 +50,20 @@ pub enum Error {
         /// The version byte from the frame header.
         got: u8,
     },
+    /// The ingest pipeline was poisoned by a worker failure. Unlike a
+    /// generic [`Error::Protocol`], this carries the *first worker
+    /// error* so producers learn the cause at submit time instead of
+    /// having to call `finish` to find out — a supervisor can classify
+    /// and recover the round without tearing the session down blind.
+    PipelinePoisoned {
+        /// Rendering of the first worker error (or panic message) that
+        /// poisoned the pipeline.
+        cause: String,
+    },
+    /// A fault deliberately fired by a [`crate::FaultPlan`] — a chaos
+    /// drill, never a production condition. Typed so supervisors can
+    /// treat it as transient (retry the submission) instead of fatal.
+    FaultInjected(String),
     /// Propagated time-series error.
     Ts(TsError),
     /// Propagated LDP-primitive error.
@@ -81,6 +95,10 @@ impl fmt::Display for Error {
             Error::UnsupportedVersion { got } => {
                 write!(f, "unsupported wire codec version {got}")
             }
+            Error::PipelinePoisoned { cause } => {
+                write!(f, "ingest pipeline poisoned by a worker failure: {cause}")
+            }
+            Error::FaultInjected(what) => write!(f, "injected fault: {what}"),
             Error::Ts(e) => write!(f, "time series error: {e}"),
             Error::Ldp(e) => write!(f, "LDP error: {e}"),
             Error::Trie(e) => write!(f, "trie error: {e}"),
@@ -145,6 +163,14 @@ mod tests {
         assert!(Error::UnsupportedVersion { got: 9 }
             .to_string()
             .contains("version 9"));
+        let poisoned = Error::PipelinePoisoned {
+            cause: "report out of domain".into(),
+        }
+        .to_string();
+        assert!(poisoned.contains("poisoned") && poisoned.contains("report out of domain"));
+        assert!(Error::FaultInjected("frame dropped".into())
+            .to_string()
+            .contains("injected fault: frame dropped"));
         let e: Error = TsError::EmptySeries.into();
         assert!(e.to_string().contains("time series"));
         let e: Error = LdpError::InvalidEpsilon(0.0).into();

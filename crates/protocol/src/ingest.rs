@@ -29,10 +29,19 @@
 //!
 //! **Failure.** A malformed frame (bad bytes, wrong kind, out-of-domain
 //! value) poisons the pipeline: the failing worker records its error and
-//! closes the queue, pending producers unblock with an error, and
-//! [`IngestPipeline::finish`] surfaces the first worker error instead of a
-//! partial aggregate.
+//! closes the queue, pending producers unblock with a typed
+//! [`Error::PipelinePoisoned`] **carrying the cause**, and
+//! [`IngestPipeline::finish`] surfaces the first worker error instead of
+//! a partial aggregate. Worker panics are caught at the thread boundary,
+//! counted in [`IngestStats::worker_panics`], and poison the pipeline the
+//! same way — a crashing worker is a recoverable round failure, not a
+//! hung session.
+//!
+//! **Chaos.** [`IngestPipeline::for_round_chaos`] accepts an optional
+//! [`FaultPlan`] consulted at each sequence point (sealed submit, worker
+//! absorb) to fire deterministic injected faults; see [`crate::chaos`].
 
+use crate::chaos::{AbsorbAction, FaultPlan, SubmitAction};
 use crate::error::{Error, Result};
 use crate::round::{Report, RoundSpec};
 use crate::shard::ShardAggregator;
@@ -69,6 +78,12 @@ pub struct IngestStats {
     /// a worker drained a slot. Nonzero stalls with a maxed high-water
     /// mark is sustained backpressure, not a transient burst.
     pub backpressure_stalls: u64,
+    /// Worker threads that died by panic (caught at the thread boundary
+    /// and converted into a poisoned pipeline). Every panic also poisons
+    /// the round, so a nonzero count always pairs with a failed
+    /// [`IngestPipeline::finish`] — the counter tells a supervisor *how
+    /// often* a session crashes, which its failure budget is priced in.
+    pub worker_panics: u64,
 }
 
 impl IngestStats {
@@ -81,6 +96,7 @@ impl IngestStats {
         self.duplicate_reports += other.duplicate_reports;
         self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
         self.backpressure_stalls += other.backpressure_stalls;
+        self.worker_panics += other.worker_panics;
     }
 }
 
@@ -141,6 +157,13 @@ struct QueueState {
     capacity: usize,
     closed: bool,
     poisoned: bool,
+    /// Rendering of the first worker error (or panic message) that
+    /// poisoned the queue, surfaced verbatim in the submit-time
+    /// [`Error::PipelinePoisoned`] so producers never have to call
+    /// `finish` just to learn why their submits fail.
+    cause: Option<String>,
+    /// Worker threads that died by panic this round.
+    worker_panics: u64,
     /// Deepest `frames` ever got (updated on every push).
     high_water: usize,
     /// Pushes that found the queue full and blocked.
@@ -155,6 +178,8 @@ impl FrameQueue {
                 capacity,
                 closed: false,
                 poisoned: false,
+                cause: None,
+                worker_panics: 0,
                 high_water: 0,
                 stalls: 0,
             }),
@@ -174,9 +199,11 @@ impl FrameQueue {
             state = self.not_full.wait(state).expect("queue lock");
         }
         if state.poisoned {
-            return Err(Error::Protocol(
-                "ingest pipeline poisoned: a worker failed (call finish for the cause)".into(),
-            ));
+            let cause = state
+                .cause
+                .clone()
+                .unwrap_or_else(|| "unknown worker failure".into());
+            return Err(Error::PipelinePoisoned { cause });
         }
         if state.closed {
             return Err(Error::Protocol(
@@ -190,11 +217,11 @@ impl FrameQueue {
         Ok(())
     }
 
-    /// `(high_water, stalls)` so far — read under the same lock pushes
-    /// take, so a snapshot never tears.
-    fn depth_metrics(&self) -> (u64, u64) {
+    /// `(high_water, stalls, worker_panics)` so far — read under the same
+    /// lock pushes take, so a snapshot never tears.
+    fn depth_metrics(&self) -> (u64, u64, u64) {
         let state = self.state.lock().expect("queue lock");
-        (state.high_water as u64, state.stalls)
+        (state.high_water as u64, state.stalls, state.worker_panics)
     }
 
     /// Blocks while the queue is open and empty; `None` once it is drained
@@ -223,13 +250,45 @@ impl FrameQueue {
         self.not_full.notify_all();
     }
 
-    fn poison(&self) {
+    /// Poisons the queue, recording `cause` if it is the first failure
+    /// (first cause wins: it is what actually killed the round).
+    fn poison(&self, cause: String) {
         let mut state = self.state.lock().expect("queue lock");
+        if state.cause.is_none() {
+            state.cause = Some(cause);
+        }
         state.poisoned = true;
         state.closed = true;
         drop(state);
         self.not_empty.notify_all();
         self.not_full.notify_all();
+    }
+
+    /// Counts a worker panic and poisons the queue with the panic message
+    /// as the cause.
+    fn record_panic(&self, msg: &str) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.worker_panics += 1;
+        if state.cause.is_none() {
+            state.cause = Some(format!("worker panicked: {msg}"));
+        }
+        state.poisoned = true;
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Best-effort rendering of a panic payload (panics carry `&str` or
+/// `String` in practice; anything else gets a fixed tag).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
     }
 }
 
@@ -279,6 +338,9 @@ pub struct IngestPipeline {
     accepted_reports: AtomicU64,
     rejected_frames: AtomicU64,
     duplicate_reports: AtomicU64,
+    /// Chaos hook: consulted at each sealed submit. `None` in production;
+    /// the workers hold their own clones for the absorb-side points.
+    chaos: Option<Arc<FaultPlan>>,
 }
 
 impl IngestPipeline {
@@ -287,6 +349,20 @@ impl IngestPipeline {
     /// everywhere performs), so a spec the aggregator rejects fails here,
     /// before any thread starts.
     pub fn for_round(spec: &RoundSpec, epsilon: Epsilon, config: IngestConfig) -> Result<Self> {
+        Self::for_round_chaos(spec, epsilon, config, None)
+    }
+
+    /// [`IngestPipeline::for_round`] with an optional [`FaultPlan`] hook:
+    /// when present, the plan is consulted before every sealed-frame
+    /// submission and every worker absorb, firing its scheduled faults
+    /// deterministically (see [`crate::chaos`]). With `None` this is
+    /// exactly `for_round`.
+    pub fn for_round_chaos(
+        spec: &RoundSpec,
+        epsilon: Epsilon,
+        config: IngestConfig,
+        chaos: Option<Arc<FaultPlan>>,
+    ) -> Result<Self> {
         let n_workers = config.resolved_workers().max(1);
         if config.queue_capacity == 0 {
             return Err(Error::Protocol("ingest queue capacity must be >= 1".into()));
@@ -299,15 +375,43 @@ impl IngestPipeline {
             .into_iter()
             .map(|mut shard| {
                 let queue = Arc::clone(&queue);
+                let chaos = chaos.clone();
                 std::thread::spawn(move || {
-                    while let Some(frame) = queue.pop() {
-                        if let Err(e) = shard.absorb_wire(&frame) {
-                            // First failure wins: stop the whole round.
-                            queue.poison();
-                            return Err(e);
+                    let drain = Arc::clone(&queue);
+                    // The drain loop runs under catch_unwind so a panic —
+                    // a code bug in absorb, or an injected chaos fault —
+                    // is converted into a counted, typed poisoning
+                    // instead of a silently dead thread.
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                            while let Some(frame) = drain.pop() {
+                                if let Some(plan) = chaos.as_deref() {
+                                    match plan.next_absorb() {
+                                        AbsorbAction::Panic(idx) => {
+                                            panic!("chaos: injected worker panic (absorb #{idx})")
+                                        }
+                                        AbsorbAction::Stall(d) => std::thread::sleep(d),
+                                        AbsorbAction::Absorb => {}
+                                    }
+                                }
+                                if let Err(e) = shard.absorb_wire(&frame) {
+                                    // First failure wins: stop the whole round.
+                                    drain.poison(e.to_string());
+                                    return Err(e);
+                                }
+                            }
+                            Ok(shard)
+                        }));
+                    match outcome {
+                        Ok(result) => result,
+                        Err(payload) => {
+                            let msg = panic_message(payload.as_ref());
+                            queue.record_panic(&msg);
+                            Err(Error::PipelinePoisoned {
+                                cause: format!("worker panicked: {msg}"),
+                            })
                         }
                     }
-                    Ok(shard)
                 })
             })
             .collect();
@@ -318,6 +422,7 @@ impl IngestPipeline {
             accepted_reports: AtomicU64::new(0),
             rejected_frames: AtomicU64::new(0),
             duplicate_reports: AtomicU64::new(0),
+            chaos,
         })
     }
 
@@ -357,8 +462,36 @@ impl IngestPipeline {
     ///
     /// Hostile input therefore never poisons the pipeline: a bad envelope
     /// returns `Ok(())` and only moves a counter. Errors surface only for
-    /// pipeline-lifecycle reasons (poisoned by a worker, closed).
+    /// pipeline-lifecycle reasons (poisoned by a worker, closed) — or, on
+    /// a chaos build, as a typed [`Error::FaultInjected`] when the
+    /// [`FaultPlan`] drops this frame in transit (the caller retries,
+    /// modeling a retransmission).
+    ///
+    /// The chaos hook sits at this boundary and only here: drops become
+    /// producer-visible typed errors and duplicates are delivered through
+    /// the dedup tier, so no injected fault can silently change the
+    /// aggregate — exactness stays provable under chaos.
     pub fn submit_sealed_frame(&self, frame: &[u8]) -> Result<()> {
+        if let Some(plan) = self.chaos.as_deref() {
+            match plan.next_submit() {
+                SubmitAction::Deliver => {}
+                SubmitAction::Stall(d) => std::thread::sleep(d),
+                SubmitAction::Drop => {
+                    return Err(Error::FaultInjected(
+                        "sealed frame dropped in transit".into(),
+                    ))
+                }
+                SubmitAction::Duplicate => {
+                    // Deliver an extra copy first, as a confused transport
+                    // would; the dedup tier sheds every report in it.
+                    self.submit_sealed_inner(frame)?;
+                }
+            }
+        }
+        self.submit_sealed_inner(frame)
+    }
+
+    fn submit_sealed_inner(&self, frame: &[u8]) -> Result<()> {
         let Ok(body) = wire::unseal_frame(frame) else {
             self.rejected_frames.fetch_add(1, Ordering::Relaxed);
             return Ok(());
@@ -405,13 +538,14 @@ impl IngestPipeline {
     /// [`IngestPipeline::submit_frame`] path was used; the queue metrics
     /// cover every path (both submit flavors share the frame queue).
     pub fn stats(&self) -> IngestStats {
-        let (queue_high_water, backpressure_stalls) = self.queue.depth_metrics();
+        let (queue_high_water, backpressure_stalls, worker_panics) = self.queue.depth_metrics();
         IngestStats {
             accepted_reports: self.accepted_reports.load(Ordering::Relaxed),
             rejected_frames: self.rejected_frames.load(Ordering::Relaxed),
             duplicate_reports: self.duplicate_reports.load(Ordering::Relaxed),
             queue_high_water,
             backpressure_stalls,
+            worker_panics,
         }
     }
 
@@ -419,9 +553,27 @@ impl IngestPipeline {
     /// [`IngestStats`] so callers can fold them into session diagnostics
     /// ([`crate::Session::record_ingest_stats`]).
     pub fn finish_with_stats(self) -> Result<(ShardAggregator, IngestStats)> {
-        let stats = self.stats();
-        let shard = self.finish()?;
-        Ok((shard, stats))
+        let (result, stats) = self.finish_accounted();
+        Ok((result?, stats))
+    }
+
+    /// [`IngestPipeline::finish`] that hands back the final counters in
+    /// **both** arms — a failed round still reports how it failed
+    /// (including panics recorded during the drain/join itself), so a
+    /// supervisor can fold crash counts into session health metrics
+    /// before recovering the round.
+    pub fn finish_accounted(self) -> (Result<ShardAggregator>, IngestStats) {
+        let queue = Arc::clone(&self.queue);
+        let mut stats = self.stats();
+        let result = self.finish();
+        // Re-read the queue-side counters after the join: a worker that
+        // panicked while draining the backlog is invisible to the
+        // pre-finish snapshot.
+        let (queue_high_water, backpressure_stalls, worker_panics) = queue.depth_metrics();
+        stats.queue_high_water = queue_high_water;
+        stats.backpressure_stalls = backpressure_stalls;
+        stats.worker_panics = worker_panics;
+        (result, stats)
     }
 
     /// Closes the round: no more frames are accepted, the queue drains,
@@ -441,9 +593,17 @@ impl IngestPipeline {
             match handle.join() {
                 Ok(Ok(shard)) => shards.push(shard),
                 Ok(Err(e)) => first_err = first_err.or(Some(e)),
-                Err(_) => {
-                    first_err =
-                        first_err.or_else(|| Some(Error::Protocol("ingest worker panicked".into())))
+                Err(payload) => {
+                    // Unreachable in practice (workers catch their own
+                    // unwinds), but if a panic ever escapes the catch, it
+                    // still gets counted and typed instead of vanishing.
+                    let msg = panic_message(payload.as_ref());
+                    self.queue.record_panic(&msg);
+                    first_err = first_err.or_else(|| {
+                        Some(Error::PipelinePoisoned {
+                            cause: format!("worker panicked: {msg}"),
+                        })
+                    });
                 }
             }
         }
@@ -576,6 +736,124 @@ mod tests {
             "pipeline never rejected submits after a bad frame"
         );
         assert!(matches!(pipeline.finish(), Err(Error::Protocol(_))));
+    }
+
+    #[test]
+    fn poisoned_submit_carries_the_cause() {
+        let spec = spec(2);
+        let pipeline = IngestPipeline::for_round(
+            &spec,
+            eps(),
+            IngestConfig {
+                workers: 1,
+                queue_capacity: 4,
+            },
+        )
+        .unwrap();
+        // Out-of-domain selection: the absorbing worker fails the round.
+        pipeline.submit_reports(&[Report::Expand(9)]).unwrap();
+        let mut cause_seen = None;
+        for _ in 0..500 {
+            match pipeline.submit_reports(&[Report::Expand(1)]) {
+                Err(Error::PipelinePoisoned { cause }) => {
+                    cause_seen = Some(cause);
+                    break;
+                }
+                Err(other) => panic!("expected PipelinePoisoned, got {other}"),
+                Ok(()) => std::thread::sleep(std::time::Duration::from_millis(1)),
+            }
+        }
+        // The submit-time error names the actual worker failure — no
+        // "call finish for the cause" indirection.
+        let cause = cause_seen.expect("pipeline never poisoned");
+        assert!(
+            !cause.is_empty() && !cause.contains("call finish"),
+            "submit-time cause should be the worker error, got: {cause}"
+        );
+    }
+
+    #[test]
+    fn injected_worker_panic_is_caught_counted_and_typed() {
+        let spec = spec(2);
+        let plan = Arc::new(FaultPlan::new([crate::chaos::FaultKind::WorkerPanic {
+            at_absorb: 0,
+        }]));
+        let pipeline = IngestPipeline::for_round_chaos(
+            &spec,
+            eps(),
+            IngestConfig {
+                workers: 2,
+                queue_capacity: 4,
+            },
+            Some(Arc::clone(&plan)),
+        )
+        .unwrap();
+        pipeline.submit_reports(&[Report::Expand(0)]).unwrap();
+        // Poll until the panic poisons the pipeline, then the submit-time
+        // error must carry the panic message as its cause.
+        let mut poisoned = false;
+        for _ in 0..500 {
+            match pipeline.submit_reports(&[Report::Expand(1)]) {
+                Err(Error::PipelinePoisoned { cause }) => {
+                    assert!(cause.contains("panicked"), "cause: {cause}");
+                    poisoned = true;
+                    break;
+                }
+                Err(other) => panic!("expected PipelinePoisoned, got {other}"),
+                Ok(()) => std::thread::sleep(std::time::Duration::from_millis(1)),
+            }
+        }
+        assert!(poisoned, "injected panic never poisoned the pipeline");
+        assert_eq!(pipeline.stats().worker_panics, 1);
+        assert_eq!(plan.fired_counts().worker_panics, 1);
+        assert!(matches!(
+            pipeline.finish(),
+            Err(Error::PipelinePoisoned { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_drop_and_duplicate_keep_the_aggregate_exact() {
+        let spec = spec(3);
+        let reports: Vec<(usize, Report)> = (0..60).map(|u| (u, Report::Expand(u % 3))).collect();
+        let mut serial = ShardAggregator::for_round(&spec, eps()).unwrap();
+        for (_, r) in &reports {
+            serial.absorb(r).unwrap();
+        }
+        let plan = Arc::new(FaultPlan::new([
+            crate::chaos::FaultKind::FrameDrop { at_submit: 1 },
+            crate::chaos::FaultKind::FrameDuplicate { at_submit: 3 },
+        ]));
+        let pipeline = IngestPipeline::for_round_chaos(
+            &spec,
+            eps(),
+            IngestConfig {
+                workers: 2,
+                queue_capacity: 8,
+            },
+            Some(Arc::clone(&plan)),
+        )
+        .unwrap();
+        for chunk in reports.chunks(10) {
+            let frame = wire::seal_frame(chunk);
+            match pipeline.submit_sealed_frame(&frame) {
+                Ok(()) => {}
+                // The dropped frame surfaces as a typed transient fault;
+                // retransmit it exactly as a supervisor would.
+                Err(Error::FaultInjected(_)) => pipeline.submit_sealed_frame(&frame).unwrap(),
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        let (merged, stats) = pipeline.finish_with_stats().unwrap();
+        assert_eq!(
+            merged, serial,
+            "dropped+duplicated frames must aggregate like the clean stream"
+        );
+        // The duplicated frame's 10 reports were all shed by dedup.
+        assert_eq!(stats.duplicate_reports, 10);
+        let fired = plan.fired_counts();
+        assert_eq!(fired.frame_drops, 1);
+        assert_eq!(fired.frame_duplicates, 1);
     }
 
     #[test]

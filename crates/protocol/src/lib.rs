@@ -74,6 +74,7 @@
 //! assert_eq!(extraction.shapes[0].shape.to_string(), "ac");
 //! ```
 
+pub mod chaos;
 mod client;
 mod config;
 mod error;
@@ -89,6 +90,7 @@ mod shard;
 mod transform;
 mod wire;
 
+pub use chaos::{AbsorbAction, FaultKind, FaultPlan, FiredCounts, SubmitAction};
 pub use client::{GroupAssignment, UserClient};
 pub use config::{BaselineConfig, LengthOracle, PopulationSplit, Preprocessing, PrivShapeConfig};
 pub use error::{Error, Result};

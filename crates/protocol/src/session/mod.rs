@@ -275,12 +275,34 @@ impl Session {
     /// single tree-merged aggregate for [`Session::submit_shard`] —
     /// bit-identical to submitting the reports serially.
     pub fn ingest_pipeline(&self, config: IngestConfig) -> Result<IngestPipeline> {
+        self.ingest_pipeline_chaos(config, None)
+    }
+
+    /// [`Session::ingest_pipeline`] with an optional
+    /// [`crate::FaultPlan`] chaos hook threaded through to
+    /// [`IngestPipeline::for_round_chaos`]; `None` is exactly
+    /// `ingest_pipeline`.
+    pub fn ingest_pipeline_chaos(
+        &self,
+        config: IngestConfig,
+        chaos: Option<std::sync::Arc<crate::FaultPlan>>,
+    ) -> Result<IngestPipeline> {
         let Some(open) = self.open.as_ref() else {
             return Err(Error::Protocol(
                 "no open round to build an ingest pipeline for".into(),
             ));
         };
-        IngestPipeline::for_round(&open.spec, self.params.epsilon, config)
+        IngestPipeline::for_round_chaos(&open.spec, self.params.epsilon, config, chaos)
+    }
+
+    /// The client seed this session was configured with — the root of all
+    /// per-user randomness. Supervisors derive deterministic retry jitter
+    /// from it so a recovery schedule replays exactly under a fixed seed.
+    pub fn seed(&self) -> u64 {
+        match &self.origin {
+            Origin::PrivShape(c) => c.seed,
+            Origin::Baseline(c) => c.seed,
+        }
     }
 
     /// Folds one round's sealed-frame validation counters

@@ -52,7 +52,10 @@ use std::time::Instant;
 const SNAPSHOT_MAGIC: u8 = 0xF7;
 
 /// Version byte of the snapshot format this build writes and accepts.
-pub const SNAPSHOT_VERSION: u8 = 1;
+/// Version 2 added the `worker_panics` ingest counter (PR 9); version 1
+/// snapshots are rejected with a typed [`Error::UnsupportedVersion`], the
+/// same hard-fail every other version skew gets.
+pub const SNAPSHOT_VERSION: u8 = 2;
 
 fn bad(msg: impl Into<String>) -> Error {
     Error::Protocol(format!("invalid session snapshot: {}", msg.into()))
@@ -493,6 +496,7 @@ impl Session {
             self.ingest.duplicate_reports,
             self.ingest.queue_high_water,
             self.ingest.backpressure_stalls,
+            self.ingest.worker_panics,
         ] {
             wire::put_varint(&mut body, counter);
         }
@@ -628,6 +632,7 @@ impl Session {
             duplicate_reports: wire::read_varint(body, pos)?,
             queue_high_water: wire::read_varint(body, pos)?,
             backpressure_stalls: wire::read_varint(body, pos)?,
+            worker_panics: wire::read_varint(body, pos)?,
         };
         match wire::read_tag(body, pos)? {
             0 => session.open = None,

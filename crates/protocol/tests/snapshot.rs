@@ -231,6 +231,64 @@ fn mid_round_crash_preserves_partial_counts() {
     assert_eq!(got.diagnostics.ell_s, expected.diagnostics.ell_s);
 }
 
+/// The supervisor's depth-2 checkpoint story at the protocol level: when
+/// the **newest** checkpoint is corrupted in storage, restore fails typed,
+/// the previous checkpoint restores instead, and re-driving the round in
+/// between (clients are stateless: the same broadcast collects the same
+/// reports) finishes bit-identically to the uninterrupted twin.
+#[test]
+fn corrupted_checkpoint_falls_back_to_previous_checkpoint() {
+    let n = 280;
+    let (data, labels) = population(n, false);
+    let twin = session_for(Proto::PrivShape, 37, 2, n);
+    let mut twin_cs = clients(&twin, &data, &labels);
+    let expected = drive(twin, &mut twin_cs, None).finish().unwrap();
+
+    let mut session = session_for(Proto::PrivShape, 37, 2, n);
+    let mut cs = clients(&session, &data, &labels);
+    // Checkpoint A at the first boundary, then run one round.
+    let ckpt_a = session.snapshot();
+    let spec_r1 = session.next_round().unwrap().expect("round 1");
+    let mut reports_r1 = Vec::new();
+    for c in cs.iter_mut() {
+        if let Some(r) = c.answer(&spec_r1).unwrap() {
+            reports_r1.push(r);
+        }
+    }
+    session.submit(&reports_r1).unwrap();
+    // Checkpoint B at the next boundary — then storage rot flips a byte.
+    let mut ckpt_b = session.snapshot();
+    let mid = ckpt_b.len() / 2;
+    ckpt_b[mid] ^= 0x10;
+    drop(session);
+
+    // Crash. The newest checkpoint is rejected typed, never half-restored.
+    assert!(Session::restore(&ckpt_b).is_err());
+    // Fall back to A and re-drive the lost round: same broadcast, same
+    // reports.
+    let mut session = Session::restore(&ckpt_a).unwrap();
+    let spec_redrive = session.next_round().unwrap().expect("re-driven round 1");
+    assert_eq!(format!("{spec_redrive:?}"), format!("{spec_r1:?}"));
+    session.submit(&reports_r1).unwrap();
+    // Continue to completion.
+    while let Some(spec) = session.next_round().unwrap() {
+        let mut reports = Vec::new();
+        for c in cs.iter_mut() {
+            if let Some(r) = c.answer(&spec).unwrap() {
+                reports.push(r);
+            }
+        }
+        session.submit(&reports).unwrap();
+    }
+    let got = session.finish().unwrap();
+    assert_eq!(got.shapes, expected.shapes);
+    assert_eq!(got.diagnostics.ell_s, expected.diagnostics.ell_s);
+    assert_eq!(
+        got.diagnostics.candidates_per_level,
+        expected.diagnostics.candidates_per_level
+    );
+}
+
 /// Snapshots are untrusted input: truncations and a bumped version byte
 /// are rejected with typed errors, never a panic or a corrupt session.
 #[test]

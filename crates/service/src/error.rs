@@ -33,6 +33,20 @@ pub enum ServiceError {
     /// [`ProtocolError::StaleGeneration`], and
     /// [`ProtocolError::UnsupportedVersion`]).
     Session(ProtocolError),
+    /// The session exhausted its recovery budget (repeated round failures
+    /// past the [`crate::RetryPolicy`] limits) and was removed from
+    /// service. Terminal for the session — every later call for its id
+    /// gets this same error — but invisible to every other session:
+    /// quarantine is the graceful-degradation boundary, not a service
+    /// failure.
+    Quarantined {
+        /// The quarantined session.
+        session_id: u64,
+        /// Recovery attempts consumed before giving up.
+        attempts: u32,
+        /// Rendering of the failure that exhausted the budget.
+        cause: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -51,6 +65,14 @@ impl fmt::Display for ServiceError {
                 write!(f, "session id {session_id} is still resident")
             }
             ServiceError::Session(e) => write!(f, "session error: {e}"),
+            ServiceError::Quarantined {
+                session_id,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "session {session_id} quarantined after {attempts} recovery attempts: {cause}"
+            ),
         }
     }
 }
@@ -90,6 +112,13 @@ mod tests {
             .contains("id 8"));
         let e: ServiceError = ProtocolError::UnknownSession { session_id: 9 }.into();
         assert!(e.to_string().contains("unknown session id 9"));
+        let q = ServiceError::Quarantined {
+            session_id: 5,
+            attempts: 3,
+            cause: "worker panicked".into(),
+        }
+        .to_string();
+        assert!(q.contains("session 5") && q.contains("3 recovery") && q.contains("panicked"));
         use std::error::Error as _;
         assert!(e.source().is_some());
         assert!(ServiceError::NoOpenRound { session_id: 1 }

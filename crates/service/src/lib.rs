@@ -33,15 +33,31 @@
 //! any snapshot/restore point yields the same extraction as driving each
 //! session serially ([`service_smoke`'s] CI-gated claim).
 //!
+//! On top of the registry sits the fault-tolerance tier:
+//!
+//! * **Supervision** — [`Supervisor`] wraps the registry with
+//!   round-boundary checkpoints, a bounded per-round frame journal, and a
+//!   recovery loop (evict → restore → re-drive) under a typed
+//!   [`RetryPolicy`] (bounded attempts, exponential backoff with
+//!   deterministic jitter, lifetime failure budget);
+//! * **Graceful degradation** — sessions that exhaust their budget are
+//!   [quarantined](ServiceError::Quarantined) with a typed error while
+//!   every other session keeps progressing; recovered extractions stay
+//!   bit-identical to fault-free twins (the CI-gated `chaos_smoke` claim).
+//!
 //! [`Session`]: privshape_protocol::Session
 //! [`IngestPipeline`]: privshape_protocol::IngestPipeline
 //! [`service_smoke`'s]: https://example.invalid/privshape-repro
 
 mod error;
+mod policy;
 mod registry;
+mod supervisor;
 
 pub use error::{Result, ServiceError};
+pub use policy::RetryPolicy;
 pub use registry::{ServiceConfig, ServiceRegistry};
+pub use supervisor::{QuarantineReport, RecoveryStats, Supervisor, CHECKPOINT_DEPTH};
 
 #[cfg(test)]
 mod tests {

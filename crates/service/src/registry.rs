@@ -2,7 +2,7 @@
 
 use crate::error::{Result, ServiceError};
 use privshape_protocol::{
-    Error as ProtocolError, Extraction, IngestConfig, IngestPipeline, IngestStats,
+    Error as ProtocolError, Extraction, FaultPlan, IngestConfig, IngestPipeline, IngestStats,
     LabeledExtraction, RoundSpec, RoutedFrame, Session,
 };
 use std::collections::{HashMap, VecDeque};
@@ -172,6 +172,19 @@ impl ServiceRegistry {
     /// or `None` when the protocol is complete (then call
     /// [`finish`](Self::finish) / [`finish_labeled`](Self::finish_labeled)).
     pub fn begin_round(&self, id: u64) -> Result<Option<RoundSpec>> {
+        self.begin_round_chaos(id, None)
+    }
+
+    /// [`begin_round`](Self::begin_round) with an optional
+    /// [`FaultPlan`] chaos hook installed on the round's ingest pipeline
+    /// (see [`privshape_protocol::chaos`]). `None` is exactly
+    /// `begin_round`; the registry itself stores no chaos state — a
+    /// supervisor re-passes the session's plan each round.
+    pub fn begin_round_chaos(
+        &self,
+        id: u64,
+        chaos: Option<Arc<FaultPlan>>,
+    ) -> Result<Option<RoundSpec>> {
         let slot = self.slot(id)?;
         let mut session = slot.driver.lock().expect("driver lock");
         let spec = session.next_round()?;
@@ -179,7 +192,9 @@ impl ServiceRegistry {
         match &spec {
             Some(_) => {
                 route.generation = session.round_generation();
-                route.pipeline = Some(Arc::new(session.ingest_pipeline(self.config.ingest)?));
+                route.pipeline = Some(Arc::new(
+                    session.ingest_pipeline_chaos(self.config.ingest, chaos)?,
+                ));
             }
             None => {
                 route.generation = None;
@@ -271,11 +286,15 @@ impl ServiceRegistry {
                 }
             }
         };
-        let (shard, stats) = pipeline.finish_with_stats()?;
+        let (result, stats) = pipeline.finish_accounted();
+        // Fold the round's counters in even when it failed: the session's
+        // health metrics (worker panics above all) must survive a crashed
+        // round so supervisors and diagnostics see *why* it died.
+        session.record_ingest_stats(&stats);
+        let shard = result?;
         if shard.reports() > 0 {
             session.submit_shard(&shard)?;
         }
-        session.record_ingest_stats(&stats);
         Ok(())
     }
 
@@ -315,6 +334,15 @@ impl ServiceRegistry {
         let slot = self.slot(id)?;
         let session = slot.driver.lock().expect("driver lock");
         Ok(session.ingest_stats())
+    }
+
+    /// The client seed the session was configured with
+    /// ([`Session::seed`]) — supervisors derive deterministic retry
+    /// jitter from it.
+    pub fn session_seed(&self, id: u64) -> Result<u64> {
+        let slot = self.slot(id)?;
+        let session = slot.driver.lock().expect("driver lock");
+        Ok(session.seed())
     }
 
     /// Serializes one resident session into a crash-safe snapshot frame
