@@ -28,7 +28,7 @@ use std::process::ExitCode;
 type Extractor = fn(&Json) -> Metrics;
 
 /// The gated trajectory files: extractor + improvement direction.
-const FILES: [(&str, Extractor, Direction); 6] = [
+const FILES: [(&str, Extractor, Direction); 7] = [
     (
         "BENCH_protocol.json",
         gate::protocol_metrics,
@@ -52,6 +52,11 @@ const FILES: [(&str, Extractor, Direction); 6] = [
     (
         "BENCH_chaos.json",
         gate::chaos_metrics,
+        Direction::HigherIsBetter,
+    ),
+    (
+        "BENCH_continual.json",
+        gate::continual_metrics,
         Direction::HigherIsBetter,
     ),
     (

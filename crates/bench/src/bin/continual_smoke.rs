@@ -1,0 +1,393 @@
+//! Continual extraction smoke test: twelve epochs of a sliding-window
+//! [`ContinualDriver`] tracking a drifting population through an abrupt
+//! regime change, every epoch driven through a [`ServiceRegistry`] as a
+//! routed service session *and* serially in-process, with the two
+//! extractions asserted **bit-identical** before any number is trusted.
+//!
+//! What the run demonstrates (and asserts):
+//!
+//! * **Tracking** — before the switch the extractor surfaces the old
+//!   regime's classes; within a bounded lag (≤ 3 epochs, the window
+//!   length) of the switch the retired class disappears and the new
+//!   class surfaces. Per-epoch precision/recall/F against the
+//!   window-level ground truth goes into the trajectory file.
+//! * **Amplification accounting** — every epoch's debited cost equals
+//!   the closed form `ln(1 + q·(e^ε − 1))` and the ledger's cumulative
+//!   spend equals `epochs × cost` exactly; the budget is sized so the
+//!   thirteenth epoch is refused with a typed
+//!   [`BudgetExhausted`](privshape_ldp::LdpError::BudgetExhausted).
+//! * **Recovery** — one mid-run epoch rehearses a crash
+//!   (snapshot → evict → restore) between rounds; its extraction still
+//!   matches the serial twin bit for bit.
+//!
+//! Writes `results/BENCH_continual.json` (per-epoch F-measure, amplified
+//! ε, throughput) so CI keeps a trajectory and `bench_gate` can hold the
+//! line.
+//!
+//! Usage: `cargo run --release -p privshape-bench --bin continual_smoke
+//!         [--users N] [--seed N] [--out DIR] [--quick]`
+//!
+//! `--users` is the arrival batch size *per epoch* (default 5000).
+
+use privshape::protocol::{ContinualConfig, ContinualDriver, Error, PrivShapeConfig};
+use privshape_bench::quality::{nearest_palette, shape_f_measure, symbols_ground_truth};
+use privshape_bench::ExpCtx;
+use privshape_datasets::{
+    drift_epoch, symbols_template, Augment, DriftConfig, DriftKind, SYMBOLS_LEN,
+};
+use privshape_ldp::{amplified_epsilon, Epsilon, LdpError};
+use privshape_service::{drive_epoch as drive_routed, ServiceConfig, ServiceRegistry};
+use privshape_timeseries::{SaxParams, SymbolSeq};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Epochs the budget pays for.
+const EPOCHS: usize = 12;
+/// Sliding-window length in epochs — also the tracking-lag bound.
+const WINDOW_EPOCHS: usize = 3;
+/// First epoch whose arrivals draw from the new regime.
+const SWITCH_EPOCH: usize = 6;
+/// Per-epoch Bernoulli participation probability.
+const RATE: f64 = 0.35;
+/// Per-report perturbation budget ε of each epoch's session.
+const BASE_EPS: f64 = 4.0;
+/// Shapes extracted per epoch (each regime mixes two classes).
+const K: usize = 2;
+/// Symbols-like classes the drift stream draws from.
+const PALETTE: usize = 4;
+/// A class is window-active when its share of the window is at least
+/// this (each regime's classes hold 1/2 of their epochs' arrivals).
+const ACTIVE_SHARE: f64 = 0.2;
+/// Reports per sealed wire frame on the routed path.
+const FRAME_REPORTS: usize = 256;
+/// Smallest per-epoch arrival batch the tracking asserts are
+/// calibrated for (`--users` below this is raised to it).
+const MIN_ARRIVALS: usize = 5000;
+/// The epoch that rehearses the crash/restore drill, and after which of
+/// its rounds.
+const CRASH_EPOCH: usize = 7;
+const CRASH_AFTER_ROUND: u32 = 2;
+
+/// One epoch's outcome for the trajectory file.
+struct EpochRow {
+    epoch: usize,
+    window_users: usize,
+    sampled_users: usize,
+    amplified: f64,
+    spent: f64,
+    precision: f64,
+    recall: f64,
+    f: f64,
+    reports: usize,
+    secs: f64,
+    surfaced: Vec<usize>,
+}
+
+fn main() {
+    let ctx = ExpCtx::from_env(MIN_ARRIVALS, 1);
+    // The tracking asserts (bounded lag, perfect final F) are calibrated
+    // for ≥ MIN_ARRIVALS arrivals per epoch: smaller samples can
+    // legitimately extract a noisy variant that classifies wrong.
+    let arrivals = ctx.users.max(MIN_ARRIVALS);
+    if arrivals != ctx.users {
+        println!(
+            "note: raising arrivals per epoch from {} to the calibrated minimum {}",
+            ctx.users, MIN_ARRIVALS
+        );
+    }
+    let seed = ctx.trial_seed(0);
+    let sax = SaxParams::new(10, 4).expect("valid SAX params");
+    // Drift runs over Symbols-like classes 0..4: at this SAX resolution
+    // their essential shapes are distinct *and* of near-equal compressed
+    // length (7, 7, 6, 6), so one session can surface any pair of them —
+    // the length-estimation round commits every epoch to a single
+    // dominant length, which classes of very different compressed
+    // lengths (e.g. the Trace-like palette's 3 vs 8) cannot share.
+    let mut palette_shapes = symbols_ground_truth(&sax);
+    palette_shapes.truncate(PALETTE);
+
+    // The per-epoch session.
+    let mut base = PrivShapeConfig::new(Epsilon::new(BASE_EPS).expect("valid eps"), K, sax);
+    base.length_range = (1, 10);
+    base.seed = seed;
+
+    // Size the budget for exactly EPOCHS amplified epochs: the fraction
+    // left after the twelfth cannot pay for a thirteenth.
+    let per_epoch = amplified_epsilon(base.epsilon, RATE).expect("valid rate");
+    let total_budget =
+        Epsilon::new((EPOCHS as f64 + 0.4) * per_epoch.value()).expect("positive budget");
+
+    let mut driver = ContinualDriver::new(ContinualConfig {
+        base,
+        window_epochs: WINDOW_EPOCHS,
+        sampling_rate: RATE,
+        total_budget,
+        min_epoch_users: 150,
+    })
+    .expect("valid continual config");
+
+    // Arrivals: an abrupt regime change — classes {0, 1} before the
+    // switch, {0, 2} from it on (class 0 persists across it).
+    let drift = DriftConfig {
+        palette: (0..PALETTE).map(symbols_template).collect(),
+        kind: DriftKind::RegimeChange {
+            old: vec![0, 1],
+            new: vec![0, 2],
+            switch_epoch: SWITCH_EPOCH,
+        },
+        n_per_epoch: arrivals,
+        length: SYMBOLS_LEN,
+        augment: Augment::default(),
+        seed,
+    };
+
+    println!(
+        "continual smoke: {EPOCHS} epochs x {} arrivals, window {WINDOW_EPOCHS}, \
+         rate {RATE}, eps {BASE_EPS} (amplified {:.4}), switch at epoch {SWITCH_EPOCH}",
+        arrivals,
+        per_epoch.value()
+    );
+    println!(
+        "{:<6} {:>8} {:>8} {:>10} {:>9} {:>6} {:>6} {:>6} {:>10}  surfaced",
+        "epoch", "window", "sampled", "amp_eps", "spent", "prec", "rec", "F", "reports/s"
+    );
+
+    let registry = ServiceRegistry::new(ServiceConfig::default());
+    // Per-epoch truth shares resident in the window, for window-level
+    // ground truth (batches are equally sized, so window share = mean).
+    let mut window_truth: VecDeque<Vec<(usize, f64)>> = VecDeque::new();
+    let mut rows: Vec<EpochRow> = Vec::new();
+    let mut first_new_surfaced: Option<usize> = None;
+
+    for epoch in 0..EPOCHS {
+        let batch = drift_epoch(&drift, epoch);
+        window_truth.push_back(batch.truth.iter().map(|&(c, s, _)| (c, s)).collect());
+        while window_truth.len() > WINDOW_EPOCHS {
+            window_truth.pop_front();
+        }
+        driver.observe(batch.series);
+
+        let plan = driver.begin_epoch().expect("budget covers EPOCHS epochs");
+        assert_eq!(plan.epoch, epoch);
+
+        // The debit matches the closed form, and the ledger composes it
+        // exactly: spend after epoch e is (e + 1) charges of the same
+        // amplified cost.
+        assert!(
+            (plan.amplified.value() - per_epoch.value()).abs() < 1e-9,
+            "epoch {epoch}: charged {} against closed form {}",
+            plan.amplified.value(),
+            per_epoch.value()
+        );
+        assert!(
+            (plan.spent - (epoch + 1) as f64 * per_epoch.value()).abs() < 1e-6,
+            "epoch {epoch}: ledger spend {} drifted",
+            plan.spent
+        );
+        assert!(plan.amplified.value() < BASE_EPS);
+
+        // Serial twin first, then the routed service drive (with the
+        // crash drill at CRASH_EPOCH); they must agree bit for bit.
+        let serial = drive_serial(&plan);
+        let crash = (epoch == CRASH_EPOCH).then_some(CRASH_AFTER_ROUND);
+        let start = Instant::now();
+        let routed = drive_routed(&registry, &plan, FRAME_REPORTS, crash).expect("routed epoch");
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(
+            routed.shapes, serial.shapes,
+            "epoch {epoch}: routed drive diverged from the serial twin"
+        );
+
+        // Window-level ground truth and shape-level scores.
+        let active = window_active(&window_truth, ACTIVE_SHARE);
+        let extracted: Vec<SymbolSeq> = routed.sequences();
+        let fm = shape_f_measure(&extracted, &palette_shapes, &active);
+        let mut surfaced: Vec<usize> = extracted
+            .iter()
+            .map(|s| nearest_palette(s, &palette_shapes))
+            .collect();
+        surfaced.sort_unstable();
+        surfaced.dedup();
+
+        // Tracking-lag invariants around the regime change.
+        if epoch < SWITCH_EPOCH {
+            assert!(
+                surfaced.iter().all(|c| [0, 1].contains(c)),
+                "epoch {epoch}: pre-switch extraction surfaced {surfaced:?}"
+            );
+        }
+        if surfaced.contains(&2) && first_new_surfaced.is_none() {
+            first_new_surfaced = Some(epoch);
+        }
+        if epoch >= SWITCH_EPOCH + WINDOW_EPOCHS {
+            assert!(
+                !surfaced.contains(&1),
+                "epoch {epoch}: retired class 1 still surfaced {surfaced:?}"
+            );
+        }
+
+        let reports = plan.sampled_users() - routed.diagnostics.unassigned_users;
+        println!(
+            "{:<6} {:>8} {:>8} {:>10.4} {:>9.3} {:>6.2} {:>6.2} {:>6.2} {:>10.0}  {:?}{}",
+            epoch,
+            plan.window_users,
+            plan.sampled_users(),
+            plan.amplified.value(),
+            plan.spent,
+            fm.precision,
+            fm.recall,
+            fm.f,
+            reports as f64 / secs,
+            surfaced,
+            if crash.is_some() {
+                "  [crash drill]"
+            } else {
+                ""
+            }
+        );
+        rows.push(EpochRow {
+            epoch,
+            window_users: plan.window_users,
+            sampled_users: plan.sampled_users(),
+            amplified: plan.amplified.value(),
+            spent: plan.spent,
+            precision: fm.precision,
+            recall: fm.recall,
+            f: fm.f,
+            reports,
+            secs,
+            surfaced,
+        });
+    }
+
+    // Entry lag: the new regime's class surfaces within the window
+    // length of the switch.
+    let entered = first_new_surfaced.expect("new regime class never surfaced");
+    assert!(
+        entered <= SWITCH_EPOCH + WINDOW_EPOCHS,
+        "class 2 first surfaced at epoch {entered}"
+    );
+    assert!(
+        entered >= SWITCH_EPOCH,
+        "class 2 surfaced before any of it arrived"
+    );
+
+    // The final window is all-new-regime: extraction must be perfect at
+    // the shape level.
+    let last = rows.last().expect("ran epochs");
+    assert_eq!(last.f, 1.0, "final epoch F-measure {}", last.f);
+
+    // A thirteenth epoch is refused by the ledger, typed, without
+    // advancing anything.
+    driver.observe(drift_epoch(&drift, EPOCHS).series);
+    let spent_before = driver.ledger().spent();
+    match driver.begin_epoch() {
+        Err(Error::Ldp(LdpError::BudgetExhausted {
+            requested,
+            remaining,
+        })) => {
+            assert!((requested - per_epoch.value()).abs() < 1e-9);
+            assert!(remaining < per_epoch.value());
+            println!(
+                "\nepoch {EPOCHS} refused: budget exhausted \
+                 (needs eps {requested:.4}, remaining {remaining:.4})"
+            );
+        }
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+    assert_eq!(driver.ledger().spent(), spent_before);
+    assert_eq!(driver.epoch(), EPOCHS);
+    assert_eq!(driver.ledger().epochs(), EPOCHS);
+    assert_eq!(registry.active_sessions(), 0);
+
+    let total_reports: usize = rows.iter().map(|r| r.reports).sum();
+    let total_secs: f64 = rows.iter().map(|r| r.secs).sum();
+    let mean_rps = total_reports as f64 / total_secs;
+    println!(
+        "\n{EPOCHS} epochs in {total_secs:.2}s ({mean_rps:.0} reports/s); \
+         class 2 entered at epoch {entered} (switch {SWITCH_EPOCH}, window {WINDOW_EPOCHS}); \
+         spent eps {:.3} of {:.3}; every epoch bit-identical to its serial twin",
+        driver.ledger().spent(),
+        driver.ledger().total().value()
+    );
+
+    // Hand-rolled JSON (the workspace is offline — no serde).
+    let mut json = format!(
+        "{{\n  \"epochs\": {EPOCHS}, \"window_epochs\": {WINDOW_EPOCHS}, \
+         \"switch_epoch\": {SWITCH_EPOCH},\n  \
+         \"arrivals_per_epoch\": {}, \"sampling_rate\": {RATE}, \"base_eps\": {BASE_EPS},\n  \
+         \"amplified_eps\": {:.6}, \"total_budget\": {:.6}, \"spent\": {:.6},\n  \
+         \"budget_refused_next_epoch\": true, \"new_class_entered_epoch\": {entered},\n  \
+         \"mean_reports_per_sec\": {:.1}, \"final_f_measure\": {:.4},\n  \"per_epoch\": [\n",
+        arrivals,
+        per_epoch.value(),
+        driver.ledger().total().value(),
+        driver.ledger().spent(),
+        mean_rps,
+        last.f,
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let surfaced: Vec<String> = r.surfaced.iter().map(|c| c.to_string()).collect();
+        json.push_str(&format!(
+            "    {{\"epoch\": {}, \"window_users\": {}, \"sampled_users\": {}, \
+             \"amplified_eps\": {:.6},\n     \"spent\": {:.6}, \"precision\": {:.4}, \
+             \"recall\": {:.4}, \"f_measure\": {:.4},\n     \
+             \"reports\": {}, \"reports_per_sec\": {:.1}, \"surfaced\": [{}]}}{}\n",
+            r.epoch,
+            r.window_users,
+            r.sampled_users,
+            r.amplified,
+            r.spent,
+            r.precision,
+            r.recall,
+            r.f,
+            r.reports,
+            r.reports as f64 / r.secs,
+            surfaced.join(", "),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::create_dir_all(&ctx.out_dir).expect("create output dir");
+    let path = ctx.out_dir.join("BENCH_continual.json");
+    std::fs::write(&path, json).expect("write BENCH_continual.json");
+    println!("wrote {}", path.display());
+}
+
+/// Serial twin of one plan: the plain submit path, no service tier.
+fn drive_serial(plan: &privshape::protocol::EpochPlan) -> privshape::protocol::Extraction {
+    let mut session = plan.session().expect("materialize session");
+    let mut clients = plan.clients(&session);
+    while let Some(spec) = session.next_round().expect("round") {
+        let mut reports = Vec::new();
+        for c in clients.iter_mut() {
+            if let Some(r) = c.answer(&spec).expect("client answer") {
+                reports.push(r);
+            }
+        }
+        session.submit(&reports).expect("submit");
+    }
+    session.finish().expect("finish")
+}
+
+/// Classes whose mean share across the resident window is at least
+/// `min_share` (arrival batches are equally sized).
+fn window_active(window: &VecDeque<Vec<(usize, f64)>>, min_share: f64) -> Vec<usize> {
+    let mut shares: Vec<(usize, f64)> = Vec::new();
+    for epoch_truth in window {
+        for &(class, share) in epoch_truth {
+            match shares.iter_mut().find(|(c, _)| *c == class) {
+                Some((_, s)) => *s += share,
+                None => shares.push((class, share)),
+            }
+        }
+    }
+    let mut active: Vec<usize> = shares
+        .iter()
+        .filter(|(_, s)| s / window.len() as f64 >= min_share)
+        .map(|(c, _)| *c)
+        .collect();
+    active.sort_unstable();
+    active
+}

@@ -322,6 +322,23 @@ pub fn chaos_metrics(doc: &Json) -> Metrics {
     out
 }
 
+/// Metrics of `BENCH_continual.json`: the continual mode's mean epoch
+/// throughput and the final epoch's shape-level F-measure (the window is
+/// all-new-regime by then, so 1.0 is achievable and the run asserts it
+/// at the calibrated scale — the gate holds it against silent decay).
+/// Per-epoch ledger arithmetic and tracking lag are asserted exactly by
+/// `continual_smoke` itself and stay informational here.
+pub fn continual_metrics(doc: &Json) -> Metrics {
+    let mut out = Vec::new();
+    if let Some(v) = doc.num("mean_reports_per_sec") {
+        out.push(("continual.reports_per_sec".to_string(), v));
+    }
+    if let Some(v) = doc.num("final_f_measure") {
+        out.push(("continual.final_f_measure".to_string(), v));
+    }
+    out
+}
+
 /// Metrics of `BENCH_quality.json`: per-cell DTW and SED distance to the
 /// generator's ground truth, keyed by the cell's matrix coordinates.
 ///
@@ -574,6 +591,20 @@ mod tests {
         assert_eq!(
             service_metrics(&service),
             vec![("service.reports_per_sec".to_string(), 800000.0)]
+        );
+        let continual = Json::parse(
+            r#"{"epochs": 12, "mean_reports_per_sec": 250000.5,
+                "final_f_measure": 1.0, "new_class_entered_epoch": 7}"#,
+        )
+        .unwrap();
+        // Lag and ledger numbers are asserted by the smoke itself; the
+        // gate holds throughput and final tracking quality.
+        assert_eq!(
+            continual_metrics(&continual),
+            vec![
+                ("continual.reports_per_sec".to_string(), 250000.5),
+                ("continual.final_f_measure".to_string(), 1.0),
+            ]
         );
         let chaos = Json::parse(
             r#"{"sessions": 9, "recovered_sessions": 3, "quarantined_sessions": 1,

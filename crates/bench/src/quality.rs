@@ -82,6 +82,76 @@ pub fn shape_quality(extracted: &[SymbolSeq], ground_truth: &[SymbolSeq]) -> Opt
     })
 }
 
+/// Index of the palette shape nearest to `shape` under string edit
+/// distance (ties resolve to the lowest index).
+///
+/// # Panics
+///
+/// Panics on an empty palette.
+pub fn nearest_palette(shape: &SymbolSeq, palette: &[SymbolSeq]) -> usize {
+    assert!(!palette.is_empty(), "palette must hold at least one shape");
+    let mut ws = DistanceWorkspace::new();
+    let mut best = (0usize, f64::INFINITY);
+    for (i, p) in palette.iter().enumerate() {
+        let d = DistanceKind::Sed.dist_with(&mut ws, shape.symbols(), p.symbols());
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best.0
+}
+
+/// Shape-level precision/recall/F for continual tracking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FMeasure {
+    /// Fraction of extracted shapes whose nearest palette shape is an
+    /// active class (nothing stale or spurious surfaced).
+    pub precision: f64,
+    /// Fraction of active classes covered by at least one extracted
+    /// shape (nothing current missed).
+    pub recall: f64,
+    /// Harmonic mean of the two (0 when both are 0).
+    pub f: f64,
+}
+
+/// Scores an extraction against the epoch's *active* classes, using the
+/// full palette as distractors: each extracted shape votes for its
+/// nearest palette shape ([`nearest_palette`]), precision counts votes
+/// landing on active classes, recall counts active classes receiving at
+/// least one vote. Nearest-neighbor classification avoids absolute
+/// distance thresholds, so the score is robust to LDP noise as long as
+/// the palette classes stay better separated than the noise floor.
+pub fn shape_f_measure(
+    extracted: &[SymbolSeq],
+    palette: &[SymbolSeq],
+    active: &[usize],
+) -> FMeasure {
+    if extracted.is_empty() || active.is_empty() {
+        return FMeasure {
+            precision: 0.0,
+            recall: 0.0,
+            f: 0.0,
+        };
+    }
+    let votes: Vec<usize> = extracted
+        .iter()
+        .map(|s| nearest_palette(s, palette))
+        .collect();
+    let precision =
+        votes.iter().filter(|v| active.contains(v)).count() as f64 / extracted.len() as f64;
+    let recall = active.iter().filter(|a| votes.contains(a)).count() as f64 / active.len() as f64;
+    let f = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    FMeasure {
+        precision,
+        recall,
+        f,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +197,28 @@ mod tests {
         let params = SaxParams::new(10, 4).unwrap();
         let gt = trace_ground_truth(&params);
         assert!(shape_quality(&[], &gt).is_none());
+    }
+
+    #[test]
+    fn f_measure_scores_tracking() {
+        let params = SaxParams::new(10, 4).unwrap();
+        let palette = trace_ground_truth(&params);
+        // Perfect: both active classes surfaced, nothing else.
+        let perfect = shape_f_measure(&[palette[0].clone(), palette[2].clone()], &palette, &[0, 2]);
+        assert_eq!(
+            (perfect.precision, perfect.recall, perfect.f),
+            (1.0, 1.0, 1.0)
+        );
+        // A stale shape costs precision, a missed class costs recall.
+        let stale = shape_f_measure(&[palette[0].clone(), palette[1].clone()], &palette, &[0, 2]);
+        assert_eq!(stale.precision, 0.5);
+        assert_eq!(stale.recall, 0.5);
+        assert!((stale.f - 0.5).abs() < 1e-12);
+        // Empty extraction scores zero.
+        let none = shape_f_measure(&[], &palette, &[0]);
+        assert_eq!(none.f, 0.0);
+        // Nearest-palette classification tolerates small perturbations.
+        assert_eq!(nearest_palette(&palette[1], &palette), 1);
     }
 
     #[test]

@@ -49,6 +49,22 @@ impl Augment {
     /// augmentation so the noise contributes to the variance the way real
     /// sensor noise would.
     pub fn apply<R: Rng + ?Sized>(&self, template: &Template, len: usize, rng: &mut R) -> Vec<f64> {
+        self.apply_curve(|x| template.eval(x), len, rng)
+    }
+
+    /// [`Augment::apply`] over an arbitrary curve on `[0, 1]` instead of a
+    /// [`Template`] — the drift generators use this to augment *blends* of
+    /// two templates (slow morphs) that are not themselves templates.
+    ///
+    /// Draw order is identical to [`Augment::apply`], so for the same RNG
+    /// state `apply(t, ..)` and `apply_curve(|x| t.eval(x), ..)` produce
+    /// the same instance.
+    pub fn apply_curve<R: Rng + ?Sized, F: Fn(f64) -> f64>(
+        &self,
+        curve: F,
+        len: usize,
+        rng: &mut R,
+    ) -> Vec<f64> {
         let scale = 1.0 + self.scale_jitter * (2.0 * rng.random::<f64>() - 1.0);
         let shift = self.shift_frac * (2.0 * rng.random::<f64>() - 1.0);
         let warp = MonotoneWarp::random(self.warp_strength, rng);
@@ -56,7 +72,7 @@ impl Augment {
             .map(|i| {
                 let x = i as f64 / (len - 1).max(1) as f64;
                 let warped = (warp.eval(x) + shift).clamp(0.0, 1.0);
-                scale * template.eval(warped) + self.noise_std * standard_normal(rng)
+                scale * curve(warped) + self.noise_std * standard_normal(rng)
             })
             .collect()
     }
@@ -157,6 +173,15 @@ mod tests {
             assert_eq!(w.eval(0.0), 0.0);
             assert_eq!(w.eval(1.0), 1.0);
         }
+    }
+
+    #[test]
+    fn apply_curve_matches_apply_for_template_curves() {
+        let aug = Augment::default();
+        let t = template();
+        let a = aug.apply(&t, 120, &mut ChaCha12Rng::seed_from_u64(11));
+        let b = aug.apply_curve(|x| t.eval(x), 120, &mut ChaCha12Rng::seed_from_u64(11));
+        assert_eq!(a, b);
     }
 
     #[test]

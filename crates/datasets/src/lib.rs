@@ -16,6 +16,11 @@
 //! Real UCR files can still be used through
 //! [`privshape_timeseries::read_ucr_file`].
 //!
+//! For the continual extraction mode, the [`drift_epoch`] generators
+//! produce per-epoch arrival batches whose class mixture changes over
+//! time (regime switches, seasonal fade-in/out, slow morphs), each with
+//! its epoch's ground-truth shapes attached.
+//!
 //! # Example
 //!
 //! ```
@@ -30,11 +35,13 @@
 //! ```
 
 mod augment;
+mod drift;
 mod generator;
 mod template;
 mod trig;
 
 pub use augment::Augment;
+pub use drift::{drift_epoch, epoch_mixture, DriftConfig, DriftEpoch, DriftKind};
 pub use generator::{
     generate_leak_series, generate_symbols_like, generate_trace_like, generate_trace_like_counts,
     leak_template, symbols_template, trace_template, zipf_counts, SymbolsLikeConfig,

@@ -31,6 +31,15 @@ pub enum LdpError {
     /// A report decoded from an untrusted source violated a structural
     /// invariant (e.g. OUE set bits not strictly ascending).
     MalformedReport(String),
+    /// A cumulative budget ledger refused a charge that would overdraw
+    /// the user-level budget (see
+    /// [`theory::amplification::BudgetLedger`](crate::theory::amplification::BudgetLedger)).
+    BudgetExhausted {
+        /// Amplified ε the refused charge asked for.
+        requested: f64,
+        /// Budget that was still unspent when the charge was refused.
+        remaining: f64,
+    },
 }
 
 impl fmt::Display for LdpError {
@@ -48,6 +57,13 @@ impl fmt::Display for LdpError {
             }
             LdpError::NoCandidates => write!(f, "exponential mechanism needs >= 1 candidate"),
             LdpError::MalformedReport(msg) => write!(f, "malformed report: {msg}"),
+            LdpError::BudgetExhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "budget exhausted: charge of ε={requested} exceeds remaining ε={remaining}"
+            ),
         }
     }
 }
@@ -181,5 +197,11 @@ mod tests {
         assert_eq!(Epsilon::new(4.0).unwrap().to_string(), "ε=4");
         let err = Epsilon::new(-1.0).unwrap_err();
         assert!(err.to_string().contains("finite"));
+        let exhausted = LdpError::BudgetExhausted {
+            requested: 2.5,
+            remaining: 1.25,
+        }
+        .to_string();
+        assert!(exhausted.contains("2.5") && exhausted.contains("1.25"));
     }
 }

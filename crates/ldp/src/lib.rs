@@ -14,7 +14,10 @@
 //! * [`PiecewiseMechanism`] — Wang et al.'s Piecewise Mechanism for bounded
 //!   numeric values (used by the PatternLDP baseline);
 //! * [`laplace_noise`] — Laplace sampling for value-perturbation ablations;
-//! * [`theory`] — closed-form estimator variances used in tests and docs.
+//! * [`theory`] — closed-form estimator variances used in tests and docs,
+//!   plus [`theory::amplification`]: the subsampled-ε bound and the
+//!   cumulative [`BudgetLedger`] the continual extraction mode spends
+//!   against.
 //!
 //! All primitives take the RNG explicitly so simulations are deterministic.
 //!
@@ -35,6 +38,10 @@
 //! assert!(est[2] > 800.0); // unbiased estimate concentrates near 1000
 //! ```
 
+// Redundant with the workspace-level lint, but explicit: every public
+// item in the privacy substrate must be documented.
+#![warn(missing_docs)]
+
 mod budget;
 mod em;
 mod grr;
@@ -51,3 +58,4 @@ pub use laplace::laplace_noise;
 pub use olh::{Olh, OlhAggregator, OlhReport};
 pub use oue::{Oue, OueAggregator, OueReport};
 pub use piecewise::{PiecewiseAggregator, PiecewiseMechanism};
+pub use theory::amplification::{amplified_epsilon, rate_for_amplified, BudgetLedger, EpochCharge};

@@ -5,6 +5,12 @@
 //! `c·k·L` refinement grid OUE — whose variance is domain-independent — is
 //! the better oracle (§V-E). They also power sanity tests on the empirical
 //! estimators.
+//!
+//! The [`amplification`] submodule carries the second body of theory this
+//! workspace leans on: privacy amplification by subsampling and the
+//! cumulative budget ledger of the continual extraction mode.
+
+pub mod amplification;
 
 /// Variance of the GRR unbiased count estimator for one item, with `n`
 /// reports, domain `d`, budget `eps`, in the low-frequency regime

@@ -1,0 +1,255 @@
+//! Privacy amplification by subsampling, and the cumulative user-level
+//! budget ledger the continual extraction mode spends against.
+//!
+//! When each epoch runs the mechanism over a Bernoulli sample of the
+//! population (every user included independently with probability `q`),
+//! an ε-LDP report costs the *sampled* user ε — but against an observer
+//! of the whole epoch the effective guarantee tightens to
+//!
+//! ```text
+//! ε' = ln(1 + q·(e^ε − 1))
+//! ```
+//!
+//! the classic amplification-by-subsampling bound (Balle et al. 2018;
+//! "Privacy Amplification by Subsampling in Time Domain" applies it
+//! epoch-wise exactly as here). Two limits anchor the formula: `q = 1`
+//! recovers ε (no sampling, no amplification), and as `q → 0` the bound
+//! decays like `q·(e^ε − 1)` — rare participation is cheap.
+//!
+//! [`BudgetLedger`] turns the per-epoch bound into a *user-level*
+//! guarantee over the whole continual run: amplified epoch costs add by
+//! sequential composition (every epoch may observe the same user), and
+//! the ledger refuses any charge that would push the cumulative spend
+//! past the configured total with a typed
+//! [`BudgetExhausted`](LdpError::BudgetExhausted) error — the driver
+//! stops extracting instead of silently overdrawing.
+
+use crate::budget::{Epsilon, LdpError, Result};
+
+/// The subsampling-amplified budget: `ε' = ln(1 + rate·(e^ε − 1))`.
+///
+/// `rate` is the Bernoulli sampling probability and must lie in
+/// `(0, 1]`; `rate = 1` returns `base` unchanged. The result is computed
+/// via `ln_1p`/`exp_m1` for accuracy at small rates and clamped to
+/// `base`, so `amplified ≤ base` holds *exactly*, never just up to
+/// rounding.
+///
+/// # Errors
+///
+/// [`LdpError::ValueOutOfRange`] when `rate` is outside `(0, 1]` or not
+/// finite.
+pub fn amplified_epsilon(base: Epsilon, rate: f64) -> Result<Epsilon> {
+    if !rate.is_finite() || rate <= 0.0 || rate > 1.0 {
+        return Err(LdpError::ValueOutOfRange {
+            value: rate,
+            lo: 0.0,
+            hi: 1.0,
+        });
+    }
+    if rate == 1.0 {
+        return Ok(base);
+    }
+    let amplified = (rate * base.value().exp_m1()).ln_1p().min(base.value());
+    Epsilon::new(amplified)
+}
+
+/// The sampling rate that achieves a target amplified budget: the
+/// inverse of [`amplified_epsilon`], `q = (e^ε' − 1) / (e^ε − 1)`.
+///
+/// Useful for planning: given a per-epoch base ε and a desired effective
+/// ε' per epoch, how aggressively must the driver subsample?
+///
+/// # Errors
+///
+/// [`LdpError::InvalidEpsilon`] when `target > base` (amplification can
+/// only shrink a budget, so no rate achieves it).
+pub fn rate_for_amplified(base: Epsilon, target: Epsilon) -> Result<f64> {
+    if target.value() > base.value() {
+        return Err(LdpError::InvalidEpsilon(target.value()));
+    }
+    Ok((target.value().exp_m1() / base.value().exp_m1()).min(1.0))
+}
+
+/// One accepted epoch charge, as recorded by the [`BudgetLedger`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochCharge {
+    /// Zero-based index of the epoch (assigned in charge order).
+    pub epoch: usize,
+    /// The per-report base budget the epoch's mechanism ran under.
+    pub base: Epsilon,
+    /// The Bernoulli sampling rate the epoch used.
+    pub rate: f64,
+    /// The amplified cost actually debited: `ln(1 + rate·(e^base − 1))`.
+    pub amplified: Epsilon,
+}
+
+/// A cumulative user-level privacy ledger for continual extraction.
+///
+/// Every epoch observes (a sample of) the same sliding-window
+/// population, so epoch costs compose *sequentially*: the ledger debits
+/// each epoch's amplified ε and refuses — with a typed
+/// [`LdpError::BudgetExhausted`] — any charge that would push the total
+/// spend past the configured budget. The check and the debit use the
+/// same floating-point sum, so the invariant `spent() ≤ total()` holds
+/// exactly for every accepted sequence of charges.
+#[derive(Debug, Clone)]
+pub struct BudgetLedger {
+    total: Epsilon,
+    spent: f64,
+    charges: Vec<EpochCharge>,
+}
+
+impl BudgetLedger {
+    /// Opens a ledger holding `total` of user-level budget.
+    pub fn new(total: Epsilon) -> Self {
+        Self {
+            total,
+            spent: 0.0,
+            charges: Vec::new(),
+        }
+    }
+
+    /// Charges one epoch: computes the amplified cost of running an
+    /// ε-`base` mechanism over a Bernoulli `rate`-sample, debits it, and
+    /// returns it.
+    ///
+    /// # Errors
+    ///
+    /// * [`LdpError::ValueOutOfRange`] — `rate` outside `(0, 1]` (the
+    ///   ledger is left untouched);
+    /// * [`LdpError::BudgetExhausted`] — accepting the charge would
+    ///   overdraw the budget. The ledger is left untouched, so a caller
+    ///   may retry with a smaller rate or base.
+    pub fn charge(&mut self, base: Epsilon, rate: f64) -> Result<Epsilon> {
+        let amplified = amplified_epsilon(base, rate)?;
+        let next = self.spent + amplified.value();
+        if next > self.total.value() {
+            return Err(LdpError::BudgetExhausted {
+                requested: amplified.value(),
+                remaining: self.remaining(),
+            });
+        }
+        self.charges.push(EpochCharge {
+            epoch: self.charges.len(),
+            base,
+            rate,
+            amplified,
+        });
+        self.spent = next;
+        Ok(amplified)
+    }
+
+    /// The configured user-level budget.
+    pub fn total(&self) -> Epsilon {
+        self.total
+    }
+
+    /// Cumulative amplified spend across all accepted epochs.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget still available (never negative).
+    pub fn remaining(&self) -> f64 {
+        (self.total.value() - self.spent).max(0.0)
+    }
+
+    /// All accepted charges, in epoch order.
+    pub fn charges(&self) -> &[EpochCharge] {
+        &self.charges
+    }
+
+    /// Number of epochs charged so far.
+    pub fn epochs(&self) -> usize {
+        self.charges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn matches_closed_form() {
+        let base = eps(4.0);
+        let got = amplified_epsilon(base, 0.35).unwrap().value();
+        let want = (1.0 + 0.35 * (4.0f64.exp() - 1.0)).ln();
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+    }
+
+    #[test]
+    fn full_rate_is_identity_and_low_rate_amplifies() {
+        let base = eps(2.0);
+        assert_eq!(amplified_epsilon(base, 1.0).unwrap(), base);
+        let small = amplified_epsilon(base, 0.01).unwrap().value();
+        // Near q → 0 the bound behaves like q·(e^ε − 1).
+        assert!(small < 0.07, "small-rate bound too loose: {small}");
+        assert!(small > 0.0);
+    }
+
+    #[test]
+    fn invalid_rates_are_typed_errors() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                amplified_epsilon(eps(1.0), bad),
+                Err(LdpError::ValueOutOfRange { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rate_inverts_amplification() {
+        let base = eps(4.0);
+        let target = amplified_epsilon(base, 0.2).unwrap();
+        let rate = rate_for_amplified(base, target).unwrap();
+        assert!((rate - 0.2).abs() < 1e-12, "rate={rate}");
+        assert_eq!(rate_for_amplified(base, base).unwrap(), 1.0);
+        assert!(rate_for_amplified(eps(1.0), eps(2.0)).is_err());
+    }
+
+    #[test]
+    fn ledger_charges_until_exhausted_then_refuses() {
+        let base = eps(4.0);
+        let per_epoch = amplified_epsilon(base, 0.35).unwrap().value();
+        let mut ledger = BudgetLedger::new(eps(per_epoch * 3.5));
+        for epoch in 0..3 {
+            let amplified = ledger.charge(base, 0.35).unwrap();
+            assert_eq!(ledger.charges()[epoch].epoch, epoch);
+            assert!((amplified.value() - per_epoch).abs() < 1e-12);
+        }
+        let before = (ledger.spent(), ledger.epochs());
+        let err = ledger.charge(base, 0.35).unwrap_err();
+        match err {
+            LdpError::BudgetExhausted {
+                requested,
+                remaining,
+            } => {
+                assert!((requested - per_epoch).abs() < 1e-12);
+                assert!(remaining < per_epoch);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // A refused charge leaves the ledger untouched…
+        assert_eq!((ledger.spent(), ledger.epochs()), before);
+        // …and a smaller follow-up charge can still fit.
+        assert!(ledger.charge(eps(0.05), 1.0).is_ok());
+        assert!(ledger.spent() <= ledger.total().value());
+    }
+
+    #[test]
+    fn ledger_accounting_is_exact() {
+        let mut ledger = BudgetLedger::new(eps(1.0));
+        ledger.charge(eps(0.5), 1.0).unwrap();
+        ledger.charge(eps(0.5), 1.0).unwrap();
+        assert!(ledger.spent() <= 1.0);
+        assert_eq!(ledger.remaining(), 1.0 - ledger.spent());
+        assert!(matches!(
+            ledger.charge(eps(1e-9), 1.0),
+            Err(LdpError::BudgetExhausted { .. })
+        ));
+    }
+}

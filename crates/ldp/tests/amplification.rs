@@ -1,0 +1,105 @@
+//! Property tests for privacy amplification by subsampling and the
+//! continual budget ledger: the closed form must stay inside its bounds
+//! for arbitrary parameters, and the ledger must never over-spend across
+//! arbitrary charge sequences — these are the invariants the continual
+//! extraction mode's user-level privacy claim rests on.
+
+use privshape_ldp::{amplified_epsilon, rate_for_amplified, BudgetLedger, Epsilon, LdpError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Subsampling can only help: `ln(1 + q(e^ε − 1)) ≤ ε` for every
+    /// rate in (0, 1], with equality at q = 1, and the amplified value
+    /// is still a positive, valid budget.
+    #[test]
+    fn amplified_never_exceeds_base(
+        eps in 0.01f64..12.0,
+        rate in 0.0001f64..1.0,
+    ) {
+        let base = Epsilon::new(eps).unwrap();
+        let amplified = amplified_epsilon(base, rate).unwrap();
+        prop_assert!(amplified.value() > 0.0);
+        prop_assert!(amplified.value() <= base.value());
+        // The boundary is exact, and every partial rate stays below it.
+        let full = amplified_epsilon(base, 1.0).unwrap();
+        prop_assert_eq!(full.value(), base.value());
+        prop_assert!(amplified.value() <= full.value());
+    }
+
+    /// More sampling costs more: the amplified budget is monotone
+    /// non-decreasing in the sampling rate.
+    #[test]
+    fn amplified_is_monotone_in_rate(
+        eps in 0.01f64..12.0,
+        lo in 0.0001f64..1.0,
+        hi in 0.0001f64..1.0,
+    ) {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let base = Epsilon::new(eps).unwrap();
+        let at_lo = amplified_epsilon(base, lo).unwrap();
+        let at_hi = amplified_epsilon(base, hi).unwrap();
+        prop_assert!(at_lo.value() <= at_hi.value());
+    }
+
+    /// The inverse solves the forward map: amplifying at
+    /// `rate_for_amplified(base, target)` lands on `target` (up to
+    /// floating-point noise), and the rate is a valid probability.
+    #[test]
+    fn rate_inverts_amplification(
+        eps in 0.05f64..10.0,
+        target_frac in 0.05f64..1.0,
+    ) {
+        let base = Epsilon::new(eps).unwrap();
+        let target = Epsilon::new(eps * target_frac).unwrap();
+        let rate = rate_for_amplified(base, target).unwrap();
+        prop_assert!(rate > 0.0 && rate <= 1.0);
+        let round_trip = amplified_epsilon(base, rate).unwrap();
+        prop_assert!(
+            (round_trip.value() - target.value()).abs() <= 1e-9 * target.value().max(1.0),
+            "round trip {} vs target {}", round_trip.value(), target.value()
+        );
+    }
+
+    /// Across an arbitrary sequence of (eps, rate) charges the ledger
+    /// never spends past its total: every accepted charge keeps
+    /// `spent ≤ total` *exactly* (the refusal check and the debit use
+    /// the same arithmetic), refused charges leave the ledger untouched,
+    /// and the accounting identities (`spent + remaining = total`,
+    /// charge log sums to spend) hold throughout.
+    #[test]
+    fn ledger_never_overspends(
+        total in 0.1f64..30.0,
+        charges in prop::collection::vec((0.01f64..6.0, 0.0001f64..1.0), 0..40),
+    ) {
+        let mut ledger = BudgetLedger::new(Epsilon::new(total).unwrap());
+        let mut accepted = 0usize;
+        for (eps, rate) in charges {
+            let base = Epsilon::new(eps).unwrap();
+            let spent_before = ledger.spent();
+            match ledger.charge(base, rate) {
+                Ok(amplified) => {
+                    accepted += 1;
+                    prop_assert!(amplified.value() <= base.value());
+                    prop_assert!(ledger.spent() <= ledger.total().value());
+                    prop_assert!(ledger.spent() >= spent_before);
+                }
+                Err(LdpError::BudgetExhausted { requested, remaining }) => {
+                    // A refusal is honest (the charge really would not
+                    // fit) and side-effect free.
+                    prop_assert!(requested > remaining);
+                    prop_assert_eq!(ledger.spent(), spent_before);
+                }
+                Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+            }
+            prop_assert!(
+                (ledger.spent() + ledger.remaining() - ledger.total().value()).abs() < 1e-9
+                    || ledger.remaining() == 0.0
+            );
+        }
+        prop_assert_eq!(ledger.epochs(), accepted);
+        let logged: f64 = ledger.charges().iter().map(|c| c.amplified.value()).sum();
+        prop_assert!((logged - ledger.spent()).abs() < 1e-9);
+    }
+}

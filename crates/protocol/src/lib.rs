@@ -22,7 +22,11 @@
 //! * [`UserClient`] — one user's device: owns that user's series, derives
 //!   its group assignment and all of its randomness locally from
 //!   `(seed, user_id)`, and answers only the rounds addressed to its
-//!   group. Raw data never crosses the API.
+//!   group. Raw data never crosses the API;
+//! * [`continual`] — epochs over a sliding window of arriving series:
+//!   deterministic per-epoch user subsampling, amplified-ε accounting,
+//!   and a budget ledger that refuses epochs once the user-level total
+//!   is spent.
 //!
 //! The privacy argument is structural and unchanged from the paper
 //! (Theorems 1 and 3): preprocessing is deterministic, the groups are
@@ -74,9 +78,14 @@
 //! assert_eq!(extraction.shapes[0].shape.to_string(), "ac");
 //! ```
 
+// Redundant with the workspace-level lint, but explicit: the protocol
+// boundary is the workspace's main public API and must stay documented.
+#![warn(missing_docs)]
+
 pub mod chaos;
 mod client;
 mod config;
+pub mod continual;
 mod error;
 pub mod ingest;
 mod params;
@@ -93,6 +102,7 @@ mod wire;
 pub use chaos::{AbsorbAction, FaultKind, FaultPlan, FiredCounts, SubmitAction};
 pub use client::{GroupAssignment, UserClient};
 pub use config::{BaselineConfig, LengthOracle, PopulationSplit, Preprocessing, PrivShapeConfig};
+pub use continual::{subsampled, ContinualConfig, ContinualDriver, EpochPlan};
 pub use error::{Error, Result};
 pub use ingest::{IngestConfig, IngestPipeline, IngestStats};
 pub use params::{MechanismKind, ProtocolParams};

@@ -45,15 +45,28 @@
 //!   every other session keeps progressing; recovered extractions stay
 //!   bit-identical to fault-free twins (the CI-gated `chaos_smoke` claim).
 //!
+//! The continual extraction mode rides on the same registry:
+//! [`drive_epoch`] turns one planned epoch
+//! ([`privshape_protocol::EpochPlan`]) into an admitted, routed session
+//! — optionally rehearsing a crash at a round boundary — so every epoch
+//! of a sliding-window run inherits the service tier's isolation and
+//! recovery guarantees.
+//!
 //! [`Session`]: privshape_protocol::Session
 //! [`IngestPipeline`]: privshape_protocol::IngestPipeline
 //! [`service_smoke`'s]: https://example.invalid/privshape-repro
 
+// Redundant with the workspace-level lint, but explicit: operators read
+// these docs (see docs/OPERATIONS.md), so gaps are operational debt.
+#![warn(missing_docs)]
+
+pub mod continual;
 mod error;
 mod policy;
 mod registry;
 mod supervisor;
 
+pub use continual::drive_epoch;
 pub use error::{Result, ServiceError};
 pub use policy::RetryPolicy;
 pub use registry::{ServiceConfig, ServiceRegistry};
